@@ -1,0 +1,117 @@
+"""Ablation: what each transformation rule buys.
+
+DESIGN.md's rule library is the paper's §6; this bench disables one rule
+at a time and re-synthesizes the join and sort workloads, measuring the
+estimated cost of the best program found without it.  The reproduced
+design claims:
+
+* **apply-block is the workhorse** — without it nothing beats the naive
+  cost by more than trivial factors;
+* **hash-part** is what makes the join beat BNL when the inner relation
+  exceeds the buffer pool;
+* **fldL-to-trfld / inc-branching** carry the sort derivation: without
+  either the sort stays quadratic;
+* **seq-ac / order-inputs / swap-iter** are refinements: useful, not
+  load-bearing.
+"""
+
+import pytest
+
+from repro.cost import atom, list_annot, tuple_annot
+from repro.hierarchy import MB, hdd_ram_hierarchy
+from repro.rules import default_rules
+from repro.search import Synthesizer
+from repro.symbolic import var
+from repro.workloads import insertion_sort_spec, naive_join_spec
+
+RULE_NAMES = [rule.name for rule in default_rules()]
+
+
+def synthesize_join(excluded: str | None):
+    rules = [r for r in default_rules() if r.name != excluded]
+    synth = Synthesizer(
+        hierarchy=hdd_ram_hierarchy(8 * MB),
+        rules=rules,
+        max_depth=4,
+        max_programs=300,
+    )
+    return synth.synthesize(
+        spec=naive_join_spec(),
+        input_annots={
+            "R": list_annot(tuple_annot(atom(8), atom(504)), var("x")),
+            "S": list_annot(tuple_annot(atom(8), atom(504)), var("y")),
+        },
+        input_locations={"R": "HDD", "S": "HDD"},
+        stats={"x": 2.0**21, "y": 2.0**16},
+    )
+
+
+def synthesize_sort(excluded: str | None):
+    rules = [r for r in default_rules() if r.name != excluded]
+    synth = Synthesizer(
+        hierarchy=hdd_ram_hierarchy(8 * MB),
+        rules=rules,
+        max_depth=6,
+        max_programs=200,
+        max_treefold_arity=16,
+    )
+    return synth.synthesize(
+        spec=insertion_sort_spec(),
+        input_annots={"Rs": list_annot(list_annot(atom(8), 1), var("x"))},
+        input_locations={"Rs": "HDD"},
+        stats={"x": 2.0**26},
+        output_location="HDD",
+    )
+
+
+@pytest.fixture(scope="module")
+def join_ablation():
+    return {
+        name: synthesize_join(name).opt_cost
+        for name in [None] + RULE_NAMES
+    }
+
+
+@pytest.fixture(scope="module")
+def sort_ablation():
+    return {
+        name: synthesize_sort(name).opt_cost
+        for name in [None, "fldL-to-trfld", "inc-branching", "apply-block"]
+    }
+
+
+def test_join_rule_ablation(benchmark, join_ablation, report):
+    benchmark.pedantic(
+        lambda: synthesize_join("seq-ac"), rounds=1, iterations=1
+    )
+    lines = ["rule ablation (join): best estimated cost without each rule"]
+    for name, cost in join_ablation.items():
+        label = name or "(all rules)"
+        lines.append(f"  {label:<16} {cost:12.4g}s")
+    report.append("\n".join(lines))
+    full = join_ablation[None]
+    # Removing any single rule never *improves* the best cost.
+    for name in RULE_NAMES:
+        assert join_ablation[name] >= full * 0.999, name
+
+
+def test_apply_block_is_load_bearing(benchmark, join_ablation):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Without blocking, the best program is orders of magnitude worse.
+    assert join_ablation["apply-block"] > join_ablation[None] * 100
+
+
+def test_hash_part_wins_the_join(benchmark, join_ablation):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Disabling hash-part forces BNL, which costs measurably more here.
+    assert join_ablation["hash-part"] > join_ablation[None] * 1.2
+
+
+def test_sort_needs_the_folding_rules(benchmark, sort_ablation):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    full = sort_ablation[None]
+    # Without either folding-pattern rule the sort stays quadratic.
+    assert sort_ablation["fldL-to-trfld"] > full * 1e3
+    assert sort_ablation["inc-branching"] >= full * 0.999
+    # Without blocking, every merge does per-element I/O.
+    assert sort_ablation["apply-block"] > full * 100

@@ -1,0 +1,48 @@
+"""The §7.2 cache experiment: tiling cuts data-cache misses by ~98%.
+
+The paper extends the hierarchy with a CPU cache; OCAS tiles the BNL
+join's in-memory loops, and ``perf`` reports 98.2% fewer data cache
+misses.  We replay both kernels' access patterns through the LRU cache
+simulator.
+"""
+
+import pytest
+
+from repro.runtime import run_cache_experiment
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_cache_experiment()
+
+
+def test_cache_miss_reduction(benchmark, result, report):
+    benchmark.pedantic(
+        lambda: run_cache_experiment(
+            outer_elems=1024, inner_elems=2048, elem_bytes=8,
+            cache_size=32 * 2**10, line_size=512,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report.append(
+        f"cache misses: untiled={result.untiled_misses} "
+        f"tiled={result.tiled_misses} "
+        f"reduction={100 * result.miss_reduction:.1f}% (paper: 98.2%)"
+    )
+    # Paper: 98.2% reduction; anything ≥ 90% reproduces the claim's shape.
+    assert result.miss_reduction >= 0.90
+
+
+def test_untiled_streams_through_the_cache(benchmark, result):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # The untiled kernel misses on (almost) every inner line it touches.
+    assert result.untiled_misses > result.tiled_misses * 10
+
+
+def test_access_counts_match(benchmark, result):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Tiling reorders accesses but barely changes how many there are.
+    assert result.tiled_accesses == pytest.approx(
+        result.untiled_accesses, rel=0.01
+    )

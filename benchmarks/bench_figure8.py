@@ -1,0 +1,59 @@
+"""Figure 8: estimated vs measured running times across input sizes.
+
+Reproduced claims:
+
+* for CPU-heavy tasks (BNL with write-out, merge-sort) the estimator
+  *underestimates* and the absolute gap grows with the input size;
+* for aggregation the estimates stay near-exact at every size.
+"""
+
+import pytest
+
+from repro.bench import (
+    aggregation_sweep,
+    bnl_writeout_sweep,
+    format_figure8,
+    merge_sort_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def panels():
+    return {
+        "BNL join": bnl_writeout_sweep(),
+        "Merge-sort": merge_sort_sweep(),
+        "Aggregation": aggregation_sweep(),
+    }
+
+
+@pytest.mark.figure8
+def test_figure8_panels(benchmark, panels, report):
+    benchmark.pedantic(aggregation_sweep, rounds=1, iterations=1)
+    report.append(format_figure8(panels))
+
+
+@pytest.mark.figure8
+def test_join_and_sort_underestimated_increasingly(benchmark, panels):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for name in ("BNL join", "Merge-sort"):
+        points = panels[name]
+        gaps = [p.underestimation for p in points]
+        # The gap is positive (measured > estimated) at the largest size
+        # and grows from the smallest to the largest input.
+        assert gaps[-1] > 0, name
+        assert gaps[-1] > gaps[0], name
+
+
+@pytest.mark.figure8
+def test_aggregation_estimates_stay_tight(benchmark, panels):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for point in panels["Aggregation"]:
+        assert abs(point.underestimation) <= 0.2 * point.measured
+
+
+@pytest.mark.figure8
+def test_measured_grows_with_input(benchmark, panels):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for points in panels.values():
+        measured = [p.measured for p in points]
+        assert measured == sorted(measured)

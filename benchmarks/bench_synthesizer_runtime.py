@@ -1,0 +1,67 @@
+"""§7.4: the running time of OCAS itself.
+
+Reproduced claims: the search space grows roughly exponentially with the
+number of transformation steps; the synthesizer's running time tracks the
+search-space size and is *independent of the input data size* (costing
+never executes programs).
+"""
+
+import pytest
+
+from repro.cost import atom, list_annot, tuple_annot
+from repro.hierarchy import MB, hdd_ram_hierarchy
+from repro.search import Synthesizer
+from repro.symbolic import var
+from repro.workloads import naive_join_spec
+
+
+def synthesize(depth, stats, max_programs=4000):
+    synth = Synthesizer(
+        hierarchy=hdd_ram_hierarchy(8 * MB),
+        max_depth=depth,
+        max_programs=max_programs,
+    )
+    return synth.synthesize(
+        spec=naive_join_spec(),
+        input_annots={
+            "R": list_annot(tuple_annot(atom(8), atom(504)), var("x")),
+            "S": list_annot(tuple_annot(atom(8), atom(504)), var("y")),
+        },
+        input_locations={"R": "HDD", "S": "HDD"},
+        stats=stats,
+    )
+
+
+STATS = {"x": 2.0**21, "y": 2.0**16}
+
+
+@pytest.fixture(scope="module")
+def by_depth():
+    return {depth: synthesize(depth, STATS) for depth in (1, 2, 3)}
+
+
+def test_search_space_grows_with_steps(benchmark, by_depth, report):
+    benchmark.pedantic(
+        lambda: synthesize(2, STATS), rounds=1, iterations=1
+    )
+    sizes = {d: r.search_space for d, r in by_depth.items()}
+    report.append(f"search space by depth: {sizes}")
+    assert sizes[1] < sizes[2] < sizes[3]
+    # Roughly exponential: each extra step multiplies the space.
+    assert sizes[3] / sizes[2] >= 2
+
+
+def test_runtime_tracks_search_space(benchmark, by_depth):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    runtimes = [by_depth[d].runtime for d in (1, 2, 3)]
+    assert runtimes[0] < runtimes[2]
+
+
+def test_runtime_independent_of_input_size(benchmark, by_depth):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    small = synthesize(2, {"x": 2.0**12, "y": 2.0**10})
+    large = synthesize(2, {"x": 2.0**30, "y": 2.0**28})
+    # Cost-based optimization never runs the program: scaling the inputs
+    # by five orders of magnitude leaves synthesis time unchanged (±3x).
+    assert large.runtime < small.runtime * 3 + 0.5
+    assert small.search_space == large.search_space

@@ -1,0 +1,44 @@
+"""Table 1, rows 1–3: BNL join, cache-conscious BNL, GRACE hash join."""
+
+import pytest
+
+from repro.bench import format_table, run_experiment
+from repro.bench.table1 import (
+    bnl_no_writeout,
+    bnl_with_cache,
+    grace_hash_join,
+)
+
+
+@pytest.mark.table1
+def test_bnl_no_writeout(benchmark, report):
+    row = benchmark.pedantic(
+        lambda: run_experiment(bnl_no_writeout()), rounds=1, iterations=1
+    )
+    report.append(format_table([row]))
+    # Spec ≫ Opt; measured time tracks the estimate within a small factor.
+    assert row.spec_cost > row.opt_cost * 1e3
+    assert 0.5 <= row.act_over_opt <= 4.0
+    assert "apply-block" in row.derivation
+
+
+@pytest.mark.table1
+def test_bnl_with_cache(benchmark, report):
+    row = benchmark.pedantic(
+        lambda: run_experiment(bnl_with_cache()), rounds=1, iterations=1
+    )
+    report.append(format_table([row]))
+    assert row.spec_cost > row.opt_cost * 1e3
+
+
+@pytest.mark.table1
+def test_grace_hash_join(benchmark, report):
+    bnl_row = run_experiment(bnl_no_writeout())
+    row = benchmark.pedantic(
+        lambda: run_experiment(grace_hash_join()), rounds=1, iterations=1
+    )
+    report.append(format_table([bnl_row, row]))
+    assert "hash-part" in row.derivation
+    # The paper's comparison: the hash join beats the BNL join.
+    assert row.actual < bnl_row.actual
+    assert row.opt_cost < bnl_row.opt_cost

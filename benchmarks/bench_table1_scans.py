@@ -1,0 +1,58 @@
+"""Table 1, rows 13–16: column-store reads, duplicate removal, aggregation.
+
+I/O-bound scans: estimates should be close to measured times, and the
+10-column read should cost about twice the 5-column read.
+"""
+
+import pytest
+
+from repro.bench import format_table, run_experiment
+from repro.bench.table1 import (
+    aggregation,
+    column_store_read_10,
+    column_store_read_5,
+    duplicate_removal,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return {
+        "cols5": run_experiment(column_store_read_5()),
+        "cols10": run_experiment(column_store_read_10()),
+        "dedup": run_experiment(duplicate_removal()),
+        "agg": run_experiment(aggregation()),
+    }
+
+
+@pytest.mark.table1
+def test_scan_block(benchmark, rows, report):
+    benchmark.pedantic(
+        lambda: run_experiment(aggregation()), rounds=1, iterations=1
+    )
+    report.append(format_table(list(rows.values())))
+
+
+@pytest.mark.table1
+def test_columns_scale_linearly(benchmark, rows):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # Twice the columns ≈ twice the time; slightly above 2× because ten
+    # interleaved streams split the buffer pool and seek more often.
+    ratio = rows["cols10"].actual / rows["cols5"].actual
+    assert 1.6 <= ratio <= 2.6
+    est_ratio = rows["cols10"].opt_cost / rows["cols5"].opt_cost
+    assert 1.6 <= est_ratio <= 2.6
+
+
+@pytest.mark.table1
+def test_aggregation_estimate_is_accurate(benchmark, rows):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    # The CPU-light task: measured within a whisker of the estimate.
+    assert 0.7 <= rows["agg"].act_over_opt <= 1.5
+
+
+@pytest.mark.table1
+def test_scans_gain_over_specs(benchmark, rows):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for row in rows.values():
+        assert row.spec_cost > row.opt_cost * 10, row.experiment.name

@@ -1,0 +1,62 @@
+"""Table 1, rows 8–12: set and multiset operations.
+
+The reproduced §7.3 claim about worst-case analysis: union estimates are
+(nearly) exact because the worst case equals the actual output, while
+difference is *over*estimated — the actual run is cheaper than predicted.
+"""
+
+import pytest
+
+from repro.bench import format_table, run_experiment
+from repro.bench.table1 import (
+    multiset_diff_multiplicity,
+    multiset_diff_sorted,
+    multiset_union_multiplicity,
+    multiset_union_sorted,
+    set_union,
+)
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return [
+        run_experiment(factory())
+        for factory in (
+            set_union,
+            multiset_union_sorted,
+            multiset_union_multiplicity,
+            multiset_diff_sorted,
+            multiset_diff_multiplicity,
+        )
+    ]
+
+
+@pytest.mark.table1
+def test_setops_block(benchmark, rows, report):
+    benchmark.pedantic(
+        lambda: run_experiment(set_union()), rounds=1, iterations=1
+    )
+    report.append(format_table(rows))
+    for row in rows:
+        assert row.spec_cost > row.opt_cost * 10
+
+
+@pytest.mark.table1
+def test_union_estimates_track_actuals(benchmark, rows):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    union_rows = rows[:3]
+    for row in union_rows:
+        assert 0.4 <= row.act_over_opt <= 2.5, row.experiment.name
+
+
+@pytest.mark.table1
+def test_difference_is_overestimated(benchmark, rows):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    diff_rows = rows[3:]
+    union_rows = rows[:3]
+    # Diff runs finish faster relative to their estimates than unions do:
+    # the worst case (nothing cancels) did not materialize.
+    worst_union = max(r.act_over_opt for r in union_rows)
+    for row in diff_rows:
+        assert row.act_over_opt < worst_union, row.experiment.name
+        assert row.act_over_opt < 1.1

@@ -1,0 +1,30 @@
+"""Table 1, row 7: external sorting.
+
+The derivation is the paper's §7.2 showcase: insertion sort (Θ(n²) data
+movement) → fldL-to-trfld → inc-branching^k → apply-block → 2^k-way
+External Merge-Sort with tuned fan-in and buffers.
+"""
+
+import pytest
+
+from repro.bench import format_table, run_experiment
+from repro.bench.table1 import external_sorting
+from repro.ocal import App, TreeFold
+
+
+@pytest.mark.table1
+def test_external_sorting(benchmark, report):
+    row = benchmark.pedantic(
+        lambda: run_experiment(external_sorting()), rounds=1, iterations=1
+    )
+    report.append(format_table([row]))
+    # The winner is a multi-way treeFold merge sort…
+    program = row.synthesis.best.program
+    assert isinstance(program, App) and isinstance(program.fn, TreeFold)
+    assert program.fn.arity >= 4
+    # …derived through the paper's chain of rules…
+    assert "fldL-to-trfld" in row.derivation
+    assert "inc-branching" in row.derivation
+    # …with an enormous improvement over the n² spec.
+    assert row.spec_cost > row.opt_cost * 1e5
+    assert 0.3 <= row.act_over_opt <= 4.0

@@ -1,0 +1,55 @@
+"""OCAS — Out-of-Core Algorithm Synthesizer (reproduction).
+
+Reproduction of Klonatos, Nötzli, Spielmann, Koch, Kuncak:
+*Automatic Synthesis of Out-of-Core Algorithms*, SIGMOD 2013.
+
+The package synthesizes memory-hierarchy-aware algorithms from naive
+specifications written in the OCAL DSL:
+
+>>> from repro import synthesize, hdd_ram_hierarchy
+>>> from repro.workloads import naive_join_spec
+>>> result = synthesize(naive_join_spec(), hdd_ram_hierarchy(),
+...                     input_sizes={"R": 2**20, "S": 2**15})
+>>> result.best.program            # doctest: +SKIP
+... # a Block Nested Loops Join
+
+Subpackages
+-----------
+``repro.ocal``       the OCAL language (types, AST, interpreter, definitions)
+``repro.symbolic``   symbolic arithmetic used by the cost estimator
+``repro.hierarchy``  memory & storage hierarchy descriptions (Section 4)
+``repro.cost``       automated cost estimation (Section 5)
+``repro.rules``      transformation rules (Section 6)
+``repro.optimizer``  non-linear block/buffer parameter tuning
+``repro.search``     the breadth-first synthesizer (OCAS proper)
+``repro.codegen``    OCAL -> C text and OCAL -> executable plan compilers
+``repro.runtime``    simulated storage substrate (HDD/SSD/cache) + executor
+``repro.workloads``  naive specifications and synthetic relation generators
+``repro.bench``      harnesses regenerating every table/figure of the paper
+"""
+
+from .version import __version__
+
+__all__ = ["__version__"]
+
+
+def __getattr__(name):
+    """Lazily expose the high-level API to avoid import cycles at startup."""
+    if name == "synthesize":
+        from .search import synthesize
+
+        return synthesize
+    if name == "Synthesizer":
+        from .search import Synthesizer
+
+        return Synthesizer
+    if name in {
+        "hdd_ram_hierarchy",
+        "hdd_ram_cache_hierarchy",
+        "two_hdd_hierarchy",
+        "hdd_flash_hierarchy",
+    }:
+        from . import hierarchy
+
+        return getattr(hierarchy, name)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,24 @@
+"""Benchmark harnesses regenerating the paper's tables and figures."""
+
+from .figure8 import (
+    Figure8Point,
+    aggregation_sweep,
+    bnl_writeout_sweep,
+    format_figure8,
+    merge_sort_sweep,
+)
+from .harness import Experiment, ExperimentRow, format_table, run_experiment
+from .table1 import ALL_EXPERIMENTS
+
+__all__ = [
+    "Experiment",
+    "ExperimentRow",
+    "run_experiment",
+    "format_table",
+    "ALL_EXPERIMENTS",
+    "Figure8Point",
+    "bnl_writeout_sweep",
+    "merge_sort_sweep",
+    "aggregation_sweep",
+    "format_figure8",
+]

@@ -1,0 +1,163 @@
+"""Experiment harness regenerating the paper's evaluation artifacts.
+
+One :class:`Experiment` bundles everything a Table-1 row needs: the naive
+spec, the hierarchy, input statistics, the executor's workload knobs, and
+the paper's reference numbers.  ``run_experiment`` performs the full
+pipeline —
+
+    synthesize → tune parameters → bind plan → simulate execution —
+
+and returns a :class:`ExperimentRow` with the Spec/Opt/Act columns plus
+search statistics, ready for ``format_table``.
+
+Absolute numbers are *not* expected to match the paper (our substrate is
+a simulator and our inputs are rescaled); the reproduced claims are the
+relationships: Spec ≫ Opt, Act tracking Opt, hash join beating BNL,
+same-disk write-out beating neither, and so on.  EXPERIMENTS.md records
+both sides for every row.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..cost.annotated import Annot
+from ..hierarchy import MemoryHierarchy
+from ..ocal.ast import Node
+from ..codegen.plan import compile_candidate
+from ..runtime.executor import ExecutionConfig, InputSpec
+from ..search.synthesizer import Synthesizer
+from ..search.result import SynthesisResult
+
+__all__ = ["Experiment", "ExperimentRow", "run_experiment", "format_table"]
+
+
+@dataclass
+class Experiment:
+    """A fully-specified evaluation scenario."""
+
+    name: str
+    spec: Node
+    hierarchy: MemoryHierarchy
+    input_annots: dict[str, Annot]
+    input_locations: dict[str, str]
+    stats: dict[str, float]
+    inputs: dict[str, InputSpec]
+    output_location: str | None = None
+    cond_probability: float = 1.0
+    output_card_override: float | None = None
+    max_depth: int = 4
+    max_programs: int = 300
+    max_treefold_arity: int = 64
+    #: rule names to disable for this run (e.g. rows that pin down BNL
+    #: exclude "hash-part" so the hash join does not shadow it).
+    exclude_rules: tuple[str, ...] = ()
+    #: Table-1 reference values (seconds), for side-by-side reporting.
+    paper_spec: float | None = None
+    paper_opt: float | None = None
+    paper_act: float | None = None
+    paper_steps: int | None = None
+    paper_space: int | None = None
+
+
+@dataclass
+class ExperimentRow:
+    """One produced Table-1 row."""
+
+    experiment: Experiment
+    synthesis: SynthesisResult
+    spec_cost: float
+    opt_cost: float
+    actual: float
+    io_seconds: float
+    cpu_seconds: float
+    search_space: int
+    steps: int
+    synth_runtime: float
+    derivation: tuple[str, ...]
+
+    @property
+    def act_over_opt(self) -> float:
+        """Measured / estimated — >1 means the estimator underestimates."""
+        if self.opt_cost <= 0:
+            return math.inf
+        return self.actual / self.opt_cost
+
+    @property
+    def speedup(self) -> float:
+        if self.opt_cost <= 0:
+            return math.inf
+        return self.spec_cost / self.opt_cost
+
+
+def run_experiment(experiment: Experiment) -> ExperimentRow:
+    """Synthesize, tune, and simulate one experiment."""
+    from ..rules.registry import default_rules
+
+    rules = [
+        rule
+        for rule in default_rules()
+        if rule.name not in experiment.exclude_rules
+    ]
+    synthesizer = Synthesizer(
+        hierarchy=experiment.hierarchy,
+        rules=rules,
+        max_depth=experiment.max_depth,
+        max_programs=experiment.max_programs,
+        max_treefold_arity=experiment.max_treefold_arity,
+    )
+    synthesis = synthesizer.synthesize(
+        spec=experiment.spec,
+        input_annots=experiment.input_annots,
+        input_locations=experiment.input_locations,
+        stats=experiment.stats,
+        output_location=experiment.output_location,
+    )
+    plan = compile_candidate(synthesis.best)
+    config = ExecutionConfig(
+        hierarchy=experiment.hierarchy,
+        input_locations=experiment.input_locations,
+        output_location=experiment.output_location,
+        cond_probability=experiment.cond_probability,
+        output_card_override=experiment.output_card_override,
+    )
+    result = plan.execute(config, experiment.inputs)
+    return ExperimentRow(
+        experiment=experiment,
+        synthesis=synthesis,
+        spec_cost=synthesis.spec_cost,
+        opt_cost=synthesis.opt_cost,
+        actual=result.elapsed,
+        io_seconds=result.io_seconds,
+        cpu_seconds=result.cpu_seconds,
+        search_space=synthesis.search_space,
+        steps=synthesis.steps,
+        synth_runtime=synthesis.runtime,
+        derivation=synthesis.best.derivation,
+    )
+
+
+def format_table(rows: list[ExperimentRow]) -> str:
+    """A Table-1-style report with paper reference columns."""
+    header = (
+        f"{'Experiment':<34} {'Spec[s]':>12} {'Opt[s]':>10} {'Act[s]':>10} "
+        f"{'Act/Opt':>8} {'Space':>6} {'Steps':>5} {'Synth[s]':>8}  "
+        f"{'paper Spec/Opt/Act':>24}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        exp = row.experiment
+        paper = "-"
+        if exp.paper_spec is not None:
+            paper = (
+                f"{exp.paper_spec:.3g}/{exp.paper_opt:.3g}/"
+                f"{exp.paper_act:.3g}"
+            )
+        lines.append(
+            f"{exp.name:<34} {row.spec_cost:>12.5g} {row.opt_cost:>10.4g} "
+            f"{row.actual:>10.4g} {row.act_over_opt:>8.2f} "
+            f"{row.search_space:>6} {row.steps:>5} "
+            f"{row.synth_runtime:>8.2f}  {paper:>24}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""Code generation: OCAL → C text and OCAL → executable simulator plans."""
+
+from .c_codegen import CCodeGenerator, CodegenError, generate_c
+from .plan import ExecutablePlan, PlanError, compile_candidate
+
+__all__ = [
+    "CCodeGenerator",
+    "generate_c",
+    "CodegenError",
+    "ExecutablePlan",
+    "compile_candidate",
+    "PlanError",
+]

@@ -1,0 +1,251 @@
+"""Annotated types — result-size estimation (Section 5.1, Figure 5).
+
+An annotated type mirrors the structure of an OCAL value while recording
+symbolic sizes::
+
+    α ::= [α]x | ⟨α1, …, αn⟩ | c
+
+``[α]x`` is a list of ``x`` elements of shape ``α`` (``x`` is a symbolic
+arithmetic expression, e.g. the input cardinality or a block parameter);
+``⟨α1, …, αn⟩`` is a tuple; ``c`` is a constant byte size.  The paper's
+example ``⟨[[1]y]x, [⟨1,1⟩]z⟩`` is::
+
+    TupleAnnot((ListAnnot(ListAnnot(atom(), y), x),
+                ListAnnot(TupleAnnot((atom(), atom())), z)))
+
+``size``/``card``/``elem`` are the Figure-5 accessors.  Worst-case
+combination (``annot_max`` for if-then-else, ``annot_add`` for ⊔) and the
+linear-growth arithmetic needed by the ``foldL`` rule are implemented
+here; the traversal itself lives in :mod:`repro.cost.estimator`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..symbolic import Const, Expr, as_expr, simplify, smax, smin
+
+__all__ = [
+    "Annot",
+    "ConstSize",
+    "ListAnnot",
+    "TupleAnnot",
+    "atom",
+    "const_size",
+    "list_annot",
+    "tuple_annot",
+    "size_of",
+    "card_of",
+    "elem_of",
+    "annot_max",
+    "annot_min_card",
+    "annot_add",
+    "annot_scale_card",
+    "annot_with_card",
+    "annot_linear_growth",
+    "AnnotError",
+]
+
+ZERO = Const(0)
+ONE = Const(1)
+
+
+class AnnotError(ValueError):
+    """Raised on malformed annotated-type operations."""
+
+
+class Annot:
+    """Base class of annotated types."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:  # pragma: no cover - display helper
+        return render(self)
+
+
+@dataclass(frozen=True, slots=True)
+class ConstSize(Annot):
+    """``c`` — a value of constant byte size (atoms, scalars)."""
+
+    bytes: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class ListAnnot(Annot):
+    """``[α]x`` — a list of ``card`` elements of shape ``elem``."""
+
+    elem: Annot
+    card: Expr
+
+
+@dataclass(frozen=True, slots=True)
+class TupleAnnot(Annot):
+    """``⟨α1, …, αn⟩``."""
+
+    items: tuple[Annot, ...]
+
+
+def atom(nbytes: int | Expr = 1) -> ConstSize:
+    """An atomic value; Figure 4 assumes Int occupies 1 byte."""
+    return ConstSize(as_expr(nbytes))
+
+
+def const_size(nbytes: int | Expr) -> ConstSize:
+    """A constant-size value."""
+    return ConstSize(as_expr(nbytes))
+
+
+def list_annot(elem: Annot, card: int | Expr) -> ListAnnot:
+    """[elem]card."""
+    return ListAnnot(elem, as_expr(card))
+
+
+def tuple_annot(*items: Annot) -> TupleAnnot:
+    """⟨α1, …, αn⟩."""
+    return TupleAnnot(tuple(items))
+
+
+def size_of(annot: Annot) -> Expr:
+    """Total size in bytes (Figure 5's ``size``)."""
+    if isinstance(annot, ConstSize):
+        return annot.bytes
+    if isinstance(annot, ListAnnot):
+        return simplify(annot.card * size_of(annot.elem))
+    if isinstance(annot, TupleAnnot):
+        total: Expr = ZERO
+        for item in annot.items:
+            total = total + size_of(item)
+        return simplify(total)
+    raise AnnotError(f"not an annotated type: {annot!r}")
+
+
+def card_of(annot: Annot) -> Expr:
+    """List cardinality (Figure 5's ``card``)."""
+    if isinstance(annot, ListAnnot):
+        return annot.card
+    raise AnnotError(f"card of non-list annotation {annot!r}")
+
+
+def elem_of(annot: Annot) -> Annot:
+    """List element shape (Figure 5's ``elem``)."""
+    if isinstance(annot, ListAnnot):
+        return annot.elem
+    raise AnnotError(f"elem of non-list annotation {annot!r}")
+
+
+def is_empty_list(annot: Annot) -> bool:
+    """True for the annotation of ``[]`` (cardinality exactly zero)."""
+    return isinstance(annot, ListAnnot) and annot.card == ZERO
+
+
+def annot_max(left: Annot, right: Annot) -> Annot:
+    """Worst case of two branches (if-then-else, Figure 5).
+
+    Structure is preserved when both sides agree; the empty list is
+    dominated by any list.  On structural disagreement the result
+    degrades to a constant of the larger total size.
+    """
+    if isinstance(left, ListAnnot) and isinstance(right, ListAnnot):
+        if is_empty_list(left):
+            return ListAnnot(right.elem, simplify(smax(right.card, ZERO)))
+        if is_empty_list(right):
+            return ListAnnot(left.elem, simplify(smax(left.card, ZERO)))
+        return ListAnnot(
+            annot_max(left.elem, right.elem),
+            simplify(smax(left.card, right.card)),
+        )
+    if isinstance(left, TupleAnnot) and isinstance(right, TupleAnnot):
+        if len(left.items) == len(right.items):
+            return TupleAnnot(
+                tuple(
+                    annot_max(a, b) for a, b in zip(left.items, right.items)
+                )
+            )
+    if isinstance(left, ConstSize) and isinstance(right, ConstSize):
+        return ConstSize(simplify(smax(left.bytes, right.bytes)))
+    return ConstSize(simplify(smax(size_of(left), size_of(right))))
+
+
+def annot_min_card(left: Annot, right: Annot) -> Annot:
+    """A list annotation with the smaller cardinality of the two.
+
+    Used for the order-inputs combinator, where the first component is
+    known to be the *shorter* input.
+    """
+    if not isinstance(left, ListAnnot) or not isinstance(right, ListAnnot):
+        raise AnnotError("annot_min_card expects two list annotations")
+    return ListAnnot(
+        annot_max(left.elem, right.elem),
+        simplify(smin(left.card, right.card)),
+    )
+
+
+def annot_add(left: Annot, right: Annot) -> Annot:
+    """Concatenation ⊔ — cardinalities add (Figure 5)."""
+    if isinstance(left, ListAnnot) and isinstance(right, ListAnnot):
+        if is_empty_list(left):
+            return right
+        if is_empty_list(right):
+            return left
+        return ListAnnot(
+            annot_max(left.elem, right.elem),
+            simplify(left.card + right.card),
+        )
+    raise AnnotError(f"⊔ of non-lists: {left!r} and {right!r}")
+
+
+def annot_scale_card(annot: Annot, factor: Expr | int) -> Annot:
+    """``x · [b]y = [b]x·y`` — the Figure-5 ``for`` rule's multiplier."""
+    if isinstance(annot, ListAnnot):
+        return ListAnnot(annot.elem, simplify(as_expr(factor) * annot.card))
+    raise AnnotError(f"cannot scale non-list annotation {annot!r}")
+
+
+def annot_with_card(annot: ListAnnot, card: Expr | int) -> ListAnnot:
+    """Replace a list annotation's cardinality."""
+    return ListAnnot(annot.elem, simplify(as_expr(card)))
+
+
+def annot_linear_growth(init: Annot, final_step: Annot, n: Expr) -> Annot:
+    """R(c) + n · (R(body) − R(c)) — the Figure-5 ``foldL`` rule.
+
+    The per-iteration growth ``R(body) − R(c)`` is computed structurally:
+    matching lists grow in cardinality, matching tuples grow pointwise,
+    and constants grow in byte size.  When shapes disagree the growth
+    degrades to total sizes.
+    """
+    n = as_expr(n)
+    if isinstance(init, ListAnnot) and isinstance(final_step, ListAnnot):
+        delta = simplify(final_step.card - init.card)
+        elem = annot_max(init.elem, final_step.elem) if not is_empty_list(
+            init
+        ) else final_step.elem
+        if is_empty_list(final_step):
+            elem = init.elem
+        return ListAnnot(elem, simplify(init.card + n * delta))
+    if isinstance(init, TupleAnnot) and isinstance(final_step, TupleAnnot):
+        if len(init.items) == len(final_step.items):
+            return TupleAnnot(
+                tuple(
+                    annot_linear_growth(a, b, n)
+                    for a, b in zip(init.items, final_step.items)
+                )
+            )
+    if isinstance(init, ConstSize) and isinstance(final_step, ConstSize):
+        delta = simplify(final_step.bytes - init.bytes)
+        return ConstSize(simplify(init.bytes + n * delta))
+    total = simplify(
+        size_of(init) + n * (size_of(final_step) - size_of(init))
+    )
+    return ConstSize(total)
+
+
+def render(annot: Annot) -> str:
+    """Paper-style rendering, e.g. ``[⟨1, 1⟩]x·y``."""
+    if isinstance(annot, ConstSize):
+        return str(simplify(annot.bytes))
+    if isinstance(annot, ListAnnot):
+        return f"[{render(annot.elem)}]{{{simplify(annot.card)}}}"
+    if isinstance(annot, TupleAnnot):
+        return "⟨" + ", ".join(render(item) for item in annot.items) + "⟩"
+    raise AnnotError(f"not an annotated type: {annot!r}")

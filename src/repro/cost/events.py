@@ -1,0 +1,107 @@
+"""Transfer-event bookkeeping (Section 5.3).
+
+The estimator counts two kinds of events per *directed* hierarchy edge:
+
+* ``InitCom[m1 → m2]`` — transfer initiations (seeks, erases);
+* ``UnitTr[m1 → m2]`` — bytes moved.
+
+Counts are symbolic expressions; the total cost of a program is the dot
+product of the counts with the hierarchy's edge weights — "a single
+expression depicting the cost of a program as a function of various
+parameters like block and input sizes".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hierarchy import MemoryHierarchy
+from ..symbolic import Const, Expr, as_expr, simplify
+
+__all__ = ["CostEvents", "Constraint"]
+
+ZERO = Const(0)
+
+
+@dataclass(frozen=True, slots=True)
+class Constraint:
+    """``lhs ≤ rhs`` — a capacity or maxSeq restriction on parameters.
+
+    ``lhs`` and ``rhs`` are symbolic expressions; the non-linear optimizer
+    enforces these while minimizing the total cost.
+    """
+
+    lhs: Expr
+    rhs: Expr
+    reason: str = ""
+
+    def satisfied(self, env: dict[str, float], tolerance: float = 1e-9) -> bool:
+        """Check the constraint numerically under a parameter binding."""
+        return self.lhs.evaluate(env) <= self.rhs.evaluate(env) + tolerance
+
+
+@dataclass
+class CostEvents:
+    """Symbolic InitCom/UnitTr counts per directed edge."""
+
+    init: dict[tuple[str, str], Expr] = field(default_factory=dict)
+    unit: dict[tuple[str, str], Expr] = field(default_factory=dict)
+
+    def add_init(self, src: str, dst: str, count: Expr | int | float) -> None:
+        """Accumulate InitCom[src → dst] events."""
+        key = (src, dst)
+        self.init[key] = simplify(self.init.get(key, ZERO) + as_expr(count))
+
+    def add_unit(self, src: str, dst: str, nbytes: Expr | int | float) -> None:
+        """Accumulate UnitTr[src → dst] bytes."""
+        key = (src, dst)
+        self.unit[key] = simplify(self.unit.get(key, ZERO) + as_expr(nbytes))
+
+    def merge(self, other: "CostEvents") -> None:
+        """Accumulate all events of *other* into this record."""
+        for (src, dst), count in other.init.items():
+            self.add_init(src, dst, count)
+        for (src, dst), nbytes in other.unit.items():
+            self.add_unit(src, dst, nbytes)
+
+    def merge_scaled(self, other: "CostEvents", factor: Expr | int) -> None:
+        """Accumulate *other* multiplied by an iteration count."""
+        factor = as_expr(factor)
+        for (src, dst), count in other.init.items():
+            self.add_init(src, dst, simplify(factor * count))
+        for (src, dst), nbytes in other.unit.items():
+            self.add_unit(src, dst, simplify(factor * nbytes))
+
+    def init_count(self, src: str, dst: str) -> Expr:
+        """InitCom[src → dst] count (zero when absent)."""
+        return self.init.get((src, dst), ZERO)
+
+    def unit_count(self, src: str, dst: str) -> Expr:
+        """UnitTr[src → dst] bytes (zero when absent)."""
+        return self.unit.get((src, dst), ZERO)
+
+    def total_cost(self, hierarchy: MemoryHierarchy) -> Expr:
+        """Seconds: Σ counts × edge weights, as a symbolic expression."""
+        total: Expr = ZERO
+        for (src, dst), count in self.init.items():
+            weight = hierarchy.init_cost(src, dst)
+            if weight:
+                total = total + count * weight
+        for (src, dst), nbytes in self.unit.items():
+            weight = hierarchy.unit_cost(src, dst)
+            if weight:
+                total = total + nbytes * weight
+        return simplify(total)
+
+    def evaluated(
+        self, env: dict[str, float]
+    ) -> dict[str, dict[tuple[str, str], float]]:
+        """Numeric event counts under a parameter binding (for reports)."""
+        return {
+            "init": {
+                edge: count.evaluate(env) for edge, count in self.init.items()
+            },
+            "unit": {
+                edge: count.evaluate(env) for edge, count in self.unit.items()
+            },
+        }

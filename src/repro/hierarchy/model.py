@@ -1,0 +1,224 @@
+"""Memory and storage model (Section 4 of the paper).
+
+A memory hierarchy is a **tree** whose nodes are hardware components that
+can store data and whose edges represent the ability to transfer data
+between adjacent components.  The root is the fastest level — the single
+processing unit can only access data stored at the root.  Leaves are
+storage devices (hard disks, flash drives).
+
+Each node carries the properties of Figure 3:
+
+* ``size`` — capacity in bytes (mandatory);
+* ``pagesize`` — access granularity (1 = byte-addressable);
+* ``max_seq_read`` / ``max_seq_write`` — the longest read/write sequence a
+  single I/O request can cover (for flash, ``max_seq_write`` is the erase
+  block size).
+
+Each *directed* edge carries the two cost metrics of Section 4:
+
+* ``InitCom[m1 → m2]`` — cost of initiating a transfer (a seek for hard
+  disks, an erase for flash writes), in seconds;
+* ``UnitTr[m1 → m2]`` — cost of moving one byte, in seconds per byte.
+
+Costs that are not specified default to zero, mirroring the paper's
+"costs not included are assumed to be zero".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = [
+    "MemoryNode",
+    "EdgeCost",
+    "MemoryHierarchy",
+    "HierarchyError",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+]
+
+KB = 2**10
+MB = 2**20
+GB = 2**30
+TB = 2**40
+
+
+class HierarchyError(ValueError):
+    """Raised for malformed hierarchy descriptions."""
+
+
+@dataclass(frozen=True, slots=True)
+class MemoryNode:
+    """One level of the memory hierarchy with its Figure-3 properties."""
+
+    name: str
+    size: int
+    pagesize: int = 1
+    max_seq_read: int | None = None
+    max_seq_write: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise HierarchyError(f"node {self.name!r} must have positive size")
+        if self.pagesize < 1:
+            raise HierarchyError(f"node {self.name!r} pagesize must be ≥ 1")
+        for attr in ("max_seq_read", "max_seq_write"):
+            value = getattr(self, attr)
+            if value is not None and value < 1:
+                raise HierarchyError(f"node {self.name!r} {attr} must be ≥ 1")
+
+
+@dataclass(frozen=True, slots=True)
+class EdgeCost:
+    """InitCom and UnitTr weights of one directed edge."""
+
+    init: float = 0.0  # seconds per transfer initiation
+    unit: float = 0.0  # seconds per byte transferred
+
+    def __post_init__(self) -> None:
+        if self.init < 0 or self.unit < 0:
+            raise HierarchyError("edge costs must be nonnegative")
+
+
+@dataclass
+class MemoryHierarchy:
+    """A tree-shaped hierarchy with directed edge costs.
+
+    ``parents`` maps a child node name to its parent's name; the single
+    node without a parent is the root.  ``edges`` maps ``(src, dst)``
+    pairs of *adjacent* node names to :class:`EdgeCost`; missing entries
+    cost zero.
+    """
+
+    nodes: dict[str, MemoryNode]
+    parents: dict[str, str]
+    edges: dict[tuple[str, str], EdgeCost] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        root: MemoryNode,
+        children: dict[str, list[MemoryNode]] | None = None,
+        edges: dict[tuple[str, str], EdgeCost] | None = None,
+    ) -> "MemoryHierarchy":
+        """Build a hierarchy from a root and a parent-name → children map."""
+        nodes = {root.name: root}
+        parents: dict[str, str] = {}
+        for parent_name, kids in (children or {}).items():
+            for kid in kids:
+                nodes[kid.name] = kid
+                parents[kid.name] = parent_name
+        return cls(nodes=nodes, parents=parents, edges=dict(edges or {}))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def root(self) -> MemoryNode:
+        """The fastest level — the only node the processing unit reads."""
+        root_names = set(self.nodes) - set(self.parents)
+        (name,) = root_names
+        return self.nodes[name]
+
+    def node(self, name: str) -> MemoryNode:
+        """Look up a node by name."""
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise HierarchyError(f"unknown hierarchy node {name!r}") from None
+
+    def parent(self, name: str) -> MemoryNode | None:
+        """Parent of a node, or ``None`` for the root."""
+        self.node(name)
+        parent_name = self.parents.get(name)
+        return None if parent_name is None else self.nodes[parent_name]
+
+    def children_of(self, name: str) -> list[MemoryNode]:
+        """Children of a node, in insertion order."""
+        self.node(name)
+        return [
+            self.nodes[child]
+            for child, parent in self.parents.items()
+            if parent == name
+        ]
+
+    def adjacent(self, a: str, b: str) -> bool:
+        """True when the two nodes share an edge (either direction)."""
+        return self.parents.get(a) == b or self.parents.get(b) == a
+
+    def path_to_root(self, name: str) -> list[MemoryNode]:
+        """Nodes from *name* (inclusive) up to the root (inclusive)."""
+        path = [self.node(name)]
+        current = name
+        while current in self.parents:
+            current = self.parents[current]
+            path.append(self.nodes[current])
+        return path
+
+    def edge_cost(self, src: str, dst: str) -> EdgeCost:
+        """Directed cost of moving data from *src* to *dst* (adjacent)."""
+        self.node(src)
+        self.node(dst)
+        if not self.adjacent(src, dst):
+            raise HierarchyError(
+                f"nodes {src!r} and {dst!r} are not adjacent; transfers "
+                "only happen between adjacent levels (Section 5.2)"
+            )
+        return self.edges.get((src, dst), EdgeCost())
+
+    def init_cost(self, src: str, dst: str) -> float:
+        """InitCom[src → dst] in seconds."""
+        return self.edge_cost(src, dst).init
+
+    def unit_cost(self, src: str, dst: str) -> float:
+        """UnitTr[src → dst] in seconds per byte."""
+        return self.edge_cost(src, dst).unit
+
+    def leaves(self) -> list[MemoryNode]:
+        """Storage devices: nodes with no children."""
+        parents = set(self.parents.values())
+        return [n for name, n in self.nodes.items() if name not in parents]
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        if not self.nodes:
+            raise HierarchyError("hierarchy needs at least one node")
+        root_names = set(self.nodes) - set(self.parents)
+        if len(root_names) != 1:
+            raise HierarchyError(
+                f"hierarchy must have exactly one root, found {sorted(root_names)}"
+            )
+        for child, parent in self.parents.items():
+            if child not in self.nodes:
+                raise HierarchyError(f"unknown child node {child!r}")
+            if parent not in self.nodes:
+                raise HierarchyError(f"unknown parent node {parent!r}")
+        # Reject cycles: walking up from any node must reach the root.
+        (root_name,) = root_names
+        for name in self.nodes:
+            seen = set()
+            current = name
+            while current in self.parents:
+                if current in seen:
+                    raise HierarchyError("hierarchy contains a cycle")
+                seen.add(current)
+                current = self.parents[current]
+            if current != root_name:  # pragma: no cover - defensive
+                raise HierarchyError(f"node {name!r} is disconnected")
+        for (src, dst) in self.edges:
+            if src not in self.nodes or dst not in self.nodes:
+                raise HierarchyError(f"edge ({src!r}, {dst!r}) names unknown nodes")
+            if self.parents.get(src) != dst and self.parents.get(dst) != src:
+                raise HierarchyError(
+                    f"edge ({src!r}, {dst!r}) does not connect adjacent nodes"
+                )

@@ -1,0 +1,130 @@
+"""The experimental platform of the paper (Section 7.1, Figure 7).
+
+Node properties and cost units::
+
+    Hard disk:   size = 1T    pagesize = 4K
+    Flash drive: size = 512G  maxSeqW = 256K
+    Cache:       size = 3M    pagesize = 512B
+
+    InitCom[HDD → RAM] = 15 ms      InitCom[RAM → HDD] = 15 ms
+    InitCom[RAM → SSD] = 1.7 ms     InitCom[RAM → Cache] = 0.1 ms
+    UnitTr[HDD → RAM] = 1 s / 30 M  UnitTr[RAM → HDD] = 1 s / 30 M
+    UnitTr[SSD → RAM] = 1 s / 120 M UnitTr[RAM → SSD] = 1 s / 120 M
+
+Costs not listed are zero.  The RAM size is a per-experiment knob — it is
+the "total buffer" column of Table 1 — so every factory takes it as an
+argument.
+"""
+
+from __future__ import annotations
+
+from .model import GB, KB, MB, TB, EdgeCost, MemoryHierarchy, MemoryNode
+
+__all__ = [
+    "HDD_SEEK",
+    "HDD_UNIT",
+    "SSD_INIT",
+    "SSD_UNIT",
+    "CACHE_INIT",
+    "hdd_node",
+    "ssd_node",
+    "cache_node",
+    "ram_node",
+    "hdd_ram_hierarchy",
+    "hdd_ram_cache_hierarchy",
+    "two_hdd_hierarchy",
+    "hdd_flash_hierarchy",
+]
+
+#: InitCom[HDD ↔ RAM]: one seek of the 1TB Western Digital drive.
+HDD_SEEK = 15e-3
+#: UnitTr[HDD ↔ RAM]: 1 s / 30 MB.
+HDD_UNIT = 1.0 / (30 * MB)
+#: InitCom[RAM → SSD]: one erase of the Apple SSD TS512C.
+SSD_INIT = 1.7e-3
+#: UnitTr[SSD ↔ RAM]: 1 s / 120 MB.
+SSD_UNIT = 1.0 / (120 * MB)
+#: InitCom[RAM → Cache].
+CACHE_INIT = 0.1e-3
+
+
+def hdd_node(name: str = "HDD", size: int = TB) -> MemoryNode:
+    """The paper's 1 TB hard disk with 4K pages."""
+    return MemoryNode(name=name, size=size, pagesize=4 * KB)
+
+
+def ssd_node(name: str = "SSD", size: int = 512 * GB) -> MemoryNode:
+    """The paper's 512 GB flash drive with 256K erase blocks."""
+    return MemoryNode(name=name, size=size, max_seq_write=256 * KB)
+
+
+def cache_node(name: str = "Cache", size: int = 3 * MB) -> MemoryNode:
+    """The paper's 3 MB CPU cache with 512-byte pages (cache lines)."""
+    return MemoryNode(name=name, size=size, pagesize=512)
+
+
+def ram_node(size: int, name: str = "RAM") -> MemoryNode:
+    """Main memory sized to the experiment's total buffer budget."""
+    return MemoryNode(name=name, size=size)
+
+
+def _hdd_edges(hdd: str, ram: str) -> dict[tuple[str, str], EdgeCost]:
+    return {
+        (hdd, ram): EdgeCost(init=HDD_SEEK, unit=HDD_UNIT),
+        (ram, hdd): EdgeCost(init=HDD_SEEK, unit=HDD_UNIT),
+    }
+
+
+def hdd_ram_hierarchy(ram_size: int = 32 * MB) -> MemoryHierarchy:
+    """RAM root with a single hard-disk leaf — Example 1's hierarchy."""
+    ram = ram_node(ram_size)
+    hdd = hdd_node()
+    return MemoryHierarchy.build(
+        root=ram,
+        children={ram.name: [hdd]},
+        edges=_hdd_edges(hdd.name, ram.name),
+    )
+
+
+def hdd_ram_cache_hierarchy(ram_size: int = 32 * MB) -> MemoryHierarchy:
+    """Cache root above RAM above HDD — the cache-conscious BNL setup."""
+    cache = cache_node()
+    ram = ram_node(ram_size)
+    hdd = hdd_node()
+    edges = _hdd_edges(hdd.name, ram.name)
+    edges[(ram.name, cache.name)] = EdgeCost(init=CACHE_INIT)
+    edges[(cache.name, ram.name)] = EdgeCost()
+    return MemoryHierarchy.build(
+        root=cache,
+        children={cache.name: [ram], ram.name: [hdd]},
+        edges=edges,
+    )
+
+
+def two_hdd_hierarchy(ram_size: int = 256 * MB) -> MemoryHierarchy:
+    """RAM root with two hard-disk leaves — input on HDD, output on HDD2."""
+    ram = ram_node(ram_size)
+    hdd = hdd_node("HDD")
+    hdd2 = hdd_node("HDD2")
+    edges = _hdd_edges(hdd.name, ram.name)
+    edges.update(_hdd_edges(hdd2.name, ram.name))
+    return MemoryHierarchy.build(
+        root=ram,
+        children={ram.name: [hdd, hdd2]},
+        edges=edges,
+    )
+
+
+def hdd_flash_hierarchy(ram_size: int = 256 * MB) -> MemoryHierarchy:
+    """RAM root with an HDD leaf (input) and a flash leaf (output)."""
+    ram = ram_node(ram_size)
+    hdd = hdd_node()
+    ssd = ssd_node()
+    edges = _hdd_edges(hdd.name, ram.name)
+    edges[(ram.name, ssd.name)] = EdgeCost(init=SSD_INIT, unit=SSD_UNIT)
+    edges[(ssd.name, ram.name)] = EdgeCost(init=0.0, unit=SSD_UNIT)
+    return MemoryHierarchy.build(
+        root=ram,
+        children={ram.name: [hdd, ssd]},
+        edges=edges,
+    )

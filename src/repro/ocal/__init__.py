@@ -1,0 +1,96 @@
+"""OCAL — the Out-of-Core Algorithm Language (Section 3 of the paper).
+
+Monad Calculus on lists with ``foldL``, plus the Figure-2 definitions as
+first-class nodes.  See :mod:`repro.ocal.ast` for the node classes,
+:mod:`repro.ocal.builders` for ergonomic constructors,
+:mod:`repro.ocal.interp` for the reference interpreter and
+:mod:`repro.ocal.typecheck` for the Figure-1 type system.
+"""
+
+from . import builders
+from .ast import (
+    App,
+    BlockSize,
+    Builtin,
+    Concat,
+    Empty,
+    FlatMap,
+    FoldL,
+    For,
+    FuncPow,
+    HashPartition,
+    If,
+    Lam,
+    Lit,
+    Node,
+    Pattern,
+    Prim,
+    Proj,
+    Sing,
+    SizeAnnot,
+    TreeFold,
+    Tup,
+    UnfoldR,
+    Var,
+    block_params,
+    children,
+    free_vars,
+    fresh_name,
+    map_children,
+    node_count,
+    pattern_names,
+    substitute,
+    walk,
+)
+from .interp import (
+    InterpreterError,
+    canonicalize_blocks,
+    evaluate,
+    run,
+    stable_hash,
+    substitute_blocks,
+)
+from .printer import pretty, pretty_block
+from .typecheck import OcalTypeError, apply_type, check_program, infer
+from .types import (
+    ANY,
+    BOOL,
+    INT,
+    STR,
+    AnyType,
+    DType,
+    FunType,
+    ListType,
+    OcalType,
+    TupleType,
+    fun,
+    list_of,
+    sizeof_atom,
+    tuple_of,
+    type_of_value,
+    types_compatible,
+    unify,
+)
+
+__all__ = [
+    # ast
+    "Node", "Var", "Lit", "Lam", "App", "Tup", "Proj", "Sing", "Empty",
+    "Concat", "If", "Prim", "FlatMap", "FoldL", "For", "TreeFold",
+    "UnfoldR", "FuncPow", "Builtin", "HashPartition", "SizeAnnot",
+    "Pattern", "BlockSize",
+    "pattern_names", "free_vars", "substitute", "fresh_name",
+    "map_children", "children", "walk", "node_count", "block_params",
+    # interp
+    "evaluate", "run", "InterpreterError", "stable_hash",
+    "substitute_blocks",
+    # printer
+    "pretty", "pretty_block",
+    # typecheck
+    "infer", "apply_type", "check_program", "OcalTypeError",
+    # types
+    "OcalType", "DType", "TupleType", "ListType", "FunType", "AnyType",
+    "INT", "BOOL", "STR", "ANY", "tuple_of", "list_of", "fun",
+    "unify", "types_compatible", "type_of_value", "sizeof_atom",
+    # builders namespace
+    "builders",
+]

@@ -1,0 +1,493 @@
+"""Abstract syntax of OCAL (Section 3 of the paper).
+
+The core language is Monad Calculus on lists extended with ``foldL``:
+variables, constants, lambda abstraction (with tuple patterns, as in
+``λ⟨a, x⟩.e``), application, tuple construction/projection, singleton
+lists, ``if-then-else``, primitive functions, ``flatMap`` and ``foldL``.
+
+On top of the core, the definitions of Figure 2 that transformation rules
+need to pattern-match on are *first-class AST nodes*: the blocked ``for``
+loop, ``treeFold[k]``, ``unfoldR``, ``funcPow[k]``, hash partitioning, and
+the named builtins (``head``, ``tail``, ``length``, ``avg``, ``mrg``,
+``zip``).  Each such node can be expanded to the base language (see
+:mod:`repro.ocal.definitions`) — definitions do not add expressive power,
+only efficiency, exactly as the paper prescribes.
+
+Block sizes (``k1``, ``k2``, …) may be concrete integers or *named
+parameters* (strings); named parameters are what the non-linear optimizer
+tunes after synthesis.
+
+All nodes are frozen dataclasses: immutable, hashable, structurally
+comparable — which is what the breadth-first search uses for dedup.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Iterator, Union
+
+__all__ = [
+    "Node",
+    "Pattern",
+    "BlockSize",
+    "Var",
+    "Lit",
+    "Lam",
+    "App",
+    "Tup",
+    "Proj",
+    "Sing",
+    "Empty",
+    "Concat",
+    "If",
+    "Prim",
+    "FlatMap",
+    "FoldL",
+    "For",
+    "TreeFold",
+    "UnfoldR",
+    "FuncPow",
+    "Builtin",
+    "HashPartition",
+    "SizeAnnot",
+    "PRIM_OPS",
+    "BUILTIN_NAMES",
+    "pattern_names",
+    "free_vars",
+    "substitute",
+    "fresh_name",
+    "map_children",
+    "children",
+    "walk",
+    "node_count",
+    "block_params",
+]
+
+#: Lambda patterns: a plain name or a (possibly nested) tuple of patterns.
+Pattern = Union[str, tuple]
+
+#: Block sizes: a concrete integer or the name of a tunable parameter.
+BlockSize = Union[int, str]
+
+#: Primitive functions p with IType(p) → OType(p) (Section 3): boolean
+#: connectives, comparisons on D, arithmetic, and a stable hash used by
+#: hash partitioning.
+PRIM_OPS = frozenset(
+    {
+        "and", "or", "not",
+        "==", "!=", "<=", ">=", "<", ">",
+        "+", "-", "*", "/", "mod",
+        "min2", "max2",
+        "hash",
+    }
+)
+
+#: Named builtins (Figure 2 definitions without structural parameters).
+BUILTIN_NAMES = frozenset({"head", "tail", "length", "avg", "mrg", "zip"})
+
+
+class Node:
+    """Base class for OCAL expressions."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:  # pragma: no cover - delegates to printer
+        from .printer import pretty
+
+        return pretty(self)
+
+
+@dataclass(frozen=True, slots=True)
+class Var(Node):
+    """A variable reference."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class Lit(Node):
+    """A constant of an atomic type (int, bool or str)."""
+
+    value: object
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, (int, bool, str)):
+            raise TypeError(f"OCAL literals are atomic values, got {self.value!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class Lam(Node):
+    """λpattern.body — abstraction with tuple-pattern binding."""
+
+    pattern: Pattern
+    body: Node
+
+
+@dataclass(frozen=True, slots=True)
+class App(Node):
+    """Function application e1 e2."""
+
+    fn: Node
+    arg: Node
+
+
+@dataclass(frozen=True, slots=True)
+class Tup(Node):
+    """⟨e1, …, en⟩ — tuple construction."""
+
+    items: tuple[Node, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class Proj(Node):
+    """e.i — 1-based tuple projection, as in the paper."""
+
+    tup: Node
+    index: int
+
+    def __post_init__(self) -> None:
+        if self.index < 1:
+            raise ValueError("tuple projection is 1-based")
+
+
+@dataclass(frozen=True, slots=True)
+class Sing(Node):
+    """[e] — singleton list construction."""
+
+    item: Node
+
+
+@dataclass(frozen=True, slots=True)
+class Empty(Node):
+    """[] — the polymorphic empty list."""
+
+
+@dataclass(frozen=True, slots=True)
+class Concat(Node):
+    """e1 ⊔ e2 — list union (concatenation)."""
+
+    left: Node
+    right: Node
+
+
+@dataclass(frozen=True, slots=True)
+class If(Node):
+    """if c then e1 else e2."""
+
+    cond: Node
+    then: Node
+    orelse: Node
+
+
+@dataclass(frozen=True, slots=True)
+class Prim(Node):
+    """Application of a primitive function p to argument expressions."""
+
+    op: str
+    args: tuple[Node, ...]
+
+    def __post_init__(self) -> None:
+        if self.op not in PRIM_OPS:
+            raise ValueError(f"unknown primitive {self.op!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class FlatMap(Node):
+    """flatMap(e) : [τ1] → [τ2] — a function value (applied via App)."""
+
+    fn: Node
+
+
+@dataclass(frozen=True, slots=True)
+class FoldL(Node):
+    """foldL(c, f) : [τ1] → τ2 — left fold, the sole recursion scheme.
+
+    ``block_in``/``block_out``/``seq`` mirror the blocked ``for``: they
+    never change semantics (the fold still visits elements one by one),
+    only the I/O pattern the cost model and executor assume — fetch
+    ``block_in`` elements per request, evict ``block_out`` bytes per
+    output write.  The paper blocks ``unfoldR`` with "an analogous rule";
+    folds over device-resident data need the same treatment (external
+    aggregation, duplicate removal).
+    """
+
+    init: Node
+    fn: Node
+    block_in: BlockSize = 1
+    block_out: BlockSize = 1
+    seq: tuple[str, str] | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class For(Node):
+    """for (x [k1] ← source) [k2] body — the functional for loop.
+
+    * ``block_in == 1`` (the default, written without an annotation in the
+      paper) binds ``var`` to successive *elements* of ``source``.
+    * ``block_in != 1`` binds ``var`` to successive *blocks* of up to
+      ``block_in`` elements — the form ``apply-block`` introduces.
+    * ``block_out`` buffers the produced output (annotation ``[k2]``); it
+      never changes semantics, only costing.
+    * ``seq`` is the ``seq-ac`` sequential-access annotation, a pair of
+      hierarchy node names ``(m1, m2)``; it also only affects costing.
+
+    The loop is list-valued: iteration results are concatenated.
+    """
+
+    var: str
+    source: Node
+    body: Node
+    block_in: BlockSize = 1
+    block_out: BlockSize = 1
+    seq: tuple[str, str] | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class TreeFold(Node):
+    """treeFold[k](c, f) : [τ] → τ — tree-shaped bracketing of a k-ary f.
+
+    Queue semantics (Figure 2): repeatedly take ``arity`` items off the
+    queue, apply ``fn``, push the result to the back, padding the final
+    incomplete batch with ``init``; the single remaining item is the
+    result.  Used to represent divide-and-conquer (Merge-Sort).
+    """
+
+    arity: int
+    init: Node
+    fn: Node
+
+    def __post_init__(self) -> None:
+        if self.arity < 2:
+            raise ValueError("treeFold arity must be at least 2")
+
+
+@dataclass(frozen=True, slots=True)
+class UnfoldR(Node):
+    """unfoldR(f) : ⟨[τ1], …, [τn]⟩ → [τr] — simultaneous list consumption.
+
+    Each step applies ``fn`` to the state tuple of lists, producing a
+    chunk of output and a new state; terminates when all lists are empty.
+    ``block_in``/``block_out``/``seq`` mirror the blocked ``for`` — the
+    paper notes an "analogous rule to introduce bigger blocks to our
+    implementation of unfoldR".
+    """
+
+    fn: Node
+    block_in: BlockSize = 1
+    block_out: BlockSize = 1
+    seq: tuple[str, str] | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class FuncPow(Node):
+    """funcPow[k](f) — the 2^k-ary function built from a binary f (Fig 2)."""
+
+    power: int
+    fn: Node
+
+    def __post_init__(self) -> None:
+        if self.power < 1:
+            raise ValueError("funcPow power must be at least 1")
+
+
+@dataclass(frozen=True, slots=True)
+class Builtin(Node):
+    """A named Figure-2 definition used as a function value."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.name not in BUILTIN_NAMES:
+            raise ValueError(f"unknown builtin {self.name!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class HashPartition(Node):
+    """partition-by-hash into ``buckets`` classes : [τ] → [[τ]].
+
+    ``key_index == 0`` hashes the whole element; ``i ≥ 1`` hashes the
+    ``i``-th tuple component.  The hash-part rule (Section 6.2) zips
+    partitions of several inputs and maps the original function over them;
+    OCAS's efficient linear-time plugin implementation is mirrored by the
+    interpreter.  ``buckets`` may be a named parameter tuned later.
+    """
+
+    buckets: BlockSize
+    key_index: int = 0
+
+
+@dataclass(frozen=True, slots=True)
+class SizeAnnot(Node):
+    """A programmer-supplied result-size annotation (Section 5.1).
+
+    ``annot`` is an annotated type from :mod:`repro.cost.annotated`; the
+    cost estimator uses it in place of the static worst-case rules.  The
+    wrapped expression's semantics are unchanged.
+    """
+
+    expr: Node
+    annot: object
+
+
+# ----------------------------------------------------------------------
+# Pattern utilities
+# ----------------------------------------------------------------------
+def pattern_names(pattern: Pattern) -> tuple[str, ...]:
+    """All variable names bound by a lambda pattern, left to right."""
+    if isinstance(pattern, str):
+        return (pattern,)
+    names: list[str] = []
+    for sub in pattern:
+        names.extend(pattern_names(sub))
+    return tuple(names)
+
+
+# ----------------------------------------------------------------------
+# Generic traversal
+# ----------------------------------------------------------------------
+def children(node: Node) -> tuple[Node, ...]:
+    """Direct sub-expressions of a node, in field order."""
+    out: list[Node] = []
+    for field in dataclasses.fields(node):
+        value = getattr(node, field.name)
+        if isinstance(value, Node):
+            out.append(value)
+        elif isinstance(value, tuple) and value and all(
+            isinstance(v, Node) for v in value
+        ):
+            out.extend(value)
+    return tuple(out)
+
+
+def map_children(node: Node, fn: Callable[[Node], Node]) -> Node:
+    """Rebuild *node* with ``fn`` applied to each direct child."""
+    changes: dict[str, object] = {}
+    for field in dataclasses.fields(node):
+        value = getattr(node, field.name)
+        if isinstance(value, Node):
+            new_value = fn(value)
+            if new_value is not value:
+                changes[field.name] = new_value
+        elif isinstance(value, tuple) and value and all(
+            isinstance(v, Node) for v in value
+        ):
+            new_items = tuple(fn(v) for v in value)
+            if any(a is not b for a, b in zip(new_items, value)):
+                changes[field.name] = new_items
+    if not changes:
+        return node
+    return dataclasses.replace(node, **changes)
+
+
+def walk(node: Node) -> Iterator[Node]:
+    """Pre-order traversal of the expression tree."""
+    yield node
+    for child in children(node):
+        yield from walk(child)
+
+
+def node_count(node: Node) -> int:
+    """Number of AST nodes — the program-size tiebreaker in search."""
+    return sum(1 for _ in walk(node))
+
+
+# ----------------------------------------------------------------------
+# Free variables and substitution
+# ----------------------------------------------------------------------
+def free_vars(node: Node) -> frozenset[str]:
+    """Free variables of an expression."""
+    if isinstance(node, Var):
+        return frozenset({node.name})
+    if isinstance(node, Lam):
+        bound = set(pattern_names(node.pattern))
+        return frozenset(free_vars(node.body) - bound)
+    if isinstance(node, For):
+        source_free = free_vars(node.source)
+        body_free = free_vars(node.body) - {node.var}
+        return frozenset(source_free | body_free)
+    out: set[str] = set()
+    for child in children(node):
+        out |= free_vars(child)
+    return frozenset(out)
+
+
+_FRESH_COUNTER = itertools.count()
+
+
+def fresh_name(base: str, avoid: frozenset[str] | set[str]) -> str:
+    """A variable name derived from *base* not present in *avoid*."""
+    if base not in avoid:
+        return base
+    while True:
+        candidate = f"{base}_{next(_FRESH_COUNTER)}"
+        if candidate not in avoid:
+            return candidate
+
+
+def substitute(node: Node, name: str, replacement: Node) -> Node:
+    """Capture-avoiding substitution of ``Var(name)`` by *replacement*."""
+    if isinstance(node, Var):
+        return replacement if node.name == name else node
+    if isinstance(node, Lam):
+        bound = set(pattern_names(node.pattern))
+        if name in bound:
+            return node
+        replacement_free = free_vars(replacement)
+        if bound & replacement_free:
+            node = _rename_lam(node, replacement_free | free_vars(node.body))
+        return dataclasses.replace(
+            node, body=substitute(node.body, name, replacement)
+        )
+    if isinstance(node, For):
+        new_source = substitute(node.source, name, replacement)
+        if node.var == name:
+            return dataclasses.replace(node, source=new_source)
+        if node.var in free_vars(replacement):
+            avoid = free_vars(replacement) | free_vars(node.body) | {name}
+            new_var = fresh_name(node.var, avoid)
+            renamed_body = substitute(node.body, node.var, Var(new_var))
+            node = dataclasses.replace(node, var=new_var, body=renamed_body)
+        return dataclasses.replace(
+            node,
+            source=new_source,
+            body=substitute(node.body, name, replacement),
+        )
+    return map_children(node, lambda child: substitute(child, name, replacement))
+
+
+def _rename_lam(node: Lam, avoid: frozenset[str] | set[str]) -> Lam:
+    """α-rename every pattern variable of a lambda away from *avoid*."""
+    mapping: dict[str, str] = {}
+
+    def rename_pattern(pattern: Pattern) -> Pattern:
+        if isinstance(pattern, str):
+            new = fresh_name(pattern, set(avoid) | set(mapping.values()))
+            mapping[pattern] = new
+            return new
+        return tuple(rename_pattern(sub) for sub in pattern)
+
+    new_pattern = rename_pattern(node.pattern)
+    body = node.body
+    for old, new in mapping.items():
+        if old != new:
+            body = substitute(body, old, Var(new))
+    return Lam(new_pattern, body)
+
+
+# ----------------------------------------------------------------------
+# Synthesis parameters
+# ----------------------------------------------------------------------
+def block_params(node: Node) -> frozenset[str]:
+    """Names of all tunable block/bucket parameters occurring in a program."""
+    params: set[str] = set()
+    for sub in walk(node):
+        if isinstance(sub, (For, UnfoldR, FoldL)):
+            for value in (sub.block_in, sub.block_out):
+                if isinstance(value, str):
+                    params.add(value)
+        elif isinstance(sub, HashPartition):
+            if isinstance(sub.buckets, str):
+                params.add(sub.buckets)
+    return frozenset(params)

@@ -1,0 +1,279 @@
+"""Convenience constructors for OCAL programs.
+
+These helpers keep specification programs close to the paper's concrete
+syntax.  Example 1's naive join::
+
+    for (x ← R) for (y ← S) if joinCond(x,y) then [⟨x,y⟩] else []
+
+is written as::
+
+    for_("x", v("R"),
+         for_("y", v("S"),
+              if_(join_cond, sing(tup(v("x"), v("y"))), empty())))
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    App,
+    BlockSize,
+    Builtin,
+    Concat,
+    Empty,
+    FlatMap,
+    FoldL,
+    For,
+    FuncPow,
+    HashPartition,
+    If,
+    Lam,
+    Lit,
+    Node,
+    Pattern,
+    Prim,
+    Proj,
+    Sing,
+    TreeFold,
+    Tup,
+    UnfoldR,
+    Var,
+)
+
+__all__ = [
+    "v",
+    "lit",
+    "lam",
+    "app",
+    "let",
+    "tup",
+    "proj",
+    "sing",
+    "empty",
+    "concat",
+    "if_",
+    "prim",
+    "eq",
+    "ne",
+    "le",
+    "ge",
+    "lt",
+    "gt",
+    "add",
+    "sub",
+    "mul",
+    "div",
+    "mod",
+    "and_",
+    "or_",
+    "not_",
+    "flat_map",
+    "fold_l",
+    "for_",
+    "tree_fold",
+    "unfold_r",
+    "func_pow",
+    "hash_partition",
+    "head",
+    "tail",
+    "length",
+    "avg",
+    "mrg",
+    "zip_",
+]
+
+
+def v(name: str) -> Var:
+    """Variable reference."""
+    return Var(name)
+
+
+def lit(value: object) -> Lit:
+    """Atomic constant."""
+    return Lit(value)
+
+
+def lam(pattern: Pattern, body: Node) -> Lam:
+    """λpattern.body."""
+    return Lam(pattern, body)
+
+
+def app(fn: Node, *args: Node) -> Node:
+    """Apply ``fn``; multiple arguments are wrapped in a tuple."""
+    if len(args) == 1:
+        return App(fn, args[0])
+    return App(fn, Tup(tuple(args)))
+
+
+def let(name: str, value: Node, body: Node) -> Node:
+    """``let name = value in body``, encoded as ``(λname.body)(value)``."""
+    return App(Lam(name, body), value)
+
+
+def tup(*items: Node) -> Tup:
+    """⟨e1, …, en⟩."""
+    return Tup(tuple(items))
+
+
+def proj(expr: Node, index: int) -> Proj:
+    """e.i (1-based)."""
+    return Proj(expr, index)
+
+
+def sing(item: Node) -> Sing:
+    """[e]."""
+    return Sing(item)
+
+
+def empty() -> Empty:
+    """[]."""
+    return Empty()
+
+
+def concat(left: Node, right: Node) -> Concat:
+    """e1 ⊔ e2."""
+    return Concat(left, right)
+
+
+def if_(cond: Node, then: Node, orelse: Node) -> If:
+    """if cond then e1 else e2."""
+    return If(cond, then, orelse)
+
+
+def prim(op: str, *args: Node) -> Prim:
+    """Primitive function application."""
+    return Prim(op, tuple(args))
+
+
+def eq(a: Node, b: Node) -> Prim:
+    return Prim("==", (a, b))
+
+
+def ne(a: Node, b: Node) -> Prim:
+    return Prim("!=", (a, b))
+
+
+def le(a: Node, b: Node) -> Prim:
+    return Prim("<=", (a, b))
+
+
+def ge(a: Node, b: Node) -> Prim:
+    return Prim(">=", (a, b))
+
+
+def lt(a: Node, b: Node) -> Prim:
+    return Prim("<", (a, b))
+
+
+def gt(a: Node, b: Node) -> Prim:
+    return Prim(">", (a, b))
+
+
+def add(a: Node, b: Node) -> Prim:
+    return Prim("+", (a, b))
+
+
+def sub(a: Node, b: Node) -> Prim:
+    return Prim("-", (a, b))
+
+
+def mul(a: Node, b: Node) -> Prim:
+    return Prim("*", (a, b))
+
+
+def div(a: Node, b: Node) -> Prim:
+    return Prim("/", (a, b))
+
+
+def mod(a: Node, b: Node) -> Prim:
+    return Prim("mod", (a, b))
+
+
+def and_(a: Node, b: Node) -> Prim:
+    return Prim("and", (a, b))
+
+
+def or_(a: Node, b: Node) -> Prim:
+    return Prim("or", (a, b))
+
+
+def not_(a: Node) -> Prim:
+    return Prim("not", (a,))
+
+
+def flat_map(fn: Node) -> FlatMap:
+    """flatMap(f) — a function value."""
+    return FlatMap(fn)
+
+
+def fold_l(
+    init: Node,
+    fn: Node,
+    block_in: BlockSize = 1,
+    block_out: BlockSize = 1,
+    seq: tuple[str, str] | None = None,
+) -> FoldL:
+    """foldL(c, f) — a function value; blocks affect costing only."""
+    return FoldL(init, fn, block_in, block_out, seq)
+
+
+def for_(
+    var: str,
+    source: Node,
+    body: Node,
+    block_in: BlockSize = 1,
+    block_out: BlockSize = 1,
+    seq: tuple[str, str] | None = None,
+) -> For:
+    """for (var [block_in] ← source) [block_out] body."""
+    return For(var, source, body, block_in, block_out, seq)
+
+
+def tree_fold(arity: int, init: Node, fn: Node) -> TreeFold:
+    """treeFold[arity](c, f) — a function value."""
+    return TreeFold(arity, init, fn)
+
+
+def unfold_r(
+    fn: Node,
+    block_in: BlockSize = 1,
+    block_out: BlockSize = 1,
+    seq: tuple[str, str] | None = None,
+) -> UnfoldR:
+    """unfoldR(f) — a function value."""
+    return UnfoldR(fn, block_in, block_out, seq)
+
+
+def func_pow(power: int, fn: Node) -> FuncPow:
+    """funcPow[power](f) — the 2^power-ary composition of a binary f."""
+    return FuncPow(power, fn)
+
+
+def hash_partition(buckets: BlockSize, key_index: int = 0) -> HashPartition:
+    """partition(·) into ``buckets`` hash classes keyed on ``key_index``."""
+    return HashPartition(buckets, key_index)
+
+
+def head() -> Builtin:
+    return Builtin("head")
+
+
+def tail() -> Builtin:
+    return Builtin("tail")
+
+
+def length() -> Builtin:
+    return Builtin("length")
+
+
+def avg() -> Builtin:
+    return Builtin("avg")
+
+
+def mrg() -> Builtin:
+    """The two-list merge step used inside unfoldR (Figure 2)."""
+    return Builtin("mrg")
+
+
+def zip_() -> Builtin:
+    """Full n-ary zip of a tuple of lists (unfoldR(z) in the paper)."""
+    return Builtin("zip")

@@ -1,0 +1,396 @@
+"""Expansions of the Figure-2 definitions into the base language.
+
+The paper stresses that named definitions "do not increase the
+expressiveness of the language but the efficiency of the algorithms
+created": every definition node has an equivalent program in core OCAL
+(Monad Calculus + ``foldL``).  This module provides those expansions; the
+property tests in ``tests/ocal`` check that interpreting the expansion
+gives the same value as the interpreter's efficient plugin semantics.
+
+Two pragmatic corrections to Figure 2 (documented in DESIGN.md):
+
+* the ``for`` expansion in the paper drops the trailing partial block and
+  has an off-by-one in the buffer test (``length(a.1) - 1 == k``); the
+  expansion below flushes the final partial block and compares with
+  ``k - 1`` so the blocked loop processes *all* elements;
+* the ``treeFold`` expansion's driver list ``seed ⊔ seed`` does not supply
+  enough fold iterations for deep reduction trees; we drive it with four
+  copies of the seed (an upper bound on queue operations for arity ≥ 2)
+  and extract the result from the final state.  The expansion is only
+  claimed equivalent for associative ``f`` with identity ``c`` — exactly
+  the precondition of the ``fldL-to-trfld`` rule.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    App,
+    Builtin,
+    Concat,
+    Empty,
+    FlatMap,
+    FoldL,
+    For,
+    FuncPow,
+    If,
+    Lam,
+    Lit,
+    Node,
+    Prim,
+    Proj,
+    Sing,
+    TreeFold,
+    Tup,
+    UnfoldR,
+    Var,
+    free_vars,
+    fresh_name,
+)
+
+__all__ = [
+    "expand_builtin",
+    "expand_for",
+    "expand_funcpow",
+    "expand_unfold",
+    "expand_treefold",
+    "HEAD_EXPANSION",
+    "TAIL_EXPANSION",
+    "LENGTH_EXPANSION",
+    "AVG_EXPANSION",
+    "MRG_EXPANSION",
+    "ZIP_STEP_EXPANSION",
+]
+
+
+def _pair(a: Node, b: Node) -> Tup:
+    return Tup((a, b))
+
+
+#: head := λl.foldL(⟨true, 0⟩, λ⟨a, x⟩.if a.1 then ⟨false, x⟩ else a)(l).2
+HEAD_EXPANSION: Node = Lam(
+    "l",
+    Proj(
+        App(
+            FoldL(
+                _pair(Lit(True), Lit(0)),
+                Lam(
+                    ("a", "x"),
+                    If(
+                        Proj(Var("a"), 1),
+                        _pair(Lit(False), Var("x")),
+                        Var("a"),
+                    ),
+                ),
+            ),
+            Var("l"),
+        ),
+        2,
+    ),
+)
+
+#: tail := λl.foldL(⟨true, []⟩, λ⟨a, x⟩.
+#:     if a.1 then ⟨false, []⟩ else ⟨false, a.2 ⊔ [x]⟩)(l).2
+TAIL_EXPANSION: Node = Lam(
+    "l",
+    Proj(
+        App(
+            FoldL(
+                _pair(Lit(True), Empty()),
+                Lam(
+                    ("a", "x"),
+                    If(
+                        Proj(Var("a"), 1),
+                        _pair(Lit(False), Empty()),
+                        _pair(
+                            Lit(False),
+                            Concat(Proj(Var("a"), 2), Sing(Var("x"))),
+                        ),
+                    ),
+                ),
+            ),
+            Var("l"),
+        ),
+        2,
+    ),
+)
+
+#: length := foldL(0, λ⟨sum, _⟩.sum + 1)
+LENGTH_EXPANSION: Node = FoldL(
+    Lit(0),
+    Lam(("sum", "_w"), Prim("+", (Var("sum"), Lit(1)))),
+)
+
+#: avg := λl.(λx.x.1 / x.2)(foldL(⟨0, 0⟩, λ⟨a, x⟩.⟨a.1 + x, a.2 + 1⟩)(l))
+AVG_EXPANSION: Node = Lam(
+    "l",
+    App(
+        Lam("x", Prim("/", (Proj(Var("x"), 1), Proj(Var("x"), 2)))),
+        App(
+            FoldL(
+                _pair(Lit(0), Lit(0)),
+                Lam(
+                    ("a", "x"),
+                    _pair(
+                        Prim("+", (Proj(Var("a"), 1), Var("x"))),
+                        Prim("+", (Proj(Var("a"), 2), Lit(1))),
+                    ),
+                ),
+            ),
+            Var("l"),
+        ),
+    ),
+)
+
+#: mrg (Figure 2): one merge step on a pair of sorted lists.
+MRG_EXPANSION: Node = Lam(
+    ("l1", "l2"),
+    If(
+        Prim(
+            "and",
+            (
+                Prim("==", (App(Builtin("length"), Var("l1")), Lit(0))),
+                Prim("==", (App(Builtin("length"), Var("l2")), Lit(0))),
+            ),
+        ),
+        _pair(Empty(), _pair(Empty(), Empty())),
+        If(
+            Prim("==", (App(Builtin("length"), Var("l1")), Lit(0))),
+            _pair(
+                Sing(App(Builtin("head"), Var("l2"))),
+                _pair(Empty(), App(Builtin("tail"), Var("l2"))),
+            ),
+            If(
+                Prim("==", (App(Builtin("length"), Var("l2")), Lit(0))),
+                _pair(
+                    Sing(App(Builtin("head"), Var("l1"))),
+                    _pair(App(Builtin("tail"), Var("l1")), Empty()),
+                ),
+                If(
+                    Prim(
+                        "<",
+                        (
+                            App(Builtin("head"), Var("l1")),
+                            App(Builtin("head"), Var("l2")),
+                        ),
+                    ),
+                    _pair(
+                        Sing(App(Builtin("head"), Var("l1"))),
+                        _pair(App(Builtin("tail"), Var("l1")), Var("l2")),
+                    ),
+                    _pair(
+                        Sing(App(Builtin("head"), Var("l2"))),
+                        _pair(Var("l1"), App(Builtin("tail"), Var("l2"))),
+                    ),
+                ),
+            ),
+        ),
+    ),
+)
+
+
+def zip_step_expansion(arity: int) -> Node:
+    """z (Figure 2): one zip step over an ``arity``-tuple of lists."""
+    names = tuple(f"l{i + 1}" for i in range(arity))
+    heads = Tup(tuple(App(Builtin("head"), Var(n)) for n in names))
+    tails = Tup(tuple(App(Builtin("tail"), Var(n)) for n in names))
+    return Lam(names, _pair(Sing(heads), tails))
+
+
+ZIP_STEP_EXPANSION = zip_step_expansion  # alias for discoverability
+
+
+def expand_builtin(name: str) -> Node:
+    """Base-language expansion of a named builtin."""
+    table = {
+        "head": HEAD_EXPANSION,
+        "tail": TAIL_EXPANSION,
+        "length": LENGTH_EXPANSION,
+        "avg": AVG_EXPANSION,
+        "mrg": MRG_EXPANSION,
+    }
+    if name not in table:
+        raise ValueError(f"no base-language expansion for builtin {name!r}")
+    return table[name]
+
+
+def expand_for(expr: For) -> Node:
+    """Expand a (possibly blocked) ``for`` into ``flatMap``/``foldL``.
+
+    * ``block_in == 1``: ``for (x ← R) e  ≡  flatMap(λx.e)(R)``.
+    * ``block_in == k``: a ``foldL`` accumulates elements into a pending
+      block ``a.1`` and flushes ``f(block)`` onto the output ``a.2`` when
+      the block reaches ``k`` elements; a final flush handles the trailing
+      partial block (the paper's Figure 2 omits it).
+    """
+    if isinstance(expr.block_in, str):
+        raise ValueError(
+            f"cannot expand for with unbound block parameter {expr.block_in!r}"
+        )
+    body_fn = Lam(expr.var, expr.body)
+    if expr.block_in == 1:
+        return App(FlatMap(body_fn), expr.source)
+    k = expr.block_in
+    avoid = free_vars(expr.body) | free_vars(expr.source) | {expr.var}
+    state = fresh_name("st", avoid)
+    step = Lam(
+        ("a", "x"),
+        If(
+            Prim("==", (App(Builtin("length"), Proj(Var("a"), 1)), Lit(k - 1))),
+            _pair(
+                Empty(),
+                Concat(
+                    Proj(Var("a"), 2),
+                    App(body_fn, Concat(Proj(Var("a"), 1), Sing(Var("x")))),
+                ),
+            ),
+            _pair(
+                Concat(Proj(Var("a"), 1), Sing(Var("x"))),
+                Proj(Var("a"), 2),
+            ),
+        ),
+    )
+    folded = App(FoldL(_pair(Empty(), Empty()), step), expr.source)
+    return App(
+        Lam(
+            state,
+            Concat(
+                Proj(Var(state), 2),
+                If(
+                    Prim(
+                        "==",
+                        (App(Builtin("length"), Proj(Var(state), 1)), Lit(0)),
+                    ),
+                    Empty(),
+                    App(body_fn, Proj(Var(state), 1)),
+                ),
+            ),
+        ),
+        folded,
+    )
+
+
+def expand_funcpow(expr: FuncPow) -> Node:
+    """funcPow[k](f) unrolled into nested binary applications (Figure 2)."""
+    if expr.power == 1:
+        return expr.fn
+    width = 2**expr.power
+    names = tuple(f"a{i + 1}" for i in range(width))
+    half = width // 2
+
+    def build(lo: int, hi: int) -> Node:
+        if hi - lo == 2:
+            return App(expr.fn, Tup((Var(names[lo]), Var(names[lo + 1]))))
+        mid = (lo + hi) // 2
+        return App(expr.fn, Tup((build(lo, mid), build(mid, hi))))
+
+    del half  # arity bookkeeping only
+    return Lam(names, build(0, width))
+
+
+def expand_unfold(expr: UnfoldR, arity: int) -> Node:
+    """unfoldR(f) driven by a foldL over the concatenated inputs (Figure 2).
+
+    The driver list ``seed.1 ⊔ … ⊔ seed.n`` supplies one fold iteration per
+    input element, which is exactly enough when each step of ``f`` removes
+    at least one element overall.
+    """
+    empties = Tup(tuple(Empty() for _ in range(arity)))
+    seed = Var("seed")
+    driver: Node = Proj(seed, 1)
+    for i in range(1, arity):
+        driver = Concat(driver, Proj(seed, i + 1))
+    step_result = App(expr.fn, Proj(Var("a"), 2))
+    step = Lam(
+        ("a", "_w"),
+        If(
+            Prim("==", (Proj(Var("a"), 2), empties)),
+            Var("a"),
+            App(
+                Lam(
+                    "r",
+                    _pair(
+                        Concat(Proj(Var("a"), 1), Proj(Var("r"), 1)),
+                        Proj(Var("r"), 2),
+                    ),
+                ),
+                step_result,
+            ),
+        ),
+    )
+    folded = App(FoldL(_pair(Empty(), seed), step), driver)
+    return Lam("seed", Proj(folded, 1))
+
+
+def expand_treefold(expr: TreeFold) -> Node:
+    """treeFold[k](c, f) as a queue automaton driven by foldL (Figure 2).
+
+    State: ⟨batch, queue⟩.  Each iteration either flushes a full batch
+    through ``f``, moves the queue head into the batch, or pads with the
+    identity ``c``.  Four copies of the seed bound the number of queue
+    operations for arity ≥ 2.  Only equivalent to the plugin semantics for
+    associative ``f`` with identity ``c`` (the fldL-to-trfld precondition).
+    """
+    k = expr.arity
+    c = expr.init
+    f = expr.fn
+    seed = Var("seed")
+    a = Var("a")
+    batch = Proj(a, 1)
+    queue = Proj(a, 2)
+    length = Builtin("length")
+    head = Builtin("head")
+    tail = Builtin("tail")
+    step = Lam(
+        ("a", "_w"),
+        If(
+            Prim(
+                "and",
+                (
+                    Prim("==", (App(length, queue), Lit(1))),
+                    Prim("==", (App(length, batch), Lit(0))),
+                ),
+            ),
+            a,  # reduction finished: single value left on the queue
+            If(
+                Prim("==", (App(length, batch), Lit(k))),
+                _pair(Empty(), Concat(queue, Sing(App(f, _tuple_from_list(batch, k))))),
+                If(
+                    Prim(">", (App(length, queue), Lit(0))),
+                    _pair(
+                        Concat(batch, Sing(App(head, queue))),
+                        App(tail, queue),
+                    ),
+                    _pair(Concat(batch, Sing(c)), queue),
+                ),
+            ),
+        ),
+    )
+    driver = Concat(Concat(seed, seed), Concat(seed, seed))
+    folded = App(FoldL(_pair(Empty(), seed), step), driver)
+    finish = Lam(
+        "st",
+        If(
+            Prim("==", (App(length, Proj(Var("st"), 2)), Lit(0))),
+            c,
+            App(head, Proj(Var("st"), 2)),
+        ),
+    )
+    return Lam(
+        "seed",
+        If(
+            Prim("==", (App(length, seed), Lit(0))),
+            c,
+            App(finish, folded),
+        ),
+    )
+
+
+def _tuple_from_list(list_expr: Node, width: int) -> Node:
+    """⟨head(l), head(tail(l)), …⟩ — destructure a known-length list."""
+    items = []
+    current = list_expr
+    for i in range(width):
+        items.append(App(Builtin("head"), current))
+        if i + 1 < width:
+            current = App(Builtin("tail"), current)
+    return Tup(tuple(items))

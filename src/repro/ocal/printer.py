@@ -1,0 +1,165 @@
+"""Pretty printer rendering OCAL programs in the paper's concrete syntax.
+
+``pretty`` produces one-line renderings such as::
+
+    for (xB [k1] ← R) for (yB [k2] ← S) for (x ← xB) for (y ← yB)
+      if x.1 == y.1 then [⟨x, y⟩] else []
+
+``pretty_block`` adds indentation for multi-construct programs.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    App,
+    Builtin,
+    Concat,
+    Empty,
+    FlatMap,
+    FoldL,
+    For,
+    FuncPow,
+    HashPartition,
+    If,
+    Lam,
+    Lit,
+    Node,
+    Pattern,
+    Prim,
+    Proj,
+    Sing,
+    SizeAnnot,
+    TreeFold,
+    Tup,
+    UnfoldR,
+    Var,
+)
+
+__all__ = ["pretty", "pretty_block"]
+
+_INFIX = {
+    "and": "∧",
+    "or": "∨",
+    "==": "==",
+    "!=": "!=",
+    "<=": "≤",
+    ">=": "≥",
+    "<": "<",
+    ">": ">",
+    "+": "+",
+    "-": "-",
+    "*": "*",
+    "/": "/",
+    "mod": "mod",
+}
+
+
+def pretty(node: Node) -> str:
+    """Render an OCAL expression on a single line."""
+    if isinstance(node, Var):
+        return node.name
+    if isinstance(node, Lit):
+        if isinstance(node.value, str):
+            return f'"{node.value}"'
+        return str(node.value).lower() if isinstance(node.value, bool) else str(
+            node.value
+        )
+    if isinstance(node, Lam):
+        return f"λ{_pattern(node.pattern)}.{pretty(node.body)}"
+    if isinstance(node, App):
+        return f"({pretty(node.fn)})({pretty(node.arg)})"
+    if isinstance(node, Tup):
+        return "⟨" + ", ".join(pretty(item) for item in node.items) + "⟩"
+    if isinstance(node, Proj):
+        return f"{_atom(node.tup)}.{node.index}"
+    if isinstance(node, Sing):
+        return f"[{pretty(node.item)}]"
+    if isinstance(node, Empty):
+        return "[]"
+    if isinstance(node, Concat):
+        return f"{_atom(node.left)} ⊔ {_atom(node.right)}"
+    if isinstance(node, If):
+        return (
+            f"if {pretty(node.cond)} then {pretty(node.then)} "
+            f"else {pretty(node.orelse)}"
+        )
+    if isinstance(node, Prim):
+        if node.op == "not":
+            return f"¬{_atom(node.args[0])}"
+        if node.op in _INFIX and len(node.args) == 2:
+            return (
+                f"{_atom(node.args[0])} {_INFIX[node.op]} {_atom(node.args[1])}"
+            )
+        rendered = ", ".join(pretty(arg) for arg in node.args)
+        return f"{node.op}({rendered})"
+    if isinstance(node, FlatMap):
+        return f"flatMap({pretty(node.fn)})"
+    if isinstance(node, FoldL):
+        blocks = _block(node.block_in) + _block(node.block_out)
+        seq = f"[{node.seq[0]} ⇝ {node.seq[1]}]" if node.seq else ""
+        return f"foldL{blocks}{seq}({pretty(node.init)}, {pretty(node.fn)})"
+    if isinstance(node, For):
+        header = f"for ({node.var}{_block(node.block_in)} ← {pretty(node.source)})"
+        out = _block(node.block_out)
+        seq = f"[{node.seq[0]} ⇝ {node.seq[1]}] " if node.seq else ""
+        suffix = f" {out.strip()}" if out else ""
+        return f"{header}{suffix} {seq}{pretty(node.body)}"
+    if isinstance(node, TreeFold):
+        return f"treeFold[{node.arity}]({pretty(node.init)}, {pretty(node.fn)})"
+    if isinstance(node, UnfoldR):
+        blocks = _block(node.block_in) + _block(node.block_out)
+        seq = f"[{node.seq[0]} ⇝ {node.seq[1]}]" if node.seq else ""
+        return f"unfoldR{blocks}{seq}({pretty(node.fn)})"
+    if isinstance(node, FuncPow):
+        return f"funcPow[{node.power}]({pretty(node.fn)})"
+    if isinstance(node, Builtin):
+        return node.name
+    if isinstance(node, HashPartition):
+        key = "" if node.key_index == 0 else f", key=.{node.key_index}"
+        return f"partition[{node.buckets}{key}]"
+    if isinstance(node, SizeAnnot):
+        return f"({pretty(node.expr)} : {node.annot})"
+    raise TypeError(f"cannot render {type(node).__name__}")
+
+
+def pretty_block(node: Node, indent: int = 0) -> str:
+    """Render with one ``for``/``if`` construct per line."""
+    pad = "  " * indent
+    if isinstance(node, For):
+        header = f"for ({node.var}{_block(node.block_in)} ← {pretty(node.source)})"
+        out = _block(node.block_out)
+        seq = f" [{node.seq[0]} ⇝ {node.seq[1]}]" if node.seq else ""
+        suffix = f" {out.strip()}" if out else ""
+        return f"{pad}{header}{suffix}{seq}\n" + pretty_block(node.body, indent + 1)
+    if isinstance(node, If):
+        return (
+            f"{pad}if {pretty(node.cond)}\n"
+            f"{pad}then {pretty(node.then)}\n"
+            f"{pad}else {pretty(node.orelse)}"
+        )
+    if isinstance(node, App) and isinstance(node.fn, Lam):
+        fn_text = pretty_block(node.fn.body, indent + 1)
+        return (
+            f"{pad}(λ{_pattern(node.fn.pattern)}.\n{fn_text}\n"
+            f"{pad})({pretty(node.arg)})"
+        )
+    return pad + pretty(node)
+
+
+def _pattern(pattern: Pattern) -> str:
+    if isinstance(pattern, str):
+        return pattern
+    return "⟨" + ", ".join(_pattern(sub) for sub in pattern) + "⟩"
+
+
+def _block(size: object) -> str:
+    if size == 1:
+        return ""
+    return f" [{size}]"
+
+
+def _atom(node: Node) -> str:
+    text = pretty(node)
+    if isinstance(node, (Var, Lit, Tup, Sing, Empty, Proj, Builtin)):
+        return text
+    return f"({text})"

@@ -1,0 +1,373 @@
+"""Type inference for OCAL, following Figure 1 of the paper.
+
+``infer(expr, env)`` returns the type of an expression given types for its
+free variables.  Polymorphic constructs (the empty list, builtins such as
+``head``) are handled with the ``AnyType`` wildcard, which unifies with
+everything; this keeps the checker simple while still rejecting genuinely
+ill-typed programs (applying a non-function, branching on a non-boolean,
+concatenating non-lists, arity-mismatched patterns, …).
+
+Function-valued nodes (``foldL``, ``flatMap``, ``treeFold``, ``unfoldR``,
+``funcPow``, builtins, hash partitioning) are *typed at application sites*:
+their result types depend on the argument type, so ``App`` dispatches to
+:func:`apply_type`.
+"""
+
+from __future__ import annotations
+
+from .ast import (
+    App,
+    Builtin,
+    Concat,
+    Empty,
+    FlatMap,
+    FoldL,
+    For,
+    FuncPow,
+    HashPartition,
+    If,
+    Lam,
+    Lit,
+    Node,
+    Pattern,
+    Prim,
+    Proj,
+    Sing,
+    SizeAnnot,
+    TreeFold,
+    Tup,
+    UnfoldR,
+    Var,
+)
+from .types import (
+    ANY,
+    BOOL,
+    INT,
+    STR,
+    AnyType,
+    DType,
+    FunType,
+    ListType,
+    OcalType,
+    TupleType,
+    unify,
+)
+
+__all__ = ["infer", "apply_type", "OcalTypeError", "check_program"]
+
+
+class OcalTypeError(TypeError):
+    """Raised when an OCAL expression is ill-typed."""
+
+
+def infer(expr: Node, env: dict[str, OcalType] | None = None) -> OcalType:
+    """Infer the type of *expr* under *env* (variable name → type)."""
+    return _infer(expr, dict(env or {}))
+
+
+def check_program(
+    program: Node, input_types: dict[str, OcalType]
+) -> OcalType:
+    """Type-check a whole program against its declared input types."""
+    return infer(program, dict(input_types))
+
+
+def _infer(expr: Node, env: dict[str, OcalType]) -> OcalType:
+    if isinstance(expr, Var):
+        if expr.name not in env:
+            raise OcalTypeError(f"unbound variable {expr.name!r}")
+        return env[expr.name]
+    if isinstance(expr, Lit):
+        if isinstance(expr.value, bool):
+            return BOOL
+        if isinstance(expr.value, int):
+            return INT
+        return STR
+    if isinstance(expr, Lam):
+        # Without an application site the argument type is unconstrained.
+        return FunType(ANY, ANY)
+    if isinstance(expr, App):
+        arg_type = _infer(expr.arg, env)
+        return apply_type(expr.fn, arg_type, env)
+    if isinstance(expr, Tup):
+        return TupleType(tuple(_infer(item, env) for item in expr.items))
+    if isinstance(expr, Proj):
+        tup_type = _infer(expr.tup, env)
+        if isinstance(tup_type, AnyType):
+            return ANY
+        if not isinstance(tup_type, TupleType):
+            raise OcalTypeError(f"projection from non-tuple type {tup_type}")
+        if expr.index > len(tup_type.items):
+            raise OcalTypeError(
+                f".{expr.index} out of range for {tup_type}"
+            )
+        return tup_type.items[expr.index - 1]
+    if isinstance(expr, Sing):
+        return ListType(_infer(expr.item, env))
+    if isinstance(expr, Empty):
+        return ListType(ANY)
+    if isinstance(expr, Concat):
+        left = _infer(expr.left, env)
+        right = _infer(expr.right, env)
+        left = _expect_list(left, "⊔ left operand")
+        right = _expect_list(right, "⊔ right operand")
+        unified = unify(left, right)
+        if unified is None:
+            raise OcalTypeError(f"⊔ on incompatible lists {left} and {right}")
+        return unified
+    if isinstance(expr, If):
+        cond = _infer(expr.cond, env)
+        if unify(cond, BOOL) is None:
+            raise OcalTypeError(f"if condition has type {cond}, expected Bool")
+        then = _infer(expr.then, env)
+        orelse = _infer(expr.orelse, env)
+        unified = unify(then, orelse)
+        if unified is None:
+            raise OcalTypeError(
+                f"if branches have incompatible types {then} and {orelse}"
+            )
+        return unified
+    if isinstance(expr, Prim):
+        return _infer_prim(expr, env)
+    if isinstance(expr, For):
+        source = _expect_list(_infer(expr.source, env), "for source")
+        if expr.block_in == 1:
+            bound: OcalType = source.elem
+        else:
+            bound = ListType(source.elem)
+        inner = dict(env)
+        inner[expr.var] = bound
+        body = _infer(expr.body, inner)
+        return _expect_list(body, "for body")
+    if isinstance(
+        expr,
+        (FoldL, FlatMap, TreeFold, UnfoldR, FuncPow, Builtin, HashPartition),
+    ):
+        return FunType(ANY, ANY)  # precise result type comes from App
+    if isinstance(expr, SizeAnnot):
+        return _infer(expr.expr, env)
+    raise OcalTypeError(f"cannot type {type(expr).__name__}")
+
+
+def apply_type(
+    fn: Node, arg_type: OcalType, env: dict[str, OcalType]
+) -> OcalType:
+    """Result type of applying expression *fn* to a value of *arg_type*."""
+    if isinstance(fn, Lam):
+        inner = dict(env)
+        _bind_pattern_type(fn.pattern, arg_type, inner)
+        return _infer(fn.body, inner)
+    if isinstance(fn, FlatMap):
+        source = _expect_list(arg_type, "flatMap argument")
+        result = apply_type(fn.fn, source.elem, env)
+        return _expect_list(result, "flatMap body result")
+    if isinstance(fn, FoldL):
+        source = _expect_list(arg_type, "foldL argument")
+        init_type = _infer(fn.init, env)
+        step = apply_type(fn.fn, TupleType((init_type, source.elem)), env)
+        unified = unify(init_type, step)
+        if unified is None:
+            raise OcalTypeError(
+                f"foldL accumulator {init_type} incompatible with step {step}"
+            )
+        return unified
+    if isinstance(fn, TreeFold):
+        source = _expect_list(arg_type, "treeFold argument")
+        init_type = _infer(fn.init, env)
+        elem = unify(source.elem, init_type)
+        if elem is None:
+            raise OcalTypeError(
+                f"treeFold identity {init_type} incompatible with "
+                f"elements {source.elem}"
+            )
+        result = apply_type(fn.fn, TupleType((elem,) * fn.arity), env)
+        unified = unify(elem, result)
+        if unified is None:
+            raise OcalTypeError(
+                f"treeFold step result {result} incompatible with {elem}"
+            )
+        return unified
+    if isinstance(fn, UnfoldR):
+        return _apply_unfold_type(fn, arg_type, env)
+    if isinstance(fn, FuncPow):
+        if isinstance(arg_type, AnyType):
+            return ANY
+        if not isinstance(arg_type, TupleType):
+            raise OcalTypeError("funcPow expects a tuple argument")
+        width = 2**fn.power
+        if len(arg_type.items) != width:
+            raise OcalTypeError(
+                f"funcPow[{fn.power}] expects arity {width}, "
+                f"got {len(arg_type.items)}"
+            )
+        if fn.power == 1:
+            return apply_type(fn.fn, arg_type, env)
+        half = width // 2
+        left = apply_type(
+            FuncPow(fn.power - 1, fn.fn), TupleType(arg_type.items[:half]), env
+        )
+        right = apply_type(
+            FuncPow(fn.power - 1, fn.fn), TupleType(arg_type.items[half:]), env
+        )
+        return apply_type(fn.fn, TupleType((left, right)), env)
+    if isinstance(fn, Builtin):
+        return _apply_builtin_type(fn.name, arg_type)
+    if isinstance(fn, HashPartition):
+        source = _expect_list(arg_type, "partition argument")
+        return ListType(ListType(source.elem))
+    # Anything else: infer the function type and hope it is a FunType.
+    fn_type = _infer(fn, env)
+    if isinstance(fn_type, AnyType):
+        return ANY
+    if isinstance(fn_type, FunType):
+        if unify(fn_type.arg, arg_type) is None:
+            raise OcalTypeError(
+                f"argument {arg_type} incompatible with parameter {fn_type.arg}"
+            )
+        return fn_type.result
+    raise OcalTypeError(f"applying non-function of type {fn_type}")
+
+
+def _apply_unfold_type(
+    fn: UnfoldR, arg_type: OcalType, env: dict[str, OcalType]
+) -> OcalType:
+    if isinstance(arg_type, AnyType):
+        return ListType(ANY)
+    if not isinstance(arg_type, TupleType):
+        raise OcalTypeError("unfoldR expects a tuple of lists")
+    elems = []
+    for item in arg_type.items:
+        elems.append(_expect_list(item, "unfoldR input").elem)
+    inner = fn.fn
+    if isinstance(inner, Builtin) and inner.name == "mrg":
+        if len(elems) != 2:
+            raise OcalTypeError("unfoldR(mrg) expects a pair of lists")
+        merged = unify(elems[0], elems[1])
+        if merged is None:
+            raise OcalTypeError("unfoldR(mrg) on incompatible element types")
+        return ListType(merged)
+    if (
+        isinstance(inner, FuncPow)
+        and isinstance(inner.fn, Builtin)
+        and inner.fn.name == "mrg"
+    ):
+        ways = 2**inner.power
+        if len(elems) != ways:
+            raise OcalTypeError(
+                f"{ways}-way merge applied to arity {len(elems)}"
+            )
+        merged = elems[0]
+        for elem in elems[1:]:
+            unified = unify(merged, elem)
+            if unified is None:
+                raise OcalTypeError("merge on incompatible element types")
+            merged = unified
+        return ListType(merged)
+    if isinstance(inner, Builtin) and inner.name == "zip":
+        return ListType(TupleType(tuple(elems)))
+    # Generic step function: ⟨[τ1],…⟩ → ⟨[τr], state⟩.
+    step = apply_type(inner, arg_type, env)
+    if isinstance(step, AnyType):
+        return ListType(ANY)
+    if not isinstance(step, TupleType) or len(step.items) != 2:
+        raise OcalTypeError("unfoldR step must return ⟨chunk, state⟩")
+    return _expect_list(step.items[0], "unfoldR chunk")
+
+
+def _apply_builtin_type(name: str, arg_type: OcalType) -> OcalType:
+    if name == "head":
+        return _expect_list(arg_type, "head argument").elem
+    if name == "tail":
+        return _expect_list(arg_type, "tail argument")
+    if name == "length":
+        _expect_list(arg_type, "length argument")
+        return INT
+    if name == "avg":
+        _expect_list(arg_type, "avg argument")
+        return INT
+    if name == "mrg":
+        if isinstance(arg_type, AnyType):
+            return ANY
+        if not isinstance(arg_type, TupleType) or len(arg_type.items) != 2:
+            raise OcalTypeError("mrg expects a pair of lists")
+        l1 = _expect_list(arg_type.items[0], "mrg input")
+        l2 = _expect_list(arg_type.items[1], "mrg input")
+        merged = unify(l1, l2)
+        if merged is None:
+            raise OcalTypeError("mrg on incompatible lists")
+        return TupleType((merged, TupleType((merged, merged))))
+    if name == "zip":
+        if isinstance(arg_type, AnyType):
+            return ListType(ANY)
+        if not isinstance(arg_type, TupleType):
+            raise OcalTypeError("zip expects a tuple of lists")
+        elems = tuple(
+            _expect_list(item, "zip input").elem for item in arg_type.items
+        )
+        return ListType(TupleType(elems))
+    raise OcalTypeError(f"unknown builtin {name!r}")
+
+
+def _infer_prim(expr: Prim, env: dict[str, OcalType]) -> OcalType:
+    arg_types = [_infer(arg, env) for arg in expr.args]
+    op = expr.op
+    if op in {"and", "or"}:
+        _expect_all(arg_types, BOOL, op)
+        return BOOL
+    if op == "not":
+        _expect_all(arg_types, BOOL, op)
+        return BOOL
+    if op in {"==", "!=", "<=", ">=", "<", ">"}:
+        if len(arg_types) != 2 or unify(arg_types[0], arg_types[1]) is None:
+            raise OcalTypeError(
+                f"{op} applied to incompatible types {arg_types}"
+            )
+        return BOOL
+    if op in {"+", "-", "*", "/", "mod", "min2", "max2"}:
+        for t in arg_types:
+            if not isinstance(t, (DType, AnyType)):
+                raise OcalTypeError(f"{op} expects atomic operands, got {t}")
+        unified = arg_types[0]
+        for t in arg_types[1:]:
+            u = unify(unified, t)
+            if u is None:
+                raise OcalTypeError(f"{op} on incompatible types {arg_types}")
+            unified = u
+        return INT if isinstance(unified, AnyType) else unified
+    if op == "hash":
+        return INT
+    raise OcalTypeError(f"unknown primitive {op!r}")
+
+
+def _expect_all(types: list[OcalType], expected: OcalType, op: str) -> None:
+    for t in types:
+        if unify(t, expected) is None:
+            raise OcalTypeError(f"{op} expects {expected}, got {t}")
+
+
+def _expect_list(t: OcalType, what: str) -> ListType:
+    if isinstance(t, AnyType):
+        return ListType(ANY)
+    if not isinstance(t, ListType):
+        raise OcalTypeError(f"{what} must be a list, got {t}")
+    return t
+
+
+def _bind_pattern_type(
+    pattern: Pattern, value_type: OcalType, env: dict[str, OcalType]
+) -> None:
+    if isinstance(pattern, str):
+        env[pattern] = value_type
+        return
+    if isinstance(value_type, AnyType):
+        for sub in pattern:
+            _bind_pattern_type(sub, ANY, env)
+        return
+    if not isinstance(value_type, TupleType) or len(value_type.items) != len(
+        pattern
+    ):
+        raise OcalTypeError(
+            f"pattern of arity {len(pattern)} cannot bind {value_type}"
+        )
+    for sub, item in zip(pattern, value_type.items):
+        _bind_pattern_type(sub, item, env)

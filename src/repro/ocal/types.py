@@ -1,0 +1,188 @@
+"""The OCAL type system (Figure 1 of the paper).
+
+Values are built inductively from a totally ordered set ``D`` of atomic
+values (integers, booleans, strings) using tuple and list construction:
+
+    τ ::= D | ⟨τ, …, τ⟩ | [τ]
+
+Functions have type ``τ1 → τ2`` where both sides are value types; they are
+not first-class values but OCAL expressions may denote them (e.g. a
+``foldL(c, f)`` expression denotes a function ``[τ1] → τ2``).
+
+``AnyType`` is an inference placeholder used for the polymorphic empty
+list ``[]`` and for polymorphic builtins; it unifies with every type.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "OcalType",
+    "DType",
+    "TupleType",
+    "ListType",
+    "FunType",
+    "AnyType",
+    "INT",
+    "BOOL",
+    "STR",
+    "ANY",
+    "tuple_of",
+    "list_of",
+    "fun",
+    "unify",
+    "types_compatible",
+    "type_of_value",
+    "sizeof_atom",
+]
+
+
+class OcalType:
+    """Base class for OCAL types."""
+
+    __slots__ = ()
+
+    def __str__(self) -> str:  # pragma: no cover - trivial dispatch
+        return render_type(self)
+
+
+@dataclass(frozen=True, slots=True)
+class DType(OcalType):
+    """An atomic type from the ordered domain D (Int, Bool, Str)."""
+
+    name: str
+
+
+@dataclass(frozen=True, slots=True)
+class TupleType(OcalType):
+    """⟨τ1, …, τn⟩ — a fixed-width heterogeneous tuple."""
+
+    items: tuple[OcalType, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class ListType(OcalType):
+    """[τ] — a finite list of values of a single type."""
+
+    elem: OcalType
+
+
+@dataclass(frozen=True, slots=True)
+class FunType(OcalType):
+    """τ1 → τ2 — the type of (non-first-class) OCAL functions."""
+
+    arg: OcalType
+    result: OcalType
+
+
+@dataclass(frozen=True, slots=True)
+class AnyType(OcalType):
+    """Wildcard placeholder that unifies with every type."""
+
+
+INT = DType("Int")
+BOOL = DType("Bool")
+STR = DType("Str")
+ANY = AnyType()
+
+
+def tuple_of(*items: OcalType) -> TupleType:
+    """Build ⟨τ1, …, τn⟩."""
+    return TupleType(tuple(items))
+
+
+def list_of(elem: OcalType) -> ListType:
+    """Build [τ]."""
+    return ListType(elem)
+
+
+def fun(arg: OcalType, result: OcalType) -> FunType:
+    """Build τ1 → τ2."""
+    return FunType(arg, result)
+
+
+def unify(left: OcalType, right: OcalType) -> OcalType | None:
+    """Most specific common type of two types, or ``None`` if they clash.
+
+    ``AnyType`` acts as a wildcard: ``unify(ANY, τ) == τ``.
+    """
+    if isinstance(left, AnyType):
+        return right
+    if isinstance(right, AnyType):
+        return left
+    if isinstance(left, DType) and isinstance(right, DType):
+        return left if left == right else None
+    if isinstance(left, ListType) and isinstance(right, ListType):
+        elem = unify(left.elem, right.elem)
+        return None if elem is None else ListType(elem)
+    if isinstance(left, TupleType) and isinstance(right, TupleType):
+        if len(left.items) != len(right.items):
+            return None
+        unified = []
+        for a, b in zip(left.items, right.items):
+            u = unify(a, b)
+            if u is None:
+                return None
+            unified.append(u)
+        return TupleType(tuple(unified))
+    if isinstance(left, FunType) and isinstance(right, FunType):
+        arg = unify(left.arg, right.arg)
+        result = unify(left.result, right.result)
+        if arg is None or result is None:
+            return None
+        return FunType(arg, result)
+    return None
+
+
+def types_compatible(left: OcalType, right: OcalType) -> bool:
+    """True when the two types unify."""
+    return unify(left, right) is not None
+
+
+def type_of_value(value: object) -> OcalType:
+    """Infer the OCAL type of a Python value (bool before int!)."""
+    if isinstance(value, bool):
+        return BOOL
+    if isinstance(value, int):
+        return INT
+    if isinstance(value, str):
+        return STR
+    if isinstance(value, tuple):
+        return TupleType(tuple(type_of_value(v) for v in value))
+    if isinstance(value, list):
+        if not value:
+            return ListType(ANY)
+        elem: OcalType = ANY
+        for item in value:
+            unified = unify(elem, type_of_value(item))
+            if unified is None:
+                raise TypeError(f"heterogeneous list {value!r} is not an OCAL value")
+            elem = unified
+        return ListType(elem)
+    raise TypeError(f"{value!r} is not an OCAL value")
+
+
+#: Byte widths for atomic types used by the cost model; the guiding example
+#: of Figure 4 assumes "the size of Int is 1", which we follow by default.
+_ATOM_SIZES = {"Int": 1, "Bool": 1, "Str": 16}
+
+
+def sizeof_atom(dtype: DType) -> int:
+    """Size in bytes charged for one atomic value."""
+    return _ATOM_SIZES.get(dtype.name, 1)
+
+
+def render_type(t: OcalType) -> str:
+    """Human-readable rendering, matching the paper's notation."""
+    if isinstance(t, DType):
+        return t.name
+    if isinstance(t, TupleType):
+        return "⟨" + ", ".join(render_type(i) for i in t.items) + "⟩"
+    if isinstance(t, ListType):
+        return f"[{render_type(t.elem)}]"
+    if isinstance(t, FunType):
+        return f"{render_type(t.arg)} → {render_type(t.result)}"
+    if isinstance(t, AnyType):
+        return "?"
+    raise TypeError(f"not an OCAL type: {t!r}")

@@ -1,0 +1,5 @@
+"""Non-linear block/buffer parameter tuning (the paper's reference [19])."""
+
+from .penalty import OptimizationResult, ParameterOptimizer, optimize_parameters
+
+__all__ = ["ParameterOptimizer", "OptimizationResult", "optimize_parameters"]

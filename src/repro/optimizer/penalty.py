@@ -1,0 +1,236 @@
+"""Derivative-free parameter tuning (the paper's reference [19]).
+
+OCAS characterizes a candidate program's cost as "a (possibly non-linear)
+function of … parameters" — block sizes ``k1, k2, …``, buffer sizes
+``bin``/``bout``, partition counts ``s`` — and uses "the non-linear
+optimization solver described in [Liuzzi, Lucidi, Sciandrone 2010]" to
+minimize it subject to capacity and maxSeq constraints.
+
+This module implements the same family of method: a **sequential penalty
+derivative-free** optimizer.  Constraint violations are added to the
+objective with an increasing penalty factor; each penalty subproblem is
+solved by pattern (coordinate) search over ``log2``-scaled parameters,
+which suits the multiplicative nature of block sizes.  Block sizes are
+integral, so the final point is rounded and repaired to feasibility.
+
+For the common single-loop case the result coincides with the paper's
+heuristic — "both k1 and k2 should be as big as possible, subject to the
+aforementioned restrictions" — while competing loops (``k1 + k2 ≤ M``)
+get genuinely balanced.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..cost.events import Constraint
+from ..symbolic import Expr
+
+__all__ = ["ParameterOptimizer", "OptimizationResult", "optimize_parameters"]
+
+
+@dataclass
+class OptimizationResult:
+    """Tuned parameter values and the cost they achieve."""
+
+    values: dict[str, int]
+    cost: float
+    feasible: bool
+    evaluations: int = 0
+
+    def env(self, stats: dict[str, float]) -> dict[str, float]:
+        """Full evaluation environment: statistics plus tuned parameters."""
+        merged = dict(stats)
+        merged.update({k: float(v) for k, v in self.values.items()})
+        return merged
+
+
+@dataclass
+class ParameterOptimizer:
+    """Sequential penalty + pattern search over log-scaled parameters."""
+
+    cost: Expr
+    constraints: list[Constraint]
+    parameters: frozenset[str]
+    stats: dict[str, float]
+    max_value: float = 2.0**40
+    penalty_start: float = 1e3
+    penalty_growth: float = 100.0
+    penalty_rounds: int = 4
+    _evaluations: int = field(default=0, init=False)
+
+    def run(self) -> OptimizationResult:
+        """Minimize the cost expression over the named parameters."""
+        params = sorted(self.parameters)
+        if not params:
+            cost = self._safe_eval(self.cost, self._env({}))
+            return OptimizationResult({}, cost, True, self._evaluations)
+
+        bounds = {name: self._upper_bound(name) for name in params}
+        # Start at the geometric middle of each parameter's range.
+        point = {
+            name: math.sqrt(max(1.0, bounds[name])) for name in params
+        }
+        point = self._repair(point, bounds)
+
+        penalty = self.penalty_start
+        for _ in range(self.penalty_rounds):
+            point = self._pattern_search(point, bounds, penalty)
+            penalty *= self.penalty_growth
+
+        values = self._round_feasible(point, bounds)
+        env = self._env({k: float(v) for k, v in values.items()})
+        cost = self._safe_eval(self.cost, env)
+        feasible = self._violation(
+            {k: float(v) for k, v in values.items()}
+        ) <= 1e-6
+        return OptimizationResult(values, cost, feasible, self._evaluations)
+
+    # ------------------------------------------------------------------
+    # Search
+    # ------------------------------------------------------------------
+    def _pattern_search(
+        self,
+        point: dict[str, float],
+        bounds: dict[str, float],
+        penalty: float,
+    ) -> dict[str, float]:
+        step = 4.0  # multiplicative step in log space
+        best = dict(point)
+        best_value = self._penalized(best, penalty)
+        names = sorted(best)
+        sweeps = 0
+        while step > 1.0009 and sweeps < 120:
+            sweeps += 1
+            threshold = max(1e-12, 1e-9 * abs(best_value))
+            improved = False
+            # Single-coordinate multiplicative moves.
+            for name in names:
+                for factor in (step, 1.0 / step):
+                    candidate = dict(best)
+                    candidate[name] = min(
+                        max(1.0, candidate[name] * factor), bounds[name]
+                    )
+                    if candidate[name] == best[name]:
+                        continue
+                    value = self._penalized(candidate, penalty)
+                    if value < best_value - threshold:
+                        best, best_value = candidate, value
+                        improved = True
+            # Sum-preserving exchange moves: shift budget between two
+            # parameters without leaving a shared-capacity boundary
+            # (k1 + k2 ≤ M stays tight while the split rebalances).
+            for giver in names:
+                for taker in names:
+                    if giver == taker:
+                        continue
+                    delta = best[giver] * (step - 1.0)
+                    candidate = dict(best)
+                    candidate[giver] = max(1.0, best[giver] - delta)
+                    candidate[taker] = min(
+                        bounds[taker], best[taker] + delta
+                    )
+                    if candidate == best:
+                        continue
+                    value = self._penalized(candidate, penalty)
+                    if value < best_value - threshold:
+                        best, best_value = candidate, value
+                        improved = True
+            if not improved:
+                step = math.sqrt(step)
+        return best
+
+    def _penalized(self, point: dict[str, float], penalty: float) -> float:
+        env = self._env(point)
+        base = self._safe_eval(self.cost, env)
+        violation = self._violation(point)
+        return base + penalty * violation * (1.0 + abs(base))
+
+    def _violation(self, point: dict[str, float]) -> float:
+        env = self._env(point)
+        total = 0.0
+        for constraint in self.constraints:
+            lhs = self._safe_eval(constraint.lhs, env)
+            rhs = self._safe_eval(constraint.rhs, env)
+            scale = max(1.0, abs(rhs))
+            total += max(0.0, (lhs - rhs) / scale)
+        return total
+
+    # ------------------------------------------------------------------
+    # Bounds, repair, rounding
+    # ------------------------------------------------------------------
+    def _upper_bound(self, name: str) -> float:
+        """Largest value allowed by single-parameter constraints."""
+        bound = self.max_value
+        for constraint in self.constraints:
+            lhs_vars = constraint.lhs.free_vars()
+            rhs_vars = constraint.rhs.free_vars()
+            if name not in lhs_vars or (lhs_vars | rhs_vars) - {name} - set(
+                self.stats
+            ):
+                continue
+            env = self._env({name: 1.0})
+            slope = self._safe_eval(constraint.lhs, env)
+            rhs = self._safe_eval(constraint.rhs, env)
+            if slope > 0 and rhs >= slope:
+                bound = min(bound, rhs / slope)
+        return max(1.0, bound)
+
+    def _repair(
+        self, point: dict[str, float], bounds: dict[str, float]
+    ) -> dict[str, float]:
+        """Shrink parameters geometrically until all constraints hold."""
+        current = {
+            name: min(max(1.0, value), bounds[name])
+            for name, value in point.items()
+        }
+        for _ in range(80):
+            if self._violation(current) <= 1e-9:
+                return current
+            current = {
+                name: max(1.0, value / 2.0)
+                for name, value in current.items()
+            }
+        return current
+
+    def _round_feasible(
+        self, point: dict[str, float], bounds: dict[str, float]
+    ) -> dict[str, int]:
+        floored = {
+            name: max(1, int(min(value, bounds[name])))
+            for name, value in point.items()
+        }
+        as_float = {k: float(v) for k, v in floored.items()}
+        repaired = self._repair(as_float, bounds)
+        return {name: max(1, int(value)) for name, value in repaired.items()}
+
+    # ------------------------------------------------------------------
+    # Evaluation plumbing
+    # ------------------------------------------------------------------
+    def _env(self, point: dict[str, float]) -> dict[str, float]:
+        env = dict(self.stats)
+        env.update(point)
+        return env
+
+    def _safe_eval(self, expr: Expr, env: dict[str, float]) -> float:
+        self._evaluations += 1
+        try:
+            return expr.evaluate(env)
+        except (KeyError, ValueError, ZeroDivisionError, OverflowError):
+            return math.inf
+
+
+def optimize_parameters(
+    cost: Expr,
+    constraints: list[Constraint],
+    parameters: frozenset[str] | set[str],
+    stats: dict[str, float],
+) -> OptimizationResult:
+    """One-call façade over :class:`ParameterOptimizer`."""
+    return ParameterOptimizer(
+        cost=cost,
+        constraints=list(constraints),
+        parameters=frozenset(parameters),
+        stats=dict(stats),
+    ).run()

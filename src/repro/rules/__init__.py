@@ -1,0 +1,31 @@
+"""Transformation rules (Section 6 of the paper)."""
+
+from .apply_block import ApplyBlock
+from .base import Rewrite, Rule, RuleContext
+from .engine import all_rewrites
+from .fld_to_trfld import FldLToTrFld, is_associative_with_identity
+from .hash_part import HashPart, match_equi_join
+from .inc_branching import IncBranching
+from .order_inputs import OrderInputs
+from .registry import DEFAULT_RULES, default_rules, rule_by_name
+from .seq_ac import SeqAc
+from .swap_iter import SwapIter
+
+__all__ = [
+    "Rule",
+    "RuleContext",
+    "Rewrite",
+    "all_rewrites",
+    "ApplyBlock",
+    "SwapIter",
+    "OrderInputs",
+    "HashPart",
+    "FldLToTrFld",
+    "IncBranching",
+    "SeqAc",
+    "match_equi_join",
+    "is_associative_with_identity",
+    "DEFAULT_RULES",
+    "default_rules",
+    "rule_by_name",
+]

@@ -1,0 +1,137 @@
+"""apply-block: increase the block size of list-iterative constructs.
+
+    for (x [1] ← R) e  ⇒  for (xB [k1] ← R) [k2] for (x ← xB) e
+
+"In general, our system aims to replace every list-iterative construct
+with block size 1 with … larger block size" — so the rule also targets
+``foldL`` and ``unfoldR`` applications (the paper notes an "analogous
+rule … for unfoldR"), whose block annotations affect only the I/O
+pattern.
+
+Conservative conditions:
+
+* the loop is not already blocked;
+* the source is not itself a block handed out by an enclosing blocked
+  loop (blocking ``xB`` again is pointless and explodes the search);
+* for ``treeFold``-driven merges, blocking applies to the inner
+  ``unfoldR``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator
+
+from ..ocal.ast import App, FoldL, For, Node, TreeFold, UnfoldR, Var
+from .base import Rule, RuleContext
+
+__all__ = ["ApplyBlock"]
+
+
+class ApplyBlock(Rule):
+    name = "apply-block"
+
+    def apply(self, node: Node, ctx: RuleContext) -> Iterator[Node]:
+        if isinstance(node, For):
+            yield from self._block_for(node, ctx)
+        elif isinstance(node, App) and isinstance(node.fn, FoldL):
+            yield from self._block_fold(node, ctx)
+        elif isinstance(node, App) and isinstance(node.fn, UnfoldR):
+            yield from self._block_unfold(node, ctx)
+        elif isinstance(node, TreeFold):
+            yield from self._block_treefold(node, ctx)
+
+    def _block_treefold(
+        self, node: TreeFold, ctx: RuleContext
+    ) -> Iterator[Node]:
+        """Block the merging unfoldR inside a treeFold (External Merge-Sort:
+        the apply-block step that turns per-element run I/O into bin/bout
+        buffered transfers)."""
+        fn = node.fn
+        if not isinstance(fn, UnfoldR) or fn.block_in != 1:
+            return
+        yield TreeFold(
+            node.arity,
+            node.init,
+            dataclasses.replace(
+                fn,
+                block_in=ctx.fresh_param(),
+                block_out=ctx.fresh_param("ko"),
+            ),
+        )
+
+    def _block_for(self, node: For, ctx: RuleContext) -> Iterator[Node]:
+        if node.block_in != 1:
+            return
+        if self._source_is_block_view(node.source, ctx):
+            return
+        k_in = ctx.fresh_param()
+        k_out = ctx.fresh_param("ko")
+        block_var = f"{node.var}B"
+        inner = For(
+            var=node.var,
+            source=Var(block_var),
+            body=node.body,
+            block_in=1,
+        )
+        yield For(
+            var=block_var,
+            source=node.source,
+            body=inner,
+            block_in=k_in,
+            block_out=k_out,
+            seq=node.seq,
+        )
+
+    def _block_fold(self, node: App, ctx: RuleContext) -> Iterator[Node]:
+        fold = node.fn
+        assert isinstance(fold, FoldL)
+        if fold.block_in != 1:
+            return
+        if self._source_is_block_view(node.arg, ctx):
+            return
+        yield App(
+            dataclasses.replace(
+                fold,
+                block_in=ctx.fresh_param(),
+                block_out=ctx.fresh_param("ko"),
+            ),
+            node.arg,
+        )
+
+    def _block_unfold(self, node: App, ctx: RuleContext) -> Iterator[Node]:
+        unfold = node.fn
+        assert isinstance(unfold, UnfoldR)
+        if unfold.block_in != 1:
+            return
+        if self._source_is_block_view(node.arg, ctx):
+            return
+        yield App(
+            dataclasses.replace(
+                unfold,
+                block_in=ctx.fresh_param(),
+                block_out=ctx.fresh_param("ko"),
+            ),
+            node.arg,
+        )
+
+    @staticmethod
+    def _source_is_block_view(source: Node, ctx: RuleContext) -> bool:
+        """Is the source a block handed out by an enclosing blocked loop?
+
+        Re-blocking such a view is pointless on a two-level hierarchy, but
+        with three or more levels it is exactly *loop tiling*: fetching
+        cache-sized sub-blocks of a RAM-resident block ("as many levels of
+        nested equivalent constructs … as there are levels in the memory
+        hierarchy").  So the guard only applies to flat hierarchies.
+        """
+        if not (isinstance(source, Var) and source.name in ctx.for_bound_vars):
+            return False
+        hierarchy = ctx.hierarchy
+        if hierarchy is None:
+            return True
+        depth = max(
+            len(hierarchy.path_to_root(leaf.name))
+            for leaf in hierarchy.leaves()
+        )
+        return depth < 3

@@ -1,0 +1,102 @@
+"""The rewrite engine: apply every rule at every program position.
+
+``all_rewrites(program, rules, ctx)`` returns one :class:`Rewrite` per
+(rule, position, variant) triple — the breadth-first search of Section 6
+expands a program by exactly this set.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..ocal.ast import For, Lam, Node, pattern_names
+from .base import Rewrite, Rule, RuleContext
+
+__all__ = ["all_rewrites"]
+
+
+def all_rewrites(
+    program: Node, rules: list[Rule], ctx: RuleContext
+) -> list[Rewrite]:
+    """All single-step rewrites of *program* under *rules*."""
+    results: list[Rewrite] = []
+    _visit(program, rules, ctx, frozenset(), lambda new: new, results)
+    # Deduplicate identical outcomes produced by different positions.
+    seen: set[tuple[str, Node]] = set()
+    unique: list[Rewrite] = []
+    for rewrite in results:
+        key = (rewrite.rule, rewrite.program)
+        if key not in seen:
+            seen.add(key)
+            unique.append(rewrite)
+    return unique
+
+
+def _visit(
+    node: Node,
+    rules: list[Rule],
+    ctx: RuleContext,
+    for_bound: frozenset[str],
+    rebuild,
+    results: list[Rewrite],
+) -> None:
+    position_ctx = ctx.at_position(for_bound)
+    for rule in rules:
+        for replacement in rule.apply(node, position_ctx):
+            results.append(Rewrite(rule.name, rebuild(replacement)))
+
+    inner_bound = for_bound
+    if isinstance(node, For):
+        inner_bound = for_bound | {node.var}
+
+    for field in dataclasses.fields(node):
+        value = getattr(node, field.name)
+        if isinstance(value, Node):
+            child_bound = _bound_for_child(node, field.name, inner_bound, for_bound)
+            _visit(
+                value,
+                rules,
+                ctx,
+                child_bound,
+                _make_rebuild(node, field.name, None, rebuild),
+                results,
+            )
+        elif isinstance(value, tuple) and value and all(
+            isinstance(v, Node) for v in value
+        ):
+            for index, item in enumerate(value):
+                _visit(
+                    item,
+                    rules,
+                    ctx,
+                    for_bound,
+                    _make_rebuild(node, field.name, index, rebuild),
+                    results,
+                )
+
+
+def _bound_for_child(
+    node: Node, field_name: str, inner: frozenset[str], outer: frozenset[str]
+) -> frozenset[str]:
+    # Only the body of a `for` sees the loop variable; its source does not.
+    if isinstance(node, For):
+        return inner if field_name == "body" else outer
+    return outer
+
+
+def _make_rebuild(node: Node, field_name: str, index: int | None, outer):
+    """Closure that splices a replacement child back into the program."""
+
+    def rebuild(new_child: Node) -> Node:
+        if index is None:
+            replaced = dataclasses.replace(node, **{field_name: new_child})
+        else:
+            old = getattr(node, field_name)
+            items = tuple(
+                new_child if i == index else item
+                for i, item in enumerate(old)
+            )
+            replaced = dataclasses.replace(node, **{field_name: items})
+        return outer(replaced)
+
+    return rebuild

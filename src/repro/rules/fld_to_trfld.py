@@ -1,0 +1,86 @@
+"""fldL-to-trfld: change the folding pattern from linear to tree-shaped.
+
+    foldL(c, f) ⇒ treeFold[2](c, f)
+
+valid "whenever f is associative and c is an identity element for f".
+Both recursion schemes apply ``f`` the same number of times, but the
+tree balances the argument sizes — the first step from insertion sort
+(Θ(n²) data movement) towards External Merge-Sort.
+
+Associativity is undecidable in general, so the condition is a whitelist
+of step functions known to be associative with the given identity:
+
+* ``unfoldR(mrg)`` (merge of sorted lists) with identity ``[]``;
+* ``unfoldR(funcPow[k](mrg))`` with identity ``[]``;
+* ``λ⟨a, b⟩. a + b`` with identity ``0`` and ``λ⟨a, b⟩. a * b`` with
+  identity ``1``;
+* ``λ⟨a, b⟩. a ⊔ b`` with identity ``[]``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..ocal.ast import (
+    App,
+    Builtin,
+    Concat,
+    Empty,
+    FoldL,
+    FuncPow,
+    Lam,
+    Lit,
+    Node,
+    Prim,
+    TreeFold,
+    UnfoldR,
+    Var,
+)
+from .base import Rule, RuleContext
+
+__all__ = ["FldLToTrFld", "is_associative_with_identity"]
+
+
+def is_associative_with_identity(fn: Node, init: Node) -> bool:
+    """Conservative whitelist check (no false positives)."""
+    if isinstance(fn, UnfoldR):
+        inner = fn.fn
+        merge_like = (
+            isinstance(inner, Builtin) and inner.name == "mrg"
+        ) or (
+            isinstance(inner, FuncPow)
+            and isinstance(inner.fn, Builtin)
+            and inner.fn.name == "mrg"
+        )
+        return merge_like and isinstance(init, Empty)
+    if isinstance(fn, Lam) and isinstance(fn.pattern, tuple) and len(
+        fn.pattern
+    ) == 2:
+        a, b = fn.pattern
+        if not (isinstance(a, str) and isinstance(b, str)):
+            return False
+        body = fn.body
+        if (
+            isinstance(body, Prim)
+            and body.op in {"+", "*"}
+            and body.args == (Var(a), Var(b))
+        ):
+            identity = 0 if body.op == "+" else 1
+            return isinstance(init, Lit) and init.value == identity
+        if isinstance(body, Concat) and body.left == Var(a) and (
+            body.right == Var(b)
+        ):
+            return isinstance(init, Empty)
+    return False
+
+
+class FldLToTrFld(Rule):
+    name = "fldL-to-trfld"
+
+    def apply(self, node: Node, ctx: RuleContext) -> Iterator[Node]:
+        if not (isinstance(node, App) and isinstance(node.fn, FoldL)):
+            return
+        fold = node.fn
+        if not is_associative_with_identity(fold.fn, fold.init):
+            return
+        yield App(TreeFold(2, fold.init, fold.fn), node.arg)

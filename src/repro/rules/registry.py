@@ -1,0 +1,43 @@
+"""The default rule library of OCAS (Section 6.2).
+
+``DEFAULT_RULES`` is the library the synthesizer searches with; it can be
+extended with custom :class:`~repro.rules.base.Rule` subclasses — the
+paper's extensibility story ("new ways of using data locality
+considerations to create better algorithms").
+"""
+
+from __future__ import annotations
+
+from .apply_block import ApplyBlock
+from .base import Rule
+from .fld_to_trfld import FldLToTrFld
+from .hash_part import HashPart
+from .inc_branching import IncBranching
+from .order_inputs import OrderInputs
+from .seq_ac import SeqAc
+from .swap_iter import SwapIter
+
+__all__ = ["DEFAULT_RULES", "default_rules", "rule_by_name"]
+
+DEFAULT_RULES: tuple[Rule, ...] = (
+    ApplyBlock(),
+    SwapIter(),
+    OrderInputs(),
+    HashPart(),
+    FldLToTrFld(),
+    IncBranching(),
+    SeqAc(),
+)
+
+
+def default_rules() -> list[Rule]:
+    """A fresh list of the default rules."""
+    return list(DEFAULT_RULES)
+
+
+def rule_by_name(name: str) -> Rule:
+    """Look up one of the default rules by its paper name."""
+    for rule in DEFAULT_RULES:
+        if rule.name == name:
+            return rule
+    raise KeyError(f"unknown rule {name!r}")

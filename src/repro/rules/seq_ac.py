@@ -1,0 +1,87 @@
+"""seq-ac: annotate a blocked loop as sequentially accessing its device.
+
+The ``[m1 ⇝ m2]`` token tells the costing engine that all transfers from
+``m1`` to ``m2`` caused by this expression happen sequentially, replacing
+the per-block InitCom count with
+``max(1, total / min(m1.maxSeqR, m2.maxSeqW))`` — one seek (or erase
+sequence) per pass.  The annotation never changes semantics.
+
+Conservative syntactic condition ("a syntactic check provides a
+sufficient condition"):
+
+* the loop is blocked and reads a named input residing on ``m1``;
+* no construct *inside the loop's body* touches ``m1`` (another loop over
+  data on the same device would interleave accesses);
+* the program's output is not written to ``m1`` (write-back interferes
+  with sequential reading — the paper's "BNL writing to HDD" case).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator
+
+from ..ocal.ast import App, FoldL, For, HashPartition, Node, UnfoldR, Var, walk
+from .base import Rule, RuleContext
+
+__all__ = ["SeqAc"]
+
+
+class SeqAc(Rule):
+    name = "seq-ac"
+
+    def apply(self, node: Node, ctx: RuleContext) -> Iterator[Node]:
+        if ctx.hierarchy is None:
+            return
+        if isinstance(node, For):
+            if node.seq is not None or node.block_in == 1:
+                return
+            device = self._source_device(node.source, ctx)
+            if device is None:
+                return
+            if not self._clear_of(node.body, device, ctx):
+                return
+            target = self._target(device, ctx)
+            yield dataclasses.replace(node, seq=(device, target))
+        elif isinstance(node, App) and isinstance(node.fn, (FoldL, UnfoldR)):
+            fn = node.fn
+            if fn.seq is not None or fn.block_in == 1:
+                return
+            device = self._source_device(node.arg, ctx)
+            if device is None:
+                return
+            target = self._target(device, ctx)
+            yield App(dataclasses.replace(fn, seq=(device, target)), node.arg)
+
+    @staticmethod
+    def _source_device(source: Node, ctx: RuleContext) -> str | None:
+        if isinstance(source, Var):
+            device = ctx.device_of(source.name)
+        else:
+            device = None
+        if device is None:
+            return None
+        if ctx.output_location == device:
+            return None  # write-back interference
+        return device
+
+    @staticmethod
+    def _clear_of(body: Node, device: str, ctx: RuleContext) -> bool:
+        """No construct inside *body* reads data residing on *device*."""
+        for sub in walk(body):
+            source = None
+            if isinstance(sub, For):
+                source = sub.source
+            elif isinstance(sub, App) and isinstance(
+                sub.fn, (FoldL, UnfoldR, HashPartition)
+            ):
+                source = sub.arg
+            if isinstance(source, Var):
+                if ctx.device_of(source.name) == device:
+                    return False
+        return True
+
+    @staticmethod
+    def _target(device: str, ctx: RuleContext) -> str:
+        parent = ctx.hierarchy.parent(device)
+        return ctx.hierarchy.root.name if parent is None else parent.name

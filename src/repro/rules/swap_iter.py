@@ -1,0 +1,88 @@
+"""swap-iter: exchange the order of two nested iterative constructs.
+
+    for (x1 [k11] ← r1) [k12] for (x2 [k21] ← r2) [k22] e
+      ⇒ for (x2 [k21] ← r2) [k22] for (x1 [k11] ← r1) [k12] e
+
+applicable when ``r2`` does not depend on ``x1``.  A second form hoists a
+loop out of a conditional::
+
+    for (x1 ← r1) if c then (for (x2 ← r2) e1) else []
+      ⇒ for (x2 ← r2) for (x1 ← r1) if c then e1 else []
+
+requiring additionally that ``x2`` does not occur in ``c`` and that the
+else-branch is ``[]`` (otherwise the else-value would be replicated a
+different number of times).  Both forms preserve the *bag* of results —
+iteration order changes, which is exactly the point.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from ..ocal.ast import Empty, For, If, Node, free_vars
+from .base import Rule, RuleContext
+
+__all__ = ["SwapIter"]
+
+
+class SwapIter(Rule):
+    name = "swap-iter"
+
+    def apply(self, node: Node, ctx: RuleContext) -> Iterator[Node]:
+        if not isinstance(node, For):
+            return
+        if isinstance(node.body, For):
+            yield from self._swap_plain(node, node.body)
+        if isinstance(node.body, If):
+            yield from self._swap_conditional(node, node.body)
+
+    @staticmethod
+    def _swap_plain(outer: For, inner: For) -> Iterator[Node]:
+        if outer.var == inner.var:
+            return
+        if outer.var in free_vars(inner.source):
+            return
+        yield For(
+            var=inner.var,
+            source=inner.source,
+            body=For(
+                var=outer.var,
+                source=outer.source,
+                body=inner.body,
+                block_in=outer.block_in,
+                block_out=outer.block_out,
+                seq=outer.seq,
+            ),
+            block_in=inner.block_in,
+            block_out=inner.block_out,
+            seq=inner.seq,
+        )
+
+    @staticmethod
+    def _swap_conditional(outer: For, branch: If) -> Iterator[Node]:
+        inner = branch.then
+        if not isinstance(inner, For):
+            return
+        if not isinstance(branch.orelse, Empty):
+            return
+        if outer.var == inner.var:
+            return
+        if outer.var in free_vars(inner.source):
+            return
+        if inner.var in free_vars(branch.cond):
+            return
+        yield For(
+            var=inner.var,
+            source=inner.source,
+            body=For(
+                var=outer.var,
+                source=outer.source,
+                body=If(branch.cond, inner.body, branch.orelse),
+                block_in=outer.block_in,
+                block_out=outer.block_out,
+                seq=outer.seq,
+            ),
+            block_in=inner.block_in,
+            block_out=inner.block_out,
+            seq=inner.seq,
+        )

@@ -1,0 +1,40 @@
+"""Simulated storage substrate — the stand-in for the paper's testbed."""
+
+from .cache import CacheSim
+from .cache_experiment import (
+    CacheExperimentResult,
+    run_cache_experiment,
+    simulate_join_accesses,
+)
+from .clock import SimClock
+from .devices import Extent, FlashDrive, HardDisk, Ram, SimDevice
+from .executor import (
+    ExecutionConfig,
+    ExecutionError,
+    ExecutionResult,
+    InputSpec,
+    SimExecutor,
+    build_devices,
+)
+from .stats import DeviceStats, ExecutionStats
+
+__all__ = [
+    "SimClock",
+    "SimDevice",
+    "HardDisk",
+    "FlashDrive",
+    "Ram",
+    "Extent",
+    "CacheSim",
+    "DeviceStats",
+    "ExecutionStats",
+    "InputSpec",
+    "ExecutionConfig",
+    "ExecutionResult",
+    "SimExecutor",
+    "ExecutionError",
+    "build_devices",
+    "CacheExperimentResult",
+    "run_cache_experiment",
+    "simulate_join_accesses",
+]

@@ -1,0 +1,77 @@
+"""Set-associative LRU cache simulator.
+
+Replaces the paper's ``perf``-based data-cache-miss measurement
+(Section 7.2): the cache-conscious (tiled) BNL join reduced data cache
+misses by 98.2% relative to the untiled one.  The executor feeds every
+element-granular access of RAM-resident data through this model when the
+hierarchy contains a cache level.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+
+__all__ = ["CacheSim"]
+
+
+@dataclass
+class CacheSim:
+    """A size/line/associativity parameterized LRU cache."""
+
+    size: int = 3 * 2**20
+    line_size: int = 512
+    associativity: int = 8
+    miss_penalty: float = 60e-9  # seconds of stall per miss
+    accesses: int = 0
+    misses: int = 0
+    _sets: dict[int, OrderedDict] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.size % (self.line_size * self.associativity):
+            raise ValueError(
+                "cache size must be a multiple of line_size × associativity"
+            )
+        self.num_sets = self.size // (self.line_size * self.associativity)
+
+    def access(self, addr: int, nbytes: int = 1) -> int:
+        """Touch ``nbytes`` at ``addr``; returns the misses incurred."""
+        first_line = addr // self.line_size
+        last_line = (addr + max(0, nbytes - 1)) // self.line_size
+        misses = 0
+        for line in range(first_line, last_line + 1):
+            self.accesses += 1
+            if self._touch(line):
+                misses += 1
+        self.misses += misses
+        return misses
+
+    def _touch(self, line: int) -> bool:
+        """Access one cache line; returns True on a miss."""
+        index = line % self.num_sets
+        ways = self._sets.get(index)
+        if ways is None:
+            ways = OrderedDict()
+            self._sets[index] = ways
+        if line in ways:
+            ways.move_to_end(line)
+            return False
+        ways[line] = True
+        if len(ways) > self.associativity:
+            ways.popitem(last=False)
+        return True
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def stall_seconds(self) -> float:
+        """Total simulated stall time caused by misses."""
+        return self.misses * self.miss_penalty
+
+    def reset(self) -> None:
+        self.accesses = 0
+        self.misses = 0
+        self._sets.clear()

@@ -1,0 +1,153 @@
+"""Simulated storage devices.
+
+Each device models one leaf (or intermediate level) of the memory
+hierarchy with the behavior the paper's cost model abstracts:
+
+* **Hard disk** — a seek (``InitCom``) is charged whenever a request does
+  not start where the head currently rests; bytes cost ``UnitTr`` each.
+  Sequential runs therefore emerge *naturally*: interleaved reads and
+  writes on the same disk seek constantly, a dedicated output disk
+  streams.  This is the behavioral ground truth the estimator's
+  ``seq-ac``/interference approximations are judged against.
+* **Flash (SSD)** — reads have no positioning cost; writes charge one
+  erase (``InitCom``) per ``max_seq_write`` bytes of a sequential run and
+  one per run restart.
+* **RAM** — free at this level of modeling (CPU costs are charged by the
+  executor, cache behavior by :mod:`repro.runtime.cache`).
+
+Addresses are plain integers; the executor lays out every stored list in
+a contiguous extent, so "where the head rests" is well defined.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .clock import SimClock
+from .stats import DeviceStats
+
+__all__ = ["SimDevice", "HardDisk", "FlashDrive", "Ram", "Extent"]
+
+
+@dataclass
+class Extent:
+    """A contiguous allocation on a device."""
+
+    device: "SimDevice"
+    start: int
+    nbytes: int
+
+    @property
+    def end(self) -> int:
+        return self.start + self.nbytes
+
+
+@dataclass
+class SimDevice:
+    """Base device: cost parameters plus an allocation cursor."""
+
+    name: str
+    clock: SimClock
+    read_init: float = 0.0     # seconds per positioning event on reads
+    write_init: float = 0.0    # seconds per positioning/erase on writes
+    read_unit: float = 0.0     # seconds per byte read
+    write_unit: float = 0.0    # seconds per byte written
+    capacity: int = 2**60
+    stats: DeviceStats = field(default_factory=DeviceStats)
+    _alloc_cursor: int = 0
+
+    def allocate(self, nbytes: int) -> Extent:
+        """Reserve a contiguous extent (bump allocation)."""
+        nbytes = int(nbytes)
+        if self._alloc_cursor + nbytes > self.capacity:
+            # Simulated data sets may exceed the modeled capacity for
+            # synthetic scale runs; wrap the cursor rather than failing.
+            self._alloc_cursor = 0
+        extent = Extent(self, self._alloc_cursor, nbytes)
+        self._alloc_cursor += nbytes
+        return extent
+
+    def read(self, addr: int, nbytes: float) -> None:
+        """Charge one read request of ``nbytes`` starting at ``addr``."""
+        raise NotImplementedError
+
+    def write(self, addr: int, nbytes: float) -> None:
+        """Charge one write request of ``nbytes`` starting at ``addr``."""
+        raise NotImplementedError
+
+    def invalidate_position(self) -> None:
+        """Forget the head position (another stream used the device)."""
+
+
+@dataclass
+class HardDisk(SimDevice):
+    """Seek-and-stream disk with a single head position."""
+
+    _head: int | None = None
+
+    def read(self, addr: int, nbytes: float) -> None:
+        if self._head != addr:
+            self.clock.advance_io(self.read_init)
+            self.stats.seeks += 1
+        self.clock.advance_io(nbytes * self.read_unit)
+        self.stats.reads += 1
+        self.stats.bytes_read += nbytes
+        self._head = int(addr + nbytes)
+
+    def write(self, addr: int, nbytes: float) -> None:
+        if self._head != addr:
+            self.clock.advance_io(self.write_init)
+            self.stats.seeks += 1
+        self.clock.advance_io(nbytes * self.write_unit)
+        self.stats.writes += 1
+        self.stats.bytes_written += nbytes
+        self._head = int(addr + nbytes)
+
+    def invalidate_position(self) -> None:
+        self._head = None
+
+
+@dataclass
+class FlashDrive(SimDevice):
+    """Flash device: free positioning on reads, erase blocks on writes."""
+
+    erase_block: int = 256 * 2**10
+    _write_cursor: int | None = None
+    _erased_until: int = -1
+
+    def read(self, addr: int, nbytes: float) -> None:
+        self.clock.advance_io(self.read_init)  # usually 0 for flash
+        self.clock.advance_io(nbytes * self.read_unit)
+        self.stats.reads += 1
+        self.stats.bytes_read += nbytes
+
+    def write(self, addr: int, nbytes: float) -> None:
+        if self._write_cursor != addr:
+            # A new write sequence starts: erase before writing.
+            self._erase(addr)
+        end = addr + nbytes
+        while end > self._erased_until:
+            self._erase(self._erased_until)
+        self.clock.advance_io(nbytes * self.write_unit)
+        self.stats.writes += 1
+        self.stats.bytes_written += nbytes
+        self._write_cursor = int(end)
+
+    def _erase(self, from_addr: float) -> None:
+        self.clock.advance_io(self.write_init)
+        self.stats.erases += 1
+        base = int(from_addr) - int(from_addr) % self.erase_block
+        self._erased_until = base + self.erase_block
+
+
+@dataclass
+class Ram(SimDevice):
+    """Main memory: transfers are free at this modeling granularity."""
+
+    def read(self, addr: int, nbytes: float) -> None:
+        self.stats.reads += 1
+        self.stats.bytes_read += nbytes
+
+    def write(self, addr: int, nbytes: float) -> None:
+        self.stats.writes += 1
+        self.stats.bytes_written += nbytes

@@ -1,0 +1,76 @@
+"""Execution statistics collected by the simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["DeviceStats", "ExecutionStats"]
+
+
+@dataclass
+class DeviceStats:
+    """Per-device I/O counters."""
+
+    reads: int = 0
+    writes: int = 0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    seeks: int = 0
+    erases: int = 0
+
+    def merge(self, other: "DeviceStats") -> None:
+        self.reads += other.reads
+        self.writes += other.writes
+        self.bytes_read += other.bytes_read
+        self.bytes_written += other.bytes_written
+        self.seeks += other.seeks
+        self.erases += other.erases
+
+
+@dataclass
+class ExecutionStats:
+    """Aggregate counters for one simulated run."""
+
+    devices: dict[str, DeviceStats] = field(default_factory=dict)
+    cache_accesses: int = 0
+    cache_misses: int = 0
+    tuples_processed: float = 0.0
+    output_tuples: float = 0.0
+
+    def device(self, name: str) -> DeviceStats:
+        """Counters for a device, created on first use."""
+        if name not in self.devices:
+            self.devices[name] = DeviceStats()
+        return self.devices[name]
+
+    @property
+    def total_seeks(self) -> int:
+        return sum(d.seeks for d in self.devices.values())
+
+    @property
+    def total_bytes(self) -> float:
+        return sum(
+            d.bytes_read + d.bytes_written for d in self.devices.values()
+        )
+
+    @property
+    def cache_miss_rate(self) -> float:
+        if self.cache_accesses == 0:
+            return 0.0
+        return self.cache_misses / self.cache_accesses
+
+    def report(self) -> str:
+        """Human-readable multi-line summary."""
+        lines = []
+        for name, d in sorted(self.devices.items()):
+            lines.append(
+                f"{name}: {d.bytes_read / 2**20:.1f} MiB read "
+                f"({d.seeks} seeks), {d.bytes_written / 2**20:.1f} MiB "
+                f"written ({d.erases} erases)"
+            )
+        if self.cache_accesses:
+            lines.append(
+                f"cache: {self.cache_misses}/{self.cache_accesses} misses "
+                f"({100 * self.cache_miss_rate:.1f}%)"
+            )
+        return "\n".join(lines)

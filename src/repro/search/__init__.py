@@ -1,0 +1,12 @@
+"""The breadth-first program synthesizer (OCAS proper)."""
+
+from .result import Candidate, SynthesisResult, bind_parameters
+from .synthesizer import Synthesizer, synthesize
+
+__all__ = [
+    "Synthesizer",
+    "synthesize",
+    "Candidate",
+    "SynthesisResult",
+    "bind_parameters",
+]

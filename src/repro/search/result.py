@@ -1,0 +1,87 @@
+"""Synthesis outcome types.
+
+``SynthesisResult`` carries exactly the statistics Table 1 reports per
+experiment: the naive specification's estimated cost (*Spec*), the best
+synthesized program's estimated cost (*Opt*), the search-space size, the
+derivation depth (*Steps*) and the synthesizer's own running time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cost.estimator import CostEstimate
+from ..ocal.ast import Node
+from ..ocal.interp import substitute_blocks
+from ..optimizer.penalty import OptimizationResult
+
+__all__ = ["Candidate", "SynthesisResult", "bind_parameters"]
+
+
+@dataclass
+class Candidate:
+    """One costed point of the search space."""
+
+    program: Node
+    derivation: tuple[str, ...]
+    estimate: CostEstimate
+    tuned: OptimizationResult
+
+    @property
+    def cost(self) -> float:
+        """Estimated running time in seconds with tuned parameters."""
+        return self.tuned.cost
+
+    @property
+    def steps(self) -> int:
+        """Number of rule applications that produced this program."""
+        return len(self.derivation)
+
+    def executable(self) -> Node:
+        """The program with tuned parameter values substituted in."""
+        return bind_parameters(self.program, self.tuned.values)
+
+
+@dataclass
+class SynthesisResult:
+    """The output of one synthesis run (one Table-1 row)."""
+
+    spec: Node
+    spec_cost: float
+    best: Candidate
+    search_space: int
+    runtime: float
+    depth_reached: int
+    candidates_costed: int
+    frontier_truncated: bool = False
+    top: list[Candidate] = field(default_factory=list)
+
+    @property
+    def opt_cost(self) -> float:
+        """Best estimated cost — Table 1's *Opt* column."""
+        return self.best.cost
+
+    @property
+    def steps(self) -> int:
+        """Derivation depth of the winner — Table 1's *Steps* column."""
+        return self.best.steps
+
+    @property
+    def speedup(self) -> float:
+        """Spec/Opt cost ratio."""
+        if self.best.cost <= 0:
+            return float("inf")
+        return self.spec_cost / self.best.cost
+
+    def summary(self) -> str:
+        """One-line report in the style of a Table-1 row."""
+        return (
+            f"spec={self.spec_cost:.6g}s opt={self.opt_cost:.6g}s "
+            f"space={self.search_space} steps={self.steps} "
+            f"synth={self.runtime:.2f}s"
+        )
+
+
+def bind_parameters(program: Node, values: dict[str, int]) -> Node:
+    """Substitute tuned block/bucket parameters into a program."""
+    return substitute_blocks(program, values)

@@ -1,0 +1,74 @@
+"""Symbolic arithmetic for cost formulas (sizes, block/buffer parameters).
+
+Public surface:
+
+* :class:`~repro.symbolic.expr.Expr` and its node classes;
+* constructor helpers (:func:`var`, :func:`const`, :func:`smax`,
+  :func:`smin`, :func:`ceil`, :func:`floor`, :func:`log2`,
+  :func:`ceil_div`, :func:`ceil_log2`, :func:`summation`);
+* :func:`~repro.symbolic.simplify.simplify` with closed-form sums.
+"""
+
+from .expr import (
+    ONE,
+    ZERO,
+    Add,
+    Ceil,
+    Const,
+    Div,
+    Expr,
+    Floor,
+    Log2,
+    Max,
+    Min,
+    Mul,
+    Pow,
+    Sum,
+    Var,
+    as_expr,
+    ceil,
+    ceil_div,
+    ceil_log2,
+    const,
+    floor,
+    log2,
+    smax,
+    smin,
+    summation,
+    to_str,
+    var,
+)
+from .simplify import expr_key, is_nonneg, simplify
+
+__all__ = [
+    "Expr",
+    "Const",
+    "Var",
+    "Add",
+    "Mul",
+    "Div",
+    "Pow",
+    "Max",
+    "Min",
+    "Ceil",
+    "Floor",
+    "Log2",
+    "Sum",
+    "as_expr",
+    "const",
+    "var",
+    "smax",
+    "smin",
+    "ceil",
+    "floor",
+    "log2",
+    "ceil_div",
+    "ceil_log2",
+    "summation",
+    "simplify",
+    "is_nonneg",
+    "expr_key",
+    "to_str",
+    "ZERO",
+    "ONE",
+]

@@ -1,0 +1,432 @@
+"""Simplification of symbolic expressions.
+
+The paper notes (Section 7.2) that OCAS "includes a basic engine for
+simplifying arithmetic expressions, capable of finding closed forms of some
+sums" — that engine is what turns the naive insertion-sort cost
+
+    sum_{j=0}^{x-1} (InitCom + (j+1)(UnitTr_r + UnitTr_w + InitCom_w))
+
+into ``x·InitCom + x(x+1)/2·(…)``.  This module reproduces it.
+
+Strategy: expressions are flattened into a *polynomial normal form* —
+a sum of terms, each a rational coefficient times a product of integer
+powers of opaque atoms (variables, ``max``/``min``/``ceil``/``floor``/
+``log2`` applications, irreducible sums and quotients).  Like terms are
+collected, constants folded, and ``Sum`` nodes whose bodies are polynomial
+in the bound variable of degree ≤ 3 are replaced by Faulhaber closed forms.
+
+Because every symbolic variable in OCAS denotes a size or a count, the
+simplifier assumes variables are **nonnegative**; this licenses rewrites
+such as ``max(x, 0) → x``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .expr import (
+    Add,
+    Ceil,
+    Const,
+    Div,
+    Expr,
+    Floor,
+    Log2,
+    Max,
+    Min,
+    Mul,
+    Pow,
+    Sum,
+    Var,
+    as_expr,
+)
+
+__all__ = ["simplify", "is_nonneg", "expr_key"]
+
+# A monomial maps atom -> integer power; represented as a sorted tuple so it
+# can key a dict.  A polynomial maps monomials -> Fraction coefficients.
+Monomial = tuple[tuple["Expr", int], ...]
+Polynomial = dict[Monomial, Fraction]
+
+_EMPTY_MONOMIAL: Monomial = ()
+
+
+def simplify(expr: Expr) -> Expr:
+    """Return an equivalent expression in collected, folded form."""
+    return _from_poly(_to_poly(expr))
+
+
+def expr_key(expr: Expr) -> str:
+    """A canonical string for structural comparison of simplified forms."""
+    return str(simplify(expr))
+
+
+# ----------------------------------------------------------------------
+# Polynomial arithmetic
+# ----------------------------------------------------------------------
+def _poly_const(value: Fraction | int) -> Polynomial:
+    value = Fraction(value)
+    if value == 0:
+        return {}
+    return {_EMPTY_MONOMIAL: value}
+
+
+def _poly_atom(atom: Expr, power: int = 1) -> Polynomial:
+    if power == 0:
+        return _poly_const(1)
+    return {((atom, power),): Fraction(1)}
+
+
+def _poly_add(a: Polynomial, b: Polynomial) -> Polynomial:
+    out = dict(a)
+    for monomial, coeff in b.items():
+        total = out.get(monomial, Fraction(0)) + coeff
+        if total == 0:
+            out.pop(monomial, None)
+        else:
+            out[monomial] = total
+    return out
+
+
+def _mono_mul(a: Monomial, b: Monomial) -> Monomial:
+    powers: dict[Expr, int] = {}
+    for atom, power in a:
+        powers[atom] = powers.get(atom, 0) + power
+    for atom, power in b:
+        powers[atom] = powers.get(atom, 0) + power
+    items = [(atom, p) for atom, p in powers.items() if p != 0]
+    items.sort(key=lambda pair: (_atom_sort_key(pair[0]), pair[1]))
+    return tuple(items)
+
+
+def _poly_mul(a: Polynomial, b: Polynomial) -> Polynomial:
+    out: Polynomial = {}
+    for mono_a, coeff_a in a.items():
+        for mono_b, coeff_b in b.items():
+            mono = _mono_mul(mono_a, mono_b)
+            total = out.get(mono, Fraction(0)) + coeff_a * coeff_b
+            if total == 0:
+                out.pop(mono, None)
+            else:
+                out[mono] = total
+    return out
+
+
+def _poly_scale(a: Polynomial, factor: Fraction) -> Polynomial:
+    if factor == 0:
+        return {}
+    return {mono: coeff * factor for mono, coeff in a.items()}
+
+
+def _poly_pow(a: Polynomial, exponent: int) -> Polynomial:
+    if exponent == 0:
+        return _poly_const(1)
+    if exponent < 0:
+        single = _poly_single_monomial(a)
+        if single is not None:
+            mono, coeff = single
+            inverted = tuple((atom, -power) for atom, power in mono)
+            result = {inverted: Fraction(1) / coeff}
+            return _poly_pow(result, -exponent)
+        return _poly_atom(Pow(_from_poly(a), exponent))
+    result = _poly_const(1)
+    for _ in range(exponent):
+        result = _poly_mul(result, a)
+    return result
+
+
+def _poly_single_monomial(a: Polynomial) -> tuple[Monomial, Fraction] | None:
+    if len(a) == 1:
+        (mono, coeff), = a.items()
+        return mono, coeff
+    return None
+
+
+def _atom_sort_key(atom: Expr) -> tuple[int, str]:
+    order = {Var: 0, Log2: 1, Ceil: 2, Floor: 3, Max: 4, Min: 5, Div: 6,
+             Sum: 7, Pow: 8}
+    return (order.get(type(atom), 9), str(atom))
+
+
+# ----------------------------------------------------------------------
+# Expression -> polynomial
+# ----------------------------------------------------------------------
+def _to_poly(expr: Expr) -> Polynomial:
+    if isinstance(expr, Const):
+        return _poly_const(expr.value)
+    if isinstance(expr, Var):
+        return _poly_atom(expr)
+    if isinstance(expr, Add):
+        out: Polynomial = {}
+        for term in expr.terms:
+            out = _poly_add(out, _to_poly(term))
+        return out
+    if isinstance(expr, Mul):
+        out = _poly_const(1)
+        for factor in expr.factors:
+            out = _poly_mul(out, _to_poly(factor))
+        return out
+    if isinstance(expr, Pow):
+        return _poly_pow(_to_poly(expr.base), expr.exponent)
+    if isinstance(expr, Div):
+        return _div_poly(_to_poly(expr.numerator), _to_poly(expr.denominator))
+    if isinstance(expr, Max):
+        return _fold_extremum(expr.operands, is_max=True)
+    if isinstance(expr, Min):
+        return _fold_extremum(expr.operands, is_max=False)
+    if isinstance(expr, Ceil):
+        return _fold_round(expr.operand, Ceil)
+    if isinstance(expr, Floor):
+        return _fold_round(expr.operand, Floor)
+    if isinstance(expr, Log2):
+        operand = simplify(expr.operand)
+        if isinstance(operand, Const) and operand.value > 0:
+            numerator = operand.value.numerator
+            denominator = operand.value.denominator
+            if denominator == 1 and numerator & (numerator - 1) == 0:
+                return _poly_const(numerator.bit_length() - 1)
+        return _poly_atom(Log2(operand))
+    if isinstance(expr, Sum):
+        return _fold_sum(expr)
+    raise TypeError(f"cannot simplify {expr!r}")
+
+
+def _div_poly(numerator: Polynomial, denominator: Polynomial) -> Polynomial:
+    if not denominator:
+        raise ZeroDivisionError("symbolic division by zero")
+    single = _poly_single_monomial(denominator)
+    if single is not None:
+        mono, coeff = single
+        inverse: Polynomial = {
+            tuple((atom, -power) for atom, power in mono): Fraction(1) / coeff
+        }
+        return _poly_mul(numerator, inverse)
+    if not numerator:
+        return {}
+    atom = Div(_from_poly(numerator), _from_poly(denominator))
+    return _poly_atom(atom)
+
+
+def _fold_extremum(operands: tuple[Expr, ...], *, is_max: bool) -> Polynomial:
+    # Flatten nested max/min of the same kind, dedupe, fold constants.
+    kind = Max if is_max else Min
+    flat: list[Expr] = []
+    for op in operands:
+        simplified = simplify(op)
+        if isinstance(simplified, kind):
+            flat.extend(simplified.operands)
+        else:
+            flat.append(simplified)
+    constants = [op.value for op in flat if isinstance(op, Const)]
+    symbolic: list[Expr] = []
+    for op in flat:
+        if not isinstance(op, Const) and op not in symbolic:
+            symbolic.append(op)
+    result_ops = list(symbolic)
+    if constants:
+        extremum = max(constants) if is_max else min(constants)
+        all_nonneg = bool(symbolic) and all(is_nonneg(op) for op in symbolic)
+        if is_max and extremum <= 0 and all_nonneg:
+            pass  # max(e, 0) = e when e is provably nonnegative
+        elif not is_max and extremum == 0 and all_nonneg:
+            return _poly_const(0)  # min(e, 0) = 0 when e is nonnegative
+        else:
+            result_ops.append(Const(extremum))
+    if not result_ops:
+        return _poly_const(0)
+    if len(result_ops) == 1:
+        return _to_poly(result_ops[0])
+    result_ops.sort(key=str)
+    return _poly_atom(kind(tuple(result_ops)))
+
+
+def _fold_round(operand: Expr, node_type: type) -> Polynomial:
+    simplified = simplify(operand)
+    if isinstance(simplified, Const):
+        value = simplified.value
+        if node_type is Ceil:
+            return _poly_const(-((-value.numerator) // value.denominator))
+        return _poly_const(value.numerator // value.denominator)
+    # ceil/floor of an integer-valued expression is the expression itself.
+    if _is_integral(simplified):
+        return _to_poly(simplified)
+    return _poly_atom(node_type(simplified))
+
+
+def _is_integral(expr: Expr) -> bool:
+    """Conservative check that an expression is integer-valued."""
+    if isinstance(expr, Const):
+        return expr.value.denominator == 1
+    if isinstance(expr, (Ceil, Floor)):
+        return True
+    if isinstance(expr, Var):
+        return False  # sizes may be tuned to non-integers mid-optimization
+    if isinstance(expr, Add):
+        return all(_is_integral(t) for t in expr.terms)
+    if isinstance(expr, Mul):
+        return all(_is_integral(f) for f in expr.factors)
+    if isinstance(expr, Pow):
+        return expr.exponent >= 0 and _is_integral(expr.base)
+    return False
+
+
+# ----------------------------------------------------------------------
+# Closed forms of sums (Faulhaber)
+# ----------------------------------------------------------------------
+def _fold_sum(expr: Sum) -> Polynomial:
+    lower = simplify(expr.lower)
+    upper = simplify(expr.upper)
+    body_poly = _to_poly(expr.body)
+
+    # Split the body into powers of the bound variable times coefficients
+    # free of it.  Degree > 3 or non-polynomial dependence stays opaque.
+    bound = Var(expr.var)
+    by_degree: dict[int, Polynomial] = {}
+    for monomial, coeff in body_poly.items():
+        degree = 0
+        rest: list[tuple[Expr, int]] = []
+        opaque = False
+        for atom, power in monomial:
+            if atom == bound:
+                if power < 0:
+                    opaque = True
+                    break
+                degree += power
+            elif expr.var in atom.free_vars():
+                opaque = True
+                break
+            else:
+                rest.append((atom, power))
+        if opaque or degree > 3:
+            return _poly_atom(
+                Sum(expr.var, lower, upper, _from_poly(body_poly))
+            )
+        rest_mono = tuple(rest)
+        bucket = by_degree.setdefault(degree, {})
+        bucket[rest_mono] = bucket.get(rest_mono, Fraction(0)) + coeff
+        if bucket[rest_mono] == 0:
+            del bucket[rest_mono]
+
+    # sum_{j=lower}^{upper} j^p  =  S_p(upper) - S_p(lower - 1)
+    total: Polynomial = {}
+    upper_poly = _to_poly(upper)
+    lower_minus_one = _poly_add(_to_poly(lower), _poly_const(-1))
+    for degree, coeff_poly in by_degree.items():
+        power_sum = _poly_add(
+            _faulhaber(degree, upper_poly),
+            _poly_scale(_faulhaber(degree, lower_minus_one), Fraction(-1)),
+        )
+        total = _poly_add(total, _poly_mul(coeff_poly, power_sum))
+    return total
+
+
+def _faulhaber(power: int, n: Polynomial) -> Polynomial:
+    """``sum_{j=0}^{n} j^p`` as a polynomial in ``n`` for p ≤ 3."""
+    if power == 0:
+        # n + 1 terms of 1 each.
+        return _poly_add(n, _poly_const(1))
+    if power == 1:
+        # n(n+1)/2
+        return _poly_scale(_poly_mul(n, _poly_add(n, _poly_const(1))), Fraction(1, 2))
+    if power == 2:
+        # n(n+1)(2n+1)/6
+        two_n_plus_one = _poly_add(_poly_scale(n, Fraction(2)), _poly_const(1))
+        product = _poly_mul(_poly_mul(n, _poly_add(n, _poly_const(1))), two_n_plus_one)
+        return _poly_scale(product, Fraction(1, 6))
+    if power == 3:
+        # (n(n+1)/2)^2
+        half = _poly_scale(_poly_mul(n, _poly_add(n, _poly_const(1))), Fraction(1, 2))
+        return _poly_mul(half, half)
+    raise ValueError(f"no closed form for power {power}")
+
+
+# ----------------------------------------------------------------------
+# Polynomial -> expression
+# ----------------------------------------------------------------------
+def _from_poly(poly: Polynomial) -> Expr:
+    if not poly:
+        return Const(0)
+    terms: list[Expr] = []
+    for monomial, coeff in sorted(
+        poly.items(), key=lambda item: _monomial_sort_key(item[0])
+    ):
+        factors: list[Expr] = []
+        denominators: list[Expr] = []
+        for atom, power in monomial:
+            target = factors if power > 0 else denominators
+            for _ in range(abs(power)):
+                target.append(atom)
+        term = _build_term(coeff, factors, denominators)
+        terms.append(term)
+    if len(terms) == 1:
+        return terms[0]
+    return Add(tuple(terms))
+
+
+def _monomial_sort_key(monomial: Monomial) -> tuple:
+    total_degree = sum(power for _, power in monomial)
+    return (-total_degree, tuple(str(atom) for atom, _ in monomial))
+
+
+def _build_term(
+    coeff: Fraction, factors: list[Expr], denominators: list[Expr]
+) -> Expr:
+    if not factors and not denominators:
+        return Const(coeff)
+    numerator_parts: list[Expr] = []
+    numerator_coeff = Fraction(coeff.numerator)
+    denominator_coeff = Fraction(coeff.denominator)
+    if numerator_coeff != 1 or not factors:
+        numerator_parts.append(Const(numerator_coeff))
+    numerator_parts.extend(factors)
+    if len(numerator_parts) == 1:
+        numerator: Expr = numerator_parts[0]
+    else:
+        numerator = Mul(tuple(numerator_parts))
+    denominator_parts: list[Expr] = []
+    if denominator_coeff != 1:
+        denominator_parts.append(Const(denominator_coeff))
+    denominator_parts.extend(denominators)
+    if not denominator_parts:
+        return numerator
+    if len(denominator_parts) == 1:
+        denominator: Expr = denominator_parts[0]
+    else:
+        denominator = Mul(tuple(denominator_parts))
+    return Div(numerator, denominator)
+
+
+# ----------------------------------------------------------------------
+# Sign analysis
+# ----------------------------------------------------------------------
+def is_nonneg(expr: Expr) -> bool:
+    """Conservatively check that an expression is nonnegative.
+
+    All variables denote sizes/counts and are assumed nonnegative; the
+    check returns ``False`` whenever it cannot prove the property.
+    """
+    if isinstance(expr, Const):
+        return expr.value >= 0
+    if isinstance(expr, Var):
+        return True
+    if isinstance(expr, Add):
+        return all(is_nonneg(t) for t in expr.terms)
+    if isinstance(expr, Mul):
+        return all(is_nonneg(f) for f in expr.factors)
+    if isinstance(expr, Div):
+        return is_nonneg(expr.numerator) and is_nonneg(expr.denominator)
+    if isinstance(expr, Pow):
+        return expr.exponent % 2 == 0 or is_nonneg(expr.base)
+    if isinstance(expr, Max):
+        return any(is_nonneg(op) for op in expr.operands)
+    if isinstance(expr, Min):
+        return all(is_nonneg(op) for op in expr.operands)
+    if isinstance(expr, Ceil):
+        return is_nonneg(expr.operand)
+    if isinstance(expr, Floor):
+        return False  # floor can dip below zero for values in (0, 1)
+    if isinstance(expr, Log2):
+        return False  # log2 of values in (0, 1) is negative
+    if isinstance(expr, Sum):
+        return is_nonneg(expr.body)
+    return False

@@ -1,0 +1,47 @@
+"""Naive specifications and synthetic workloads for the evaluation."""
+
+from .relations import (
+    RelationProfile,
+    join_selectivity,
+    make_columns,
+    make_singleton_runs,
+    make_sorted_multiset,
+    make_sorted_unique,
+    make_tuples,
+    make_value_multiplicity,
+)
+from .specs import (
+    aggregation_spec,
+    column_store_read_spec,
+    duplicate_removal_spec,
+    insertion_sort_spec,
+    multiset_diff_multiplicity_spec,
+    multiset_diff_sorted_spec,
+    multiset_union_multiplicity_spec,
+    multiset_union_sorted_spec,
+    naive_join_spec,
+    naive_product_spec,
+    set_union_spec,
+)
+
+__all__ = [
+    "RelationProfile",
+    "join_selectivity",
+    "make_tuples",
+    "make_sorted_unique",
+    "make_sorted_multiset",
+    "make_value_multiplicity",
+    "make_columns",
+    "make_singleton_runs",
+    "naive_join_spec",
+    "naive_product_spec",
+    "insertion_sort_spec",
+    "set_union_spec",
+    "multiset_union_sorted_spec",
+    "multiset_union_multiplicity_spec",
+    "multiset_diff_sorted_spec",
+    "multiset_diff_multiplicity_spec",
+    "column_store_read_spec",
+    "duplicate_removal_spec",
+    "aggregation_spec",
+]

@@ -1,0 +1,269 @@
+"""Naive OCAL specifications for every task in the evaluation (Table 1).
+
+Each function returns the *memory-hierarchy-oblivious* program a user
+would write — the left column of the paper's derivations.  The
+synthesizer turns these into BNL/GRACE joins, external merge-sort,
+blocked scans, and so on.
+"""
+
+from __future__ import annotations
+
+from ..cost.annotated import list_annot, tuple_annot, atom
+from ..ocal.ast import Node, SizeAnnot
+from ..ocal.builders import (
+    add,
+    app,
+    empty,
+    eq,
+    fold_l,
+    for_,
+    ge,
+    if_,
+    lam,
+    lit,
+    lt,
+    mrg,
+    ne,
+    proj,
+    sing,
+    tup,
+    unfold_r,
+    v,
+    zip_,
+)
+from ..symbolic import var
+
+__all__ = [
+    "naive_join_spec",
+    "naive_product_spec",
+    "insertion_sort_spec",
+    "set_union_spec",
+    "multiset_union_sorted_spec",
+    "multiset_union_multiplicity_spec",
+    "multiset_diff_sorted_spec",
+    "multiset_diff_multiplicity_spec",
+    "column_store_read_spec",
+    "duplicate_removal_spec",
+    "aggregation_spec",
+]
+
+
+def naive_join_spec(r: str = "R", s: str = "S", key: int = 1) -> Node:
+    """Example 1: ``for (x ← R) for (y ← S) if x.key == y.key …``."""
+    return for_(
+        "x",
+        v(r),
+        for_(
+            "y",
+            v(s),
+            if_(
+                eq(proj(v("x"), key), proj(v("y"), key)),
+                sing(tup(v("x"), v("y"))),
+                empty(),
+            ),
+        ),
+    )
+
+
+def naive_product_spec(r: str = "R", s: str = "S") -> Node:
+    """Relational product — the write-out experiments use joinCond "true".
+
+    Written as a trivially-true equality so the join structure (and the
+    hash-part matcher's refusal: no key columns) stays intact.
+    """
+    return for_(
+        "x",
+        v(r),
+        for_("y", v(s), sing(tup(v("x"), v("y")))),
+    )
+
+
+def insertion_sort_spec(runs: str = "Rs") -> Node:
+    """§7.2: folding merge over singleton lists — an n² insertion sort."""
+    return app(fold_l(empty(), unfold_r(mrg())), v(runs))
+
+
+def _merge_step(
+    emit_left,
+    emit_right,
+    emit_equal,
+    by_key: bool = False,
+    keep_right_remainder: bool = True,
+) -> Node:
+    """An unfoldR step over a sorted pair ⟨l1, l2⟩ of lists.
+
+    The three callbacks build ⟨chunk, state⟩ results for the cases
+    head(l1) < head(l2), head(l1) > head(l2) and equality.  When one list
+    runs out, the other is drained: the left remainder is always emitted,
+    the right remainder only when ``keep_right_remainder`` (unions keep
+    it, differences drop it).  ``by_key`` compares heads by their first
+    tuple component (for ⟨value, multiplicity⟩ lists) instead of whole
+    values.
+    """
+    from ..ocal.builders import head, length, tail
+
+    l1 = proj(v("st"), 1)
+    l2 = proj(v("st"), 2)
+    h1 = app(head(), l1)
+    h2 = app(head(), l2)
+    k1 = proj(h1, 1) if by_key else h1
+    k2 = proj(h2, 1) if by_key else h2
+    t1 = app(tail(), l1)
+    t2 = app(tail(), l2)
+    empty1 = eq(app(length(), l1), lit(0))
+    empty2 = eq(app(length(), l2), lit(0))
+    right_chunk = sing(h2) if keep_right_remainder else empty()
+    return lam(
+        "st",
+        if_(
+            empty1,
+            if_(
+                empty2,
+                tup(empty(), tup(empty(), empty())),
+                tup(right_chunk, tup(empty(), t2)),
+            ),
+            if_(
+                empty2,
+                tup(sing(h1), tup(t1, empty())),
+                if_(
+                    lt(k1, k2),
+                    emit_left(h1, t1, l2),
+                    if_(
+                        lt(k2, k1),
+                        emit_right(h2, l1, t2),
+                        emit_equal(h1, h2, t1, t2),
+                    ),
+                ),
+            ),
+        ),
+    )
+
+
+def set_union_spec(a: str = "A", b: str = "B") -> Node:
+    """Union of sets represented as sorted lists of unique values.
+
+    Equal heads are emitted once and both lists advance; the estimator's
+    worst case (disjoint sets) sizes the output at ``length(A) +
+    length(B)``, matching §7.3's union discussion.
+    """
+    step = _merge_step(
+        emit_left=lambda h, t1, l2: tup(sing(h), tup(t1, l2)),
+        emit_right=lambda h, l1, t2: tup(sing(h), tup(l1, t2)),
+        emit_equal=lambda h1, h2, t1, t2: tup(sing(h1), tup(t1, t2)),
+    )
+    return app(unfold_r(step), tup(v(a), v(b)))
+
+
+def multiset_union_sorted_spec(a: str = "A", b: str = "B") -> Node:
+    """Multiset union of sorted lists — a plain merge (all elements kept)."""
+    return app(unfold_r(mrg()), tup(v(a), v(b)))
+
+
+def multiset_union_multiplicity_spec(a: str = "A", b: str = "B") -> Node:
+    """Multiset union of ⟨value, multiplicity⟩ pair lists.
+
+    Equal values emit one pair with added multiplicities; the worst-case
+    output is again ``length(A) + length(B)`` — exact for disjoint value
+    sets, which is why the paper's union rows estimate accurately.
+    """
+    step = _merge_step(
+        emit_left=lambda h, t1, l2: tup(sing(h), tup(t1, l2)),
+        emit_right=lambda h, l1, t2: tup(sing(h), tup(l1, t2)),
+        emit_equal=lambda h1, h2, t1, t2: tup(
+            sing(tup(proj(h1, 1), add(proj(h1, 2), proj(h2, 2)))),
+            tup(t1, t2),
+        ),
+        by_key=True,
+    )
+    # Compare pairs by value: the generic < on tuples orders by .1 first,
+    # which is exactly the sorted order of the value-multiplicity lists.
+    return app(unfold_r(step), tup(v(a), v(b)))
+
+
+def _diff_output_annot(a_card_var: str, elem_bytes: int):
+    """Custom result-size annotation: |A − B| ≤ length(A) (§5.1, §7.3)."""
+    return list_annot(atom(elem_bytes), var(a_card_var))
+
+
+def multiset_diff_sorted_spec(
+    a: str = "A", b: str = "B", a_card_var: str = "x", elem_bytes: int = 1
+) -> Node:
+    """Multiset difference A − B of sorted lists.
+
+    Matching elements cancel; the static rules would bound the output by
+    ``length(A) + length(B)``, so the spec carries the programmer's
+    annotation ``[elem]length(A)`` — the paper's §5.1 escape hatch, and
+    the reason Table 1's diff rows *overestimate* while union is exact.
+    """
+    step = _merge_step(
+        emit_left=lambda h, t1, l2: tup(sing(h), tup(t1, l2)),
+        emit_right=lambda h, l1, t2: tup(empty(), tup(l1, t2)),
+        emit_equal=lambda h1, h2, t1, t2: tup(empty(), tup(t1, t2)),
+        keep_right_remainder=False,
+    )
+    program = app(unfold_r(step), tup(v(a), v(b)))
+    return SizeAnnot(program, _diff_output_annot(a_card_var, elem_bytes))
+
+
+def multiset_diff_multiplicity_spec(
+    a: str = "A", b: str = "B", a_card_var: str = "x", elem_bytes: int = 2
+) -> Node:
+    """Multiset difference on ⟨value, multiplicity⟩ lists."""
+    from ..ocal.builders import sub
+
+    step = _merge_step(
+        emit_left=lambda h, t1, l2: tup(sing(h), tup(t1, l2)),
+        emit_right=lambda h, l1, t2: tup(empty(), tup(l1, t2)),
+        emit_equal=lambda h1, h2, t1, t2: tup(
+            if_(
+                ge(proj(h2, 2), proj(h1, 2)),
+                empty(),  # fully cancelled
+                sing(tup(proj(h1, 1), sub(proj(h1, 2), proj(h2, 2)))),
+            ),
+            tup(t1, t2),
+        ),
+        by_key=True,
+        keep_right_remainder=False,
+    )
+    program = app(unfold_r(step), tup(v(a), v(b)))
+    return SizeAnnot(program, _diff_output_annot(a_card_var, elem_bytes))
+
+
+def column_store_read_spec(columns: int) -> Node:
+    """Reassemble ``columns`` parallel column files into rows.
+
+    ``unfoldR(z)`` zips the columns; inputs are named ``C1 … Cn``.
+    """
+    if columns < 2:
+        raise ValueError("a column-store read needs at least two columns")
+    names = tuple(f"C{i + 1}" for i in range(columns))
+    return app(unfold_r(zip_()), tup(*(v(name) for name in names)))
+
+
+def duplicate_removal_spec(a: str = "A") -> Node:
+    """Remove duplicates from a sorted list.
+
+    ``foldL`` keeps ⟨output, last⟩; a fresh value is appended when it
+    differs from the last one seen (the sentinel -1 precedes all data).
+    """
+    step = lam(
+        ("acc", "e"),
+        if_(
+            ne(v("e"), proj(v("acc"), 2)),
+            tup(concat_out(v("acc"), v("e")), v("e")),
+            v("acc"),
+        ),
+    )
+    fold = app(fold_l(tup(empty(), lit(-1)), step), v(a))
+    return proj(fold, 1)
+
+
+def concat_out(acc: Node, element: Node) -> Node:
+    from ..ocal.builders import concat
+
+    return concat(proj(acc, 1), sing(element))
+
+
+def aggregation_spec(a: str = "A") -> Node:
+    """Sum of a column — the CPU-light task of Figure 8's right panel."""
+    return app(fold_l(lit(0), lam(("acc", "e"), add(v("acc"), v("e")))), v(a))

@@ -1,0 +1,152 @@
+"""Tests for annotated types (Section 5.1)."""
+
+import pytest
+
+from repro.cost import (
+    AnnotError,
+    ConstSize,
+    ListAnnot,
+    annot_add,
+    annot_linear_growth,
+    annot_max,
+    annot_min_card,
+    annot_scale_card,
+    atom,
+    card_of,
+    elem_of,
+    list_annot,
+    size_of,
+    tuple_annot,
+)
+from repro.symbolic import Const, expr_key, simplify, var
+
+
+class TestAccessors:
+    def test_size_of_atom(self):
+        assert size_of(atom(4)) == Const(4)
+
+    def test_size_of_list(self):
+        a = list_annot(atom(2), var("x"))
+        assert expr_key(size_of(a)) == expr_key(2 * var("x"))
+
+    def test_size_of_tuple(self):
+        a = tuple_annot(atom(1), list_annot(atom(1), var("x")))
+        assert expr_key(size_of(a)) == expr_key(var("x") + 1)
+
+    def test_paper_example_annotation(self):
+        # ⟨[[1]y]x, [⟨1,1⟩]z⟩ has size x·y + 2z
+        a = tuple_annot(
+            list_annot(list_annot(atom(1), var("y")), var("x")),
+            list_annot(tuple_annot(atom(1), atom(1)), var("z")),
+        )
+        assert expr_key(size_of(a)) == expr_key(
+            var("x") * var("y") + 2 * var("z")
+        )
+
+    def test_card_and_elem(self):
+        a = list_annot(atom(1), var("x"))
+        assert card_of(a) == var("x")
+        assert elem_of(a) == atom(1)
+
+    def test_card_of_non_list_raises(self):
+        with pytest.raises(AnnotError):
+            card_of(atom(1))
+
+    def test_elem_of_non_list_raises(self):
+        with pytest.raises(AnnotError):
+            elem_of(tuple_annot(atom(1)))
+
+
+class TestMax:
+    def test_branch_with_empty_list(self):
+        # if c then [⟨x,y⟩] else []  →  [⟨1,1⟩]1 (Figure 4, rows 5–7)
+        then = list_annot(tuple_annot(atom(1), atom(1)), 1)
+        orelse = list_annot(atom(0), 0)
+        worst = annot_max(then, orelse)
+        assert isinstance(worst, ListAnnot)
+        assert card_of(worst) == Const(1)
+        assert size_of(elem_of(worst)) == Const(2)
+
+    def test_symmetric_empty(self):
+        then = list_annot(atom(0), 0)
+        orelse = list_annot(atom(1), var("x"))
+        worst = annot_max(then, orelse)
+        assert expr_key(card_of(worst)) == expr_key(var("x"))
+
+    def test_cardinalities_take_max(self):
+        a = list_annot(atom(1), var("x"))
+        b = list_annot(atom(1), var("y"))
+        worst = annot_max(a, b)
+        assert "max" in str(card_of(worst))
+
+    def test_tuples_pointwise(self):
+        a = tuple_annot(atom(1), atom(4))
+        b = tuple_annot(atom(2), atom(3))
+        worst = annot_max(a, b)
+        assert size_of(worst) == Const(6)
+
+    def test_structural_mismatch_degrades_to_size(self):
+        a = list_annot(atom(1), var("x"))
+        b = tuple_annot(atom(1), atom(1))
+        worst = annot_max(a, b)
+        assert isinstance(worst, ConstSize)
+
+
+class TestAddScale:
+    def test_concat_adds_cardinalities(self):
+        a = list_annot(atom(1), var("x"))
+        b = list_annot(atom(1), var("y"))
+        combined = annot_add(a, b)
+        assert expr_key(card_of(combined)) == expr_key(var("x") + var("y"))
+
+    def test_concat_with_empty_is_identity(self):
+        a = list_annot(atom(1), var("x"))
+        empty = list_annot(atom(0), 0)
+        assert annot_add(a, empty) == a
+        assert annot_add(empty, a) == a
+
+    def test_concat_of_non_lists_raises(self):
+        with pytest.raises(AnnotError):
+            annot_add(atom(1), atom(1))
+
+    def test_scale_multiplies_card(self):
+        a = list_annot(atom(2), var("k"))
+        scaled = annot_scale_card(a, var("n"))
+        assert expr_key(card_of(scaled)) == expr_key(var("n") * var("k"))
+
+    def test_min_card_keeps_smaller(self):
+        a = list_annot(atom(1), var("x"))
+        b = list_annot(atom(1), var("y"))
+        shorter = annot_min_card(a, b)
+        assert "min" in str(card_of(shorter))
+
+
+class TestLinearGrowth:
+    def test_list_grows_by_one_per_iteration(self):
+        # foldL([], λ⟨a,x⟩. a ⊔ [x]): step result has card 1 given acc [].
+        init = list_annot(atom(1), 0)
+        step = list_annot(atom(1), 1)
+        final = annot_linear_growth(init, step, var("n"))
+        assert expr_key(card_of(final)) == expr_key(var("n"))
+
+    def test_counter_grows_in_bytes(self):
+        init = atom(1)
+        step = atom(1)
+        final = annot_linear_growth(init, step, var("n"))
+        assert size_of(final) == Const(1)
+
+    def test_tuple_growth_pointwise(self):
+        init = tuple_annot(list_annot(atom(1), 0), atom(1))
+        step = tuple_annot(list_annot(atom(1), 2), atom(1))
+        final = annot_linear_growth(init, step, var("n"))
+        assert expr_key(size_of(final)) == expr_key(2 * var("n") + 1)
+
+    def test_mismatched_shapes_degrade_to_bytes(self):
+        init = list_annot(atom(1), 0)
+        step = tuple_annot(atom(1), atom(1))
+        final = annot_linear_growth(init, step, var("n"))
+        assert isinstance(final, ConstSize)
+
+    def test_rendering(self):
+        a = list_annot(tuple_annot(atom(1), atom(1)), var("x"))
+        assert str(a) == "[⟨1, 1⟩]{x}"

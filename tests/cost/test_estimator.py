@@ -1,0 +1,514 @@
+"""Estimator behavior across constructs: naive costs, spilling, GRACE,
+order-inputs, seq-ac, flash writes, cache hierarchies."""
+
+import pytest
+
+from repro.cost import (
+    CostEstimator,
+    CostModel,
+    EstimatorError,
+    atom,
+    card_of,
+    list_annot,
+    size_of,
+    tuple_annot,
+)
+from repro.hierarchy import (
+    GB,
+    KB,
+    MB,
+    hdd_flash_hierarchy,
+    hdd_ram_cache_hierarchy,
+    hdd_ram_hierarchy,
+    two_hdd_hierarchy,
+)
+from repro.ocal.builders import (
+    app,
+    empty,
+    eq,
+    flat_map,
+    fold_l,
+    for_,
+    hash_partition,
+    head,
+    if_,
+    lam,
+    length,
+    lit,
+    proj,
+    sing,
+    tup,
+    unfold_r,
+    v,
+    zip_,
+)
+from repro.symbolic import expr_key, var
+
+X, Y = var("x"), var("y")
+
+
+def join_model(hierarchy, output=None, stats=None):
+    return CostModel(
+        hierarchy=hierarchy,
+        input_annots={
+            "R": list_annot(tuple_annot(atom(1), atom(1)), X),
+            "S": list_annot(tuple_annot(atom(1), atom(1)), Y),
+        },
+        input_locations={"R": "HDD", "S": "HDD"},
+        output_location=output,
+        stats=stats or {"x": 2**28, "y": 2**23},
+    )
+
+
+def naive_join():
+    return for_(
+        "a",
+        v("R"),
+        for_(
+            "b",
+            v("S"),
+            if_(
+                eq(proj(v("a"), 1), proj(v("b"), 1)),
+                sing(tup(v("a"), v("b"))),
+                empty(),
+            ),
+        ),
+    )
+
+
+class TestNaiveCosts:
+    def test_one_seek_per_tuple(self):
+        est = CostEstimator(join_model(hdd_ram_hierarchy(32 * MB))).estimate(
+            naive_join()
+        )
+        # R fetched element-wise once; S fetched element-wise per R tuple.
+        assert expr_key(est.events.init_count("HDD", "RAM")) == expr_key(
+            X + X * Y
+        )
+
+    def test_no_write_events_when_cpu_consumes(self):
+        est = CostEstimator(join_model(hdd_ram_hierarchy(32 * MB))).estimate(
+            naive_join()
+        )
+        assert est.events.unit_count("RAM", "HDD").evaluate({}) == 0
+
+    def test_unbound_variable_rejected(self):
+        model = join_model(hdd_ram_hierarchy(32 * MB))
+        with pytest.raises(EstimatorError):
+            CostEstimator(model).estimate(v("missing"))
+
+    def test_for_over_non_list_rejected(self):
+        model = join_model(hdd_ram_hierarchy(32 * MB))
+        with pytest.raises(EstimatorError):
+            CostEstimator(model).estimate(for_("a", lit(1), sing(v("a"))))
+
+
+class TestBlocking:
+    def blocked_join(self, seq=None):
+        return for_(
+            "xB",
+            v("R"),
+            for_(
+                "yB",
+                v("S"),
+                for_(
+                    "a",
+                    v("xB"),
+                    for_(
+                        "b",
+                        v("yB"),
+                        if_(
+                            eq(proj(v("a"), 1), proj(v("b"), 1)),
+                            sing(tup(v("a"), v("b"))),
+                            empty(),
+                        ),
+                    ),
+                ),
+                block_in="k2",
+                seq=seq,
+            ),
+            block_in="k1",
+        )
+
+    def test_blocking_reduces_seeks(self):
+        model = join_model(hdd_ram_hierarchy(32 * MB))
+        naive = CostEstimator(model).estimate(naive_join())
+        blocked = CostEstimator(model).estimate(self.blocked_join())
+        env = {"x": 1e6, "y": 1e4, "k1": 1e5, "k2": 1e4}
+        assert blocked.events.init_count("HDD", "RAM").evaluate(env) < (
+            naive.events.init_count("HDD", "RAM").evaluate(env) / 1e3
+        )
+
+    def test_blocking_reduces_passes_over_inner_relation(self):
+        # The naive join transfers S once per R *tuple*; the blocked join
+        # once per R *block* — x/k1 passes instead of x.
+        model = join_model(hdd_ram_hierarchy(32 * MB))
+        naive = CostEstimator(model).estimate(naive_join())
+        blocked = CostEstimator(model).estimate(self.blocked_join())
+        env = {"x": 1e6, "y": 1e4, "k1": 1e5, "k2": 1e4}
+        naive_bytes = naive.events.unit_count("HDD", "RAM").evaluate(env)
+        blocked_bytes = blocked.events.unit_count("HDD", "RAM").evaluate(env)
+        assert naive_bytes == pytest.approx(2 * (1e6 + 1e6 * 1e4))
+        assert blocked_bytes == pytest.approx(2 * (1e6 + 1e6 / 1e5 * 1e4))
+
+    def test_single_scan_bytes_unchanged_by_blocking(self):
+        model = join_model(hdd_ram_hierarchy(32 * MB))
+        scan = for_("a", v("R"), sing(proj(v("a"), 1)))
+        blocked_scan = for_(
+            "xB",
+            v("R"),
+            for_("a", v("xB"), sing(proj(v("a"), 1))),
+            block_in="k1",
+        )
+        env = {"x": 1e6, "k1": 1e4}
+        plain = CostEstimator(model).estimate(scan)
+        blocked = CostEstimator(model).estimate(blocked_scan)
+        assert blocked.events.unit_count("HDD", "RAM").evaluate(
+            env
+        ) == pytest.approx(
+            plain.events.unit_count("HDD", "RAM").evaluate(env)
+        )
+
+    def test_seq_annotation_one_seek_per_pass(self):
+        model = join_model(hdd_ram_hierarchy(32 * MB))
+        plain = CostEstimator(model).estimate(self.blocked_join())
+        seq = CostEstimator(model).estimate(
+            self.blocked_join(seq=("HDD", "RAM"))
+        )
+        env = {"x": 1e6, "y": 1e4, "k1": 1e3, "k2": 1e2}
+        # Without maxSeq limits the whole S pass costs a single seek.
+        plain_inits = plain.events.init_count("HDD", "RAM").evaluate(env)
+        seq_inits = seq.events.init_count("HDD", "RAM").evaluate(env)
+        expected = env["x"] / env["k1"] * (1 + env["y"] / env["k2"])
+        assert plain_inits == pytest.approx(expected)
+        assert seq_inits == pytest.approx(
+            env["x"] / env["k1"] * 2  # one block seek + one seq pass
+        )
+
+
+class TestWriteOut:
+    def test_same_disk_interference(self):
+        model_same = join_model(hdd_ram_hierarchy(32 * MB), output="HDD")
+        model_none = join_model(hdd_ram_hierarchy(32 * MB))
+        est_same = CostEstimator(model_same).estimate(naive_join())
+        est_none = CostEstimator(model_none).estimate(naive_join())
+        env = {"x": 1e5, "y": 1e4}
+        assert est_same.total.evaluate(env) > est_none.total.evaluate(env)
+        # Interference seeks: reads re-seek once per output eviction.
+        extra = est_same.events.init_count(
+            "HDD", "RAM"
+        ).evaluate(env) - est_none.events.init_count("HDD", "RAM").evaluate(env)
+        assert extra > 0
+
+    def test_two_disks_avoid_interference(self):
+        model = CostModel(
+            hierarchy=two_hdd_hierarchy(32 * MB),
+            input_annots={
+                "R": list_annot(tuple_annot(atom(1), atom(1)), X),
+                "S": list_annot(tuple_annot(atom(1), atom(1)), Y),
+            },
+            input_locations={"R": "HDD", "S": "HDD"},
+            output_location="HDD2",
+            stats={"x": 2**20, "y": 2**18},
+        )
+        est = CostEstimator(model).estimate(naive_join())
+        env = {"x": 1e5, "y": 1e4}
+        # No interference term on the input disk.
+        assert est.events.init_count("HDD", "RAM").evaluate(
+            env
+        ) == pytest.approx(env["x"] + env["x"] * env["y"])
+        assert est.events.unit_count("RAM", "HDD2").evaluate(env) > 0
+
+    def test_flash_write_erases_per_erase_block(self):
+        model = CostModel(
+            hierarchy=hdd_flash_hierarchy(32 * MB),
+            input_annots={
+                "R": list_annot(tuple_annot(atom(1), atom(1)), X),
+                "S": list_annot(tuple_annot(atom(1), atom(1)), Y),
+            },
+            input_locations={"R": "HDD", "S": "HDD"},
+            output_location="SSD",
+            stats={"x": 2**20, "y": 2**18},
+        )
+        program = for_(
+            "xB", v("R"), for_("b", v("S"), sing(tup(v("xB"), v("b")))),
+            block_in="k1", block_out="ko",
+        )
+        est = CostEstimator(model).estimate(program)
+        env = {"x": 2.0**20, "y": 2.0**10, "k1": 2.0**10, "ko": 2.0**25}
+        inits = est.events.init_count("RAM", "SSD").evaluate(env)
+        total_bytes = est.events.unit_count("RAM", "SSD").evaluate(env)
+        # However large the buffer, one erase per 256K written.
+        assert inits == pytest.approx(total_bytes / (256 * KB))
+
+
+class TestSpilling:
+    def test_small_intermediate_stays_in_ram(self):
+        model = join_model(
+            hdd_ram_hierarchy(32 * MB), stats={"x": 1e3, "y": 1e2}
+        )
+        program = app(
+            lam("small", for_("a", v("small"), sing(v("a")))),
+            for_("a", v("R"), sing(proj(v("a"), 1))),
+        )
+        est = CostEstimator(model).estimate(program)
+        # Only the initial read of R; no spill traffic back to disk.
+        assert est.events.unit_count("RAM", "HDD").evaluate({"x": 1e3}) == 0
+
+    def test_large_intermediate_spills(self):
+        model = join_model(
+            hdd_ram_hierarchy(1 * MB), stats={"x": 1e8, "y": 1e2}
+        )
+        program = app(
+            lam("big", app(length(), v("big"))),
+            for_("a", v("R"), sing(proj(v("a"), 1))),
+        )
+        est = CostEstimator(model).estimate(program)
+        env = {"x": 1e8, "bout1": 1e6}
+        assert est.events.unit_count("RAM", "HDD").evaluate(env) == (
+            pytest.approx(1e8)
+        )
+
+
+class TestGraceHashJoin:
+    def grace(self, blocked=False):
+        def body(r, s):
+            if not blocked:
+                return for_(
+                    "a",
+                    r,
+                    for_(
+                        "b",
+                        s,
+                        if_(
+                            eq(proj(v("a"), 1), proj(v("b"), 1)),
+                            sing(tup(v("a"), v("b"))),
+                            empty(),
+                        ),
+                    ),
+                )
+            return for_(
+                "aB",
+                r,
+                for_(
+                    "bB",
+                    s,
+                    for_(
+                        "a",
+                        v("aB"),
+                        for_(
+                            "b",
+                            v("bB"),
+                            if_(
+                                eq(proj(v("a"), 1), proj(v("b"), 1)),
+                                sing(tup(v("a"), v("b"))),
+                                empty(),
+                            ),
+                        ),
+                    ),
+                    block_in="kb2",
+                ),
+                block_in="kb1",
+            )
+
+        return app(
+            lam(
+                ("Rp", "Sp"),
+                app(
+                    flat_map(
+                        lam("p", body(proj(v("p"), 1), proj(v("p"), 2)))
+                    ),
+                    app(
+                        zip_(),
+                        tup(
+                            app(hash_partition("s", 1), v("Rp")),
+                            app(hash_partition("s", 1), v("Sp")),
+                        ),
+                    ),
+                ),
+            ),
+            tup(v("R"), v("S")),
+        )
+
+    def test_partitions_spill_and_data_read_twice(self):
+        # Bucket-blocked GRACE with whole-bucket blocks: every byte is read
+        # exactly twice (once to partition, once to join) and written once.
+        model = join_model(
+            hdd_ram_hierarchy(8 * MB), stats={"x": 2**28, "y": 2**26}
+        )
+        est = CostEstimator(model).estimate(self.grace(blocked=True))
+        env = {
+            "x": 2.0**28,
+            "y": 2.0**26,
+            "s": 256.0,
+            "kb1": 2.0**20,  # = x/s: one block covers a whole R bucket
+            "kb2": 2.0**18,  # = y/s
+            "bout1": 2.0**20,
+            "bout2": 2.0**20,
+        }
+        reads = est.events.unit_count("HDD", "RAM").evaluate(env)
+        writes = est.events.unit_count("RAM", "HDD").evaluate(env)
+        total_input = 2 * (2**28 + 2**26)  # 2 bytes per tuple
+        assert reads == pytest.approx(2 * total_input, rel=0.01)
+        assert writes == pytest.approx(total_input, rel=0.01)
+
+    def test_bucket_count_is_a_parameter(self):
+        model = join_model(hdd_ram_hierarchy(8 * MB))
+        est = CostEstimator(model).estimate(self.grace())
+        assert "s" in est.parameters
+
+    def test_grace_beats_blocked_bnl_when_inner_exceeds_ram(self):
+        # Table 1's setup: S far larger than the buffer pool, so BNL makes
+        # many passes over S while GRACE reads everything twice.
+        stats = {"x": 2**28, "y": 2**26}
+        model = join_model(hdd_ram_hierarchy(8 * MB), stats=stats)
+        grace_est = CostEstimator(model).estimate(self.grace(blocked=True))
+        bnl = TestBlocking().blocked_join(seq=("HDD", "RAM"))
+        bnl_est = CostEstimator(model).estimate(bnl)
+        grace_cost = grace_est.total.evaluate(
+            {
+                "x": 2.0**28, "y": 2.0**26, "s": 256.0,
+                "kb1": 2.0**20, "kb2": 2.0**18,
+                "bout1": 2.0**20, "bout2": 2.0**20,
+            }
+        )
+        bnl_cost = bnl_est.total.evaluate(
+            {"x": 2.0**28, "y": 2.0**26, "k1": 2.0**21, "k2": 2.0**21}
+        )
+        assert grace_cost < bnl_cost
+
+
+class TestCacheHierarchy:
+    def test_untiled_inner_loops_pay_per_element_cache_inits(self):
+        hierarchy = hdd_ram_cache_hierarchy(32 * MB)
+        model = CostModel(
+            hierarchy=hierarchy,
+            input_annots={"R": list_annot(atom(1), X)},
+            input_locations={"R": "HDD"},
+            stats={"x": 2**20},
+        )
+        blocked = for_(
+            "xB", v("R"), for_("a", v("xB"), sing(v("a"))), block_in="k1"
+        )
+        tiled = for_(
+            "xB",
+            v("R"),
+            for_(
+                "xC",
+                v("xB"),
+                for_("a", v("xC"), sing(v("a"))),
+                block_in="kc",
+            ),
+            block_in="k1",
+        )
+        est_blocked = CostEstimator(model).estimate(blocked)
+        est_tiled = CostEstimator(model).estimate(tiled)
+        env = {"x": 2.0**20, "k1": 2.0**15, "kc": 2.0**9}
+        untiled_inits = est_blocked.events.init_count("RAM", "Cache").evaluate(env)
+        tiled_inits = est_tiled.events.init_count("RAM", "Cache").evaluate(env)
+        assert untiled_inits == pytest.approx(2.0**20)   # per element
+        assert tiled_inits == pytest.approx(2.0**20 / 2**9)  # per tile
+
+    def test_hdd_fetch_goes_through_ram(self):
+        hierarchy = hdd_ram_cache_hierarchy(32 * MB)
+        model = CostModel(
+            hierarchy=hierarchy,
+            input_annots={"R": list_annot(atom(1), X)},
+            input_locations={"R": "HDD"},
+            stats={"x": 2**20},
+        )
+        blocked = for_(
+            "xB", v("R"), for_("a", v("xB"), sing(v("a"))), block_in="k1"
+        )
+        est = CostEstimator(model).estimate(blocked)
+        env = {"x": 2.0**20, "k1": 2.0**10}
+        assert est.events.unit_count("HDD", "RAM").evaluate(env) == (
+            pytest.approx(2.0**20)
+        )
+
+
+class TestOrderInputs:
+    def test_min_max_annotation(self):
+        model = join_model(hdd_ram_hierarchy(32 * MB))
+        ordered = app(
+            lam(("R1", "S1"), naive_join_over("R1", "S1")),
+            if_(
+                Prim_le_length("R", "S"),
+                tup(v("R"), v("S")),
+                tup(v("S"), v("R")),
+            ),
+        )
+        est = CostEstimator(model).estimate(ordered)
+        # Outer loop runs min(x, y) times: the dominant init term is
+        # min(x,y)·max(x,y) = x·y either way, but the linear term is min.
+        env_small_r = {"x": 1e3, "y": 1e6}
+        env_small_s = {"x": 1e6, "y": 1e3}
+        inits = est.events.init_count("HDD", "RAM")
+        assert inits.evaluate(env_small_r) == pytest.approx(
+            1e3 + 1e3 * 1e6
+        )
+        assert inits.evaluate(env_small_s) == pytest.approx(
+            1e3 + 1e3 * 1e6
+        )
+
+
+def naive_join_over(r, s):
+    return for_(
+        "a",
+        v(r),
+        for_(
+            "b",
+            v(s),
+            if_(
+                eq(proj(v("a"), 1), proj(v("b"), 1)),
+                sing(tup(v("a"), v("b"))),
+                empty(),
+            ),
+        ),
+    )
+
+
+def Prim_le_length(a, b):
+    from repro.ocal.builders import le
+
+    return le(app(length(), v(a)), app(length(), v(b)))
+
+
+class TestFoldCosts:
+    def test_aggregation_reads_once(self):
+        model = CostModel(
+            hierarchy=hdd_ram_hierarchy(32 * MB),
+            input_annots={"R": list_annot(atom(1), X)},
+            input_locations={"R": "HDD"},
+            stats={"x": 2**30},
+        )
+        from repro.ocal.builders import add
+
+        agg = app(
+            fold_l(lit(0), lam(("acc", "e"), add(v("acc"), v("e"))),
+                   block_in="k1"),
+            v("R"),
+        )
+        est = CostEstimator(model).estimate(agg)
+        env = {"x": 2.0**30, "k1": 2.0**20}
+        assert est.events.unit_count("HDD", "RAM").evaluate(env) == (
+            pytest.approx(2.0**30)
+        )
+        assert est.events.init_count("HDD", "RAM").evaluate(env) == (
+            pytest.approx(2.0**10)
+        )
+
+    def test_small_accumulator_not_spilled(self):
+        model = CostModel(
+            hierarchy=hdd_ram_hierarchy(32 * MB),
+            input_annots={"R": list_annot(atom(1), X)},
+            input_locations={"R": "HDD"},
+            stats={"x": 2**20},
+        )
+        from repro.ocal.builders import add
+
+        agg = app(
+            fold_l(lit(0), lam(("acc", "e"), add(v("acc"), v("e")))), v("R")
+        )
+        est = CostEstimator(model).estimate(agg)
+        assert est.events.unit_count("RAM", "HDD").evaluate({"x": 1e6}) == 0

@@ -1,0 +1,130 @@
+"""Property-based tests on cost-estimator invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cost import (
+    CostEstimator,
+    CostModel,
+    atom,
+    list_annot,
+    size_of,
+    tuple_annot,
+)
+from repro.hierarchy import MB, hdd_ram_hierarchy
+from repro.ocal.builders import (
+    empty,
+    eq,
+    for_,
+    if_,
+    proj,
+    sing,
+    tup,
+    v,
+)
+from repro.symbolic import var
+
+
+def blocked_join(k1="k1", k2="k2"):
+    return for_(
+        "xB",
+        v("R"),
+        for_(
+            "yB",
+            v("S"),
+            for_(
+                "a",
+                v("xB"),
+                for_(
+                    "b",
+                    v("yB"),
+                    if_(
+                        eq(proj(v("a"), 1), proj(v("b"), 1)),
+                        sing(tup(v("a"), v("b"))),
+                        empty(),
+                    ),
+                ),
+            ),
+            block_in=k2,
+        ),
+        block_in=k1,
+    )
+
+
+def make_model(ram_mb=8, output=None):
+    return CostModel(
+        hierarchy=hdd_ram_hierarchy(ram_mb * MB),
+        input_annots={
+            "R": list_annot(tuple_annot(atom(1), atom(1)), var("x")),
+            "S": list_annot(tuple_annot(atom(1), atom(1)), var("y")),
+        },
+        input_locations={"R": "HDD", "S": "HDD"},
+        output_location=output,
+        stats={"x": 2.0**26, "y": 2.0**22},
+    )
+
+
+ESTIMATE = CostEstimator(make_model()).estimate(blocked_join())
+ESTIMATE_OUT = CostEstimator(make_model(output="HDD")).estimate(blocked_join())
+
+
+class TestCostInvariants:
+    @given(
+        x=st.floats(1e3, 1e9),
+        y=st.floats(1e3, 1e9),
+        k1=st.floats(1, 1e6),
+        k2=st.floats(1, 1e6),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_cost_is_nonnegative(self, x, y, k1, k2):
+        env = {"x": x, "y": y, "k1": k1, "k2": k2}
+        assert ESTIMATE.total.evaluate(env) >= 0
+
+    @given(
+        x=st.floats(1e4, 1e8),
+        y=st.floats(1e4, 1e8),
+        k=st.floats(1, 1e5),
+        factor=st.floats(1.1, 16),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_bigger_blocks_never_cost_more(self, x, y, k, factor):
+        base = {"x": x, "y": y, "k1": k, "k2": k}
+        bigger = {"x": x, "y": y, "k1": k * factor, "k2": k * factor}
+        assert ESTIMATE.total.evaluate(bigger) <= (
+            ESTIMATE.total.evaluate(base) * 1.0001
+        )
+
+    @given(
+        x=st.floats(1e4, 1e8),
+        factor=st.floats(1.1, 8),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_cost_monotone_in_input_size(self, x, factor):
+        env = {"x": x, "y": 1e5, "k1": 1e3, "k2": 1e3}
+        grown = dict(env, x=x * factor)
+        assert ESTIMATE.total.evaluate(grown) >= ESTIMATE.total.evaluate(env)
+
+    @given(
+        x=st.floats(1e4, 1e7),
+        y=st.floats(1e4, 1e7),
+        k=st.floats(2, 1e4),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_writeout_only_adds_cost(self, x, y, k):
+        env = {"x": x, "y": y, "k1": k, "k2": k, "ko": 1e5}
+        no_out = ESTIMATE.total.evaluate({k_: v_ for k_, v_ in env.items()
+                                          if k_ != "ko"})
+        with_out = ESTIMATE_OUT.total.evaluate(env)
+        assert with_out >= no_out
+
+    def test_result_size_independent_of_blocks(self):
+        env1 = {"x": 1e6, "y": 1e4, "k1": 10.0, "k2": 10.0}
+        env2 = {"x": 1e6, "y": 1e4, "k1": 999.0, "k2": 7.0}
+        size = size_of(ESTIMATE.result.annot)
+        assert size.evaluate(env1) == size.evaluate(env2)
+
+    def test_constraints_reference_known_symbols(self):
+        known = {"x", "y", "k1", "k2", "ko"}
+        for constraint in ESTIMATE_OUT.constraints:
+            symbols = constraint.lhs.free_vars() | constraint.rhs.free_vars()
+            assert symbols <= known

@@ -1,0 +1,75 @@
+"""Tests for transfer-event bookkeeping and constraints."""
+
+import pytest
+
+from repro.cost import Constraint, CostEvents
+from repro.hierarchy import MB, hdd_ram_hierarchy
+from repro.symbolic import Const, expr_key, var
+
+
+class TestCostEvents:
+    def test_counts_accumulate(self):
+        events = CostEvents()
+        events.add_init("HDD", "RAM", var("x"))
+        events.add_init("HDD", "RAM", 5)
+        assert expr_key(events.init_count("HDD", "RAM")) == expr_key(
+            var("x") + 5
+        )
+
+    def test_directions_are_distinct(self):
+        events = CostEvents()
+        events.add_unit("HDD", "RAM", 10)
+        assert events.unit_count("RAM", "HDD") == Const(0)
+
+    def test_merge(self):
+        a = CostEvents()
+        a.add_unit("HDD", "RAM", var("x"))
+        b = CostEvents()
+        b.add_unit("HDD", "RAM", var("y"))
+        b.add_init("RAM", "HDD", 1)
+        a.merge(b)
+        assert expr_key(a.unit_count("HDD", "RAM")) == expr_key(
+            var("x") + var("y")
+        )
+        assert a.init_count("RAM", "HDD") == Const(1)
+
+    def test_merge_scaled_multiplies(self):
+        inner = CostEvents()
+        inner.add_init("HDD", "RAM", var("y"))
+        outer = CostEvents()
+        outer.merge_scaled(inner, var("n"))
+        assert expr_key(outer.init_count("HDD", "RAM")) == expr_key(
+            var("n") * var("y")
+        )
+
+    def test_total_cost_uses_edge_weights(self):
+        h = hdd_ram_hierarchy(32 * MB)
+        events = CostEvents()
+        events.add_init("HDD", "RAM", 100)        # 100 seeks à 15 ms
+        events.add_unit("HDD", "RAM", 30 * MB)    # 1 second of transfer
+        total = events.total_cost(h)
+        assert total.evaluate({}) == pytest.approx(100 * 15e-3 + 1.0)
+
+    def test_total_cost_is_symbolic(self):
+        h = hdd_ram_hierarchy(32 * MB)
+        events = CostEvents()
+        events.add_init("HDD", "RAM", var("x"))
+        total = events.total_cost(h)
+        assert total.evaluate({"x": 2}) == pytest.approx(2 * 15e-3)
+
+    def test_evaluated_report(self):
+        events = CostEvents()
+        events.add_init("HDD", "RAM", var("x"))
+        report = events.evaluated({"x": 7})
+        assert report["init"][("HDD", "RAM")] == 7.0
+
+
+class TestConstraint:
+    def test_satisfied(self):
+        c = Constraint(var("k"), Const(10))
+        assert c.satisfied({"k": 10})
+        assert not c.satisfied({"k": 11})
+
+    def test_tolerance(self):
+        c = Constraint(var("k"), Const(10))
+        assert c.satisfied({"k": 10.0000000001})

@@ -1,0 +1,139 @@
+"""Section 7.2's sorting cost formulas, derived automatically.
+
+* Naive insertion sort ``foldL([], unfoldR(mrg))`` over x singleton lists
+  stored on HDD costs Θ(x²) transferred units and write seeks — the
+  closed form ``x·InitCom + x(x+1)/2·(UnitTr_r + UnitTr_w + InitCom_w)``.
+* 2^k-way External Merge-Sort ``treeFold[2^k]([], unfoldR(funcPow[k](mrg)))``
+  costs ``⌈⌈log x⌉/k⌉·x`` units each way with ``/bin`` and ``/bout``
+  initiation counts.
+"""
+
+import math
+
+import pytest
+
+from repro.cost import CostEstimator, CostModel, atom, list_annot
+from repro.hierarchy import MB, hdd_ram_hierarchy
+from repro.ocal.builders import app, empty, fold_l, func_pow, mrg, tree_fold, unfold_r, v
+from repro.symbolic import expr_key, var
+
+
+def make_model(ram=32 * MB, runs=1e9):
+    x = var("x")
+    return CostModel(
+        hierarchy=hdd_ram_hierarchy(ram),
+        input_annots={"Rs": list_annot(list_annot(atom(1), 1), x)},
+        input_locations={"Rs": "HDD"},
+        output_location="HDD",
+        stats={"x": runs},
+    )
+
+
+class TestInsertionSort:
+    @pytest.fixture()
+    def estimate(self):
+        program = app(fold_l(empty(), unfold_r(mrg())), v("Rs"))
+        return CostEstimator(make_model()).estimate(program)
+
+    def test_quadratic_transfer_units(self, estimate):
+        x = var("x")
+        expected = x * (x + 1) / 2
+        assert expr_key(estimate.events.unit_count("HDD", "RAM")) == expr_key(
+            expected
+        )
+        assert expr_key(estimate.events.unit_count("RAM", "HDD")) == expr_key(
+            expected
+        )
+
+    def test_quadratic_write_seeks(self, estimate):
+        x = var("x")
+        assert expr_key(estimate.events.init_count("RAM", "HDD")) == expr_key(
+            x * (x + 1) / 2
+        )
+
+    def test_linear_read_seeks(self, estimate):
+        # x seeks for the input elements + x to find the accumulator.
+        x = var("x")
+        assert expr_key(estimate.events.init_count("HDD", "RAM")) == expr_key(
+            2 * x
+        )
+
+    def test_result_is_materialized_on_disk(self, estimate):
+        assert estimate.result.loc == "HDD"
+
+    def test_numeric_blowup(self, estimate):
+        small = estimate.total.evaluate({"x": 1e3})
+        large = estimate.total.evaluate({"x": 1e4})
+        # Quadratic: 10x the input, ~100x the cost.
+        assert large / small == pytest.approx(100, rel=0.1)
+
+
+class TestExternalMergeSort:
+    def make_program(self, k):
+        return app(
+            tree_fold(
+                2**k,
+                empty(),
+                unfold_r(func_pow(k, mrg()), block_in="kb", block_out="ko"),
+            ),
+            v("Rs"),
+        )
+
+    def test_levels_times_data_each_way(self):
+        estimate = CostEstimator(make_model()).estimate(self.make_program(2))
+        env = {"x": 2.0**20, "kb": 1.0, "ko": 1.0}
+        levels = math.ceil(20 / 2)
+        assert estimate.events.unit_count("HDD", "RAM").evaluate(
+            env
+        ) == pytest.approx(levels * 2**20)
+        assert estimate.events.unit_count("RAM", "HDD").evaluate(
+            env
+        ) == pytest.approx(levels * 2**20)
+
+    def test_inits_scale_with_buffer_sizes(self):
+        estimate = CostEstimator(make_model()).estimate(self.make_program(2))
+        env = {"x": 2.0**20, "kb": 2.0**10, "ko": 2.0**12}
+        levels = math.ceil(20 / 2)
+        assert estimate.events.init_count("HDD", "RAM").evaluate(
+            env
+        ) == pytest.approx(levels * 2**20 / 2**10)
+        assert estimate.events.init_count("RAM", "HDD").evaluate(
+            env
+        ) == pytest.approx(levels * 2**20 / 2**12)
+
+    def test_higher_fan_in_means_fewer_levels(self):
+        model = make_model()
+        est2 = CostEstimator(model).estimate(self.make_program(1))
+        est16 = CostEstimator(model).estimate(self.make_program(4))
+        env = {"x": 2.0**20, "kb": 2.0**10, "ko": 2.0**10}
+        assert est16.events.unit_count("HDD", "RAM").evaluate(env) < (
+            est2.events.unit_count("HDD", "RAM").evaluate(env)
+        )
+
+    def test_fan_in_buffer_tradeoff_constraint(self):
+        # 2^k input buffers plus the output buffer must share the root.
+        estimate = CostEstimator(make_model()).estimate(self.make_program(3))
+        joint = [c for c in estimate.constraints if "together" in c.reason]
+        assert joint, "expected a joint capacity constraint"
+        assert not joint[0].satisfied({"kb": 32 * MB, "ko": 32 * MB})
+
+    def test_sort_beats_insertion_sort_at_scale(self):
+        model = make_model()
+        naive = app(fold_l(empty(), unfold_r(mrg())), v("Rs"))
+        naive_cost = CostEstimator(model).estimate(naive).total.evaluate(
+            {"x": 1e6}
+        )
+        sort_cost = CostEstimator(model).estimate(
+            self.make_program(3)
+        ).total.evaluate({"x": 1e6, "kb": 2**18, "ko": 2**20})
+        assert sort_cost < naive_cost / 1e3
+
+    def test_output_not_double_charged(self):
+        # The sorted result is already materialized on the HDD by the last
+        # merge level; the top-level write-out must not charge it again.
+        estimate = CostEstimator(make_model()).estimate(self.make_program(2))
+        env = {"x": 2.0**20, "kb": 1.0, "ko": 1.0}
+        levels = math.ceil(20 / 2)
+        assert estimate.events.unit_count("RAM", "HDD").evaluate(
+            env
+        ) == pytest.approx(levels * 2**20)

@@ -1,0 +1,131 @@
+"""Tests for the tree-shaped memory hierarchy model."""
+
+import pytest
+
+from repro.hierarchy import (
+    GB,
+    KB,
+    MB,
+    TB,
+    EdgeCost,
+    HierarchyError,
+    MemoryHierarchy,
+    MemoryNode,
+)
+
+
+def simple_hierarchy() -> MemoryHierarchy:
+    ram = MemoryNode("RAM", size=32 * MB)
+    hdd = MemoryNode("HDD", size=TB, pagesize=4 * KB)
+    return MemoryHierarchy.build(
+        root=ram,
+        children={"RAM": [hdd]},
+        edges={
+            ("HDD", "RAM"): EdgeCost(init=15e-3, unit=1 / (30 * MB)),
+            ("RAM", "HDD"): EdgeCost(init=15e-3, unit=1 / (30 * MB)),
+        },
+    )
+
+
+class TestNodes:
+    def test_positive_size_required(self):
+        with pytest.raises(HierarchyError):
+            MemoryNode("X", size=0)
+
+    def test_pagesize_validated(self):
+        with pytest.raises(HierarchyError):
+            MemoryNode("X", size=1, pagesize=0)
+
+    def test_max_seq_validated(self):
+        with pytest.raises(HierarchyError):
+            MemoryNode("X", size=1, max_seq_write=0)
+
+    def test_byte_addressable_default(self):
+        assert MemoryNode("X", size=1).pagesize == 1
+
+
+class TestEdgeCosts:
+    def test_defaults_to_zero(self):
+        cost = EdgeCost()
+        assert cost.init == 0.0 and cost.unit == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(HierarchyError):
+            EdgeCost(init=-1.0)
+
+
+class TestTreeShape:
+    def test_root_identified(self):
+        assert simple_hierarchy().root.name == "RAM"
+
+    def test_single_root_enforced(self):
+        a = MemoryNode("A", size=1)
+        b = MemoryNode("B", size=1)
+        with pytest.raises(HierarchyError):
+            MemoryHierarchy(nodes={"A": a, "B": b}, parents={})
+
+    def test_parent_and_children(self):
+        h = simple_hierarchy()
+        assert h.parent("HDD").name == "RAM"
+        assert h.parent("RAM") is None
+        assert [n.name for n in h.children_of("RAM")] == ["HDD"]
+
+    def test_leaves_are_storage_devices(self):
+        h = simple_hierarchy()
+        assert [n.name for n in h.leaves()] == ["HDD"]
+
+    def test_path_to_root(self):
+        h = simple_hierarchy()
+        assert [n.name for n in h.path_to_root("HDD")] == ["HDD", "RAM"]
+
+    def test_unknown_node_rejected(self):
+        with pytest.raises(HierarchyError):
+            simple_hierarchy().node("SSD")
+
+    def test_cycle_detected(self):
+        a = MemoryNode("A", size=1)
+        b = MemoryNode("B", size=1)
+        c = MemoryNode("C", size=1)
+        with pytest.raises(HierarchyError):
+            MemoryHierarchy(
+                nodes={"A": a, "B": b, "C": c},
+                parents={"A": "B", "B": "A"},
+            )
+
+    def test_edge_must_connect_adjacent_nodes(self):
+        ram = MemoryNode("RAM", size=1 * MB)
+        hdd = MemoryNode("HDD", size=TB)
+        ssd = MemoryNode("SSD", size=GB)
+        with pytest.raises(HierarchyError):
+            MemoryHierarchy.build(
+                root=ram,
+                children={"RAM": [hdd, ssd]},
+                edges={("HDD", "SSD"): EdgeCost()},
+            )
+
+
+class TestCostLookup:
+    def test_directed_costs(self):
+        h = simple_hierarchy()
+        assert h.init_cost("HDD", "RAM") == pytest.approx(15e-3)
+        assert h.unit_cost("HDD", "RAM") == pytest.approx(1 / (30 * MB))
+
+    def test_missing_edge_costs_zero(self):
+        ram = MemoryNode("RAM", size=MB)
+        hdd = MemoryNode("HDD", size=TB)
+        h = MemoryHierarchy.build(root=ram, children={"RAM": [hdd]})
+        assert h.init_cost("HDD", "RAM") == 0.0
+
+    def test_non_adjacent_transfer_rejected(self):
+        cache = MemoryNode("Cache", size=3 * MB)
+        ram = MemoryNode("RAM", size=32 * MB)
+        hdd = MemoryNode("HDD", size=TB)
+        h = MemoryHierarchy.build(
+            root=cache, children={"Cache": [ram], "RAM": [hdd]}
+        )
+        with pytest.raises(HierarchyError):
+            h.edge_cost("HDD", "Cache")
+
+    def test_adjacency_is_symmetric(self):
+        h = simple_hierarchy()
+        assert h.adjacent("HDD", "RAM") and h.adjacent("RAM", "HDD")

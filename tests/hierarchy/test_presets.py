@@ -1,0 +1,89 @@
+"""Tests: the presets match Figure 7 of the paper."""
+
+import pytest
+
+from repro.hierarchy import (
+    GB,
+    KB,
+    MB,
+    TB,
+    hdd_flash_hierarchy,
+    hdd_ram_cache_hierarchy,
+    hdd_ram_hierarchy,
+    two_hdd_hierarchy,
+)
+
+
+class TestHddRam:
+    def test_topology(self):
+        h = hdd_ram_hierarchy()
+        assert h.root.name == "RAM"
+        assert [n.name for n in h.leaves()] == ["HDD"]
+
+    def test_figure7_hdd_properties(self):
+        h = hdd_ram_hierarchy()
+        hdd = h.node("HDD")
+        assert hdd.size == TB
+        assert hdd.pagesize == 4 * KB
+
+    def test_figure7_costs(self):
+        h = hdd_ram_hierarchy()
+        assert h.init_cost("HDD", "RAM") == pytest.approx(15e-3)
+        assert h.init_cost("RAM", "HDD") == pytest.approx(15e-3)
+        assert h.unit_cost("HDD", "RAM") == pytest.approx(1 / (30 * MB))
+        assert h.unit_cost("RAM", "HDD") == pytest.approx(1 / (30 * MB))
+
+    def test_ram_size_is_buffer_budget(self):
+        assert hdd_ram_hierarchy(8 * MB).root.size == 8 * MB
+
+
+class TestCacheHierarchy:
+    def test_cache_is_root(self):
+        h = hdd_ram_cache_hierarchy()
+        assert h.root.name == "Cache"
+        assert [n.name for n in h.path_to_root("HDD")] == [
+            "HDD",
+            "RAM",
+            "Cache",
+        ]
+
+    def test_figure7_cache_properties(self):
+        cache = hdd_ram_cache_hierarchy().node("Cache")
+        assert cache.size == 3 * MB
+        assert cache.pagesize == 512
+
+    def test_ram_to_cache_init(self):
+        h = hdd_ram_cache_hierarchy()
+        assert h.init_cost("RAM", "Cache") == pytest.approx(0.1e-3)
+        # Unlisted costs are zero.
+        assert h.unit_cost("RAM", "Cache") == 0.0
+        assert h.init_cost("Cache", "RAM") == 0.0
+
+
+class TestTwoHdd:
+    def test_two_leaves(self):
+        h = two_hdd_hierarchy()
+        assert sorted(n.name for n in h.leaves()) == ["HDD", "HDD2"]
+
+    def test_both_disks_have_hdd_costs(self):
+        h = two_hdd_hierarchy()
+        assert h.init_cost("HDD2", "RAM") == pytest.approx(15e-3)
+        assert h.unit_cost("RAM", "HDD2") == pytest.approx(1 / (30 * MB))
+
+
+class TestFlash:
+    def test_figure7_flash_properties(self):
+        h = hdd_flash_hierarchy()
+        ssd = h.node("SSD")
+        assert ssd.size == 512 * GB
+        assert ssd.max_seq_write == 256 * KB
+
+    def test_flash_write_costs(self):
+        h = hdd_flash_hierarchy()
+        # Erase-before-write shows up as InitCom[RAM → SSD].
+        assert h.init_cost("RAM", "SSD") == pytest.approx(1.7e-3)
+        assert h.unit_cost("RAM", "SSD") == pytest.approx(1 / (120 * MB))
+
+    def test_flash_sequential_write_beats_hdd(self):
+        h = hdd_flash_hierarchy()
+        assert h.unit_cost("RAM", "SSD") < h.unit_cost("RAM", "HDD")

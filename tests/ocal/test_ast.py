@@ -1,0 +1,176 @@
+"""Tests for AST utilities: traversal, free variables, substitution."""
+
+import pytest
+
+from repro.ocal import (
+    App,
+    Empty,
+    For,
+    Lam,
+    Lit,
+    Prim,
+    Proj,
+    Sing,
+    Tup,
+    UnfoldR,
+    Var,
+    block_params,
+    children,
+    free_vars,
+    fresh_name,
+    map_children,
+    node_count,
+    pattern_names,
+    substitute,
+    walk,
+)
+from repro.ocal.builders import (
+    empty,
+    eq,
+    for_,
+    hash_partition,
+    if_,
+    lam,
+    proj,
+    sing,
+    tup,
+    unfold_r,
+    v,
+)
+
+
+def naive_join():
+    return for_(
+        "x",
+        v("R"),
+        for_(
+            "y",
+            v("S"),
+            if_(
+                eq(proj(v("x"), 1), proj(v("y"), 1)),
+                sing(tup(v("x"), v("y"))),
+                empty(),
+            ),
+        ),
+    )
+
+
+class TestStructure:
+    def test_nodes_are_hashable_and_comparable(self):
+        assert naive_join() == naive_join()
+        assert hash(naive_join()) == hash(naive_join())
+
+    def test_literals_validate(self):
+        with pytest.raises(TypeError):
+            Lit([1, 2])
+
+    def test_projection_is_one_based(self):
+        with pytest.raises(ValueError):
+            Proj(v("x"), 0)
+
+    def test_prim_rejects_unknown_ops(self):
+        with pytest.raises(ValueError):
+            Prim("xor", (v("a"), v("b")))
+
+    def test_children_in_field_order(self):
+        node = if_(v("c"), v("a"), v("b"))
+        assert children(node) == (v("c"), v("a"), v("b"))
+
+    def test_children_of_tuple_fields(self):
+        node = tup(v("a"), v("b"))
+        assert children(node) == (v("a"), v("b"))
+
+    def test_walk_counts_all_nodes(self):
+        assert node_count(naive_join()) == len(list(walk(naive_join())))
+
+    def test_map_children_identity_preserves_object(self):
+        node = naive_join()
+        assert map_children(node, lambda c: c) is node
+
+    def test_map_children_rebuilds(self):
+        node = tup(v("a"), v("b"))
+        renamed = map_children(node, lambda c: v("z"))
+        assert renamed == tup(v("z"), v("z"))
+
+
+class TestPatterns:
+    def test_flat_pattern(self):
+        assert pattern_names("x") == ("x",)
+
+    def test_tuple_pattern(self):
+        assert pattern_names(("a", "b")) == ("a", "b")
+
+    def test_nested_pattern(self):
+        assert pattern_names((("a", "b"), "c")) == ("a", "b", "c")
+
+
+class TestFreeVars:
+    def test_naive_join_inputs(self):
+        assert free_vars(naive_join()) == {"R", "S"}
+
+    def test_lambda_binds(self):
+        node = lam(("a", "x"), tup(v("a"), v("x"), v("free")))
+        assert free_vars(node) == {"free"}
+
+    def test_for_binds_loop_var(self):
+        node = for_("x", v("R"), sing(v("x")))
+        assert free_vars(node) == {"R"}
+
+    def test_for_source_not_shadowed(self):
+        node = for_("x", v("x"), sing(v("x")))
+        assert free_vars(node) == {"x"}  # the source's x is free
+
+
+class TestSubstitution:
+    def test_simple(self):
+        node = tup(v("x"), v("y"))
+        assert substitute(node, "x", v("z")) == tup(v("z"), v("y"))
+
+    def test_lambda_shadowing(self):
+        node = lam("x", v("x"))
+        assert substitute(node, "x", v("z")) == node
+
+    def test_for_shadowing(self):
+        node = for_("x", v("R"), sing(v("x")))
+        assert substitute(node, "x", v("z")) == node
+
+    def test_for_source_substituted_even_when_shadowed(self):
+        node = for_("x", v("x"), sing(v("x")))
+        result = substitute(node, "x", v("R"))
+        assert result == for_("x", v("R"), sing(v("x")))
+
+    def test_capture_avoidance_in_lambda(self):
+        # (λy. x + y)[x := y] must not capture the free y.
+        node = lam("y", Prim("+", (v("x"), v("y"))))
+        result = substitute(node, "x", v("y"))
+        assert isinstance(result, Lam)
+        assert result.pattern != "y"
+        assert free_vars(result) == {"y"}
+
+    def test_capture_avoidance_in_for(self):
+        node = for_("y", v("R"), sing(tup(v("x"), v("y"))))
+        result = substitute(node, "x", v("y"))
+        assert isinstance(result, For)
+        assert result.var != "y"
+        assert free_vars(result) == {"R", "y"}
+
+    def test_fresh_name_avoids(self):
+        name = fresh_name("x", {"x", "x_0"})
+        assert name not in {"x", "x_0"}
+
+
+class TestBlockParams:
+    def test_collects_named_parameters(self):
+        node = for_("xB", v("R"), sing(v("xB")), block_in="k1", block_out="k2")
+        assert block_params(node) == {"k1", "k2"}
+
+    def test_unfold_and_partition_parameters(self):
+        node = App(
+            unfold_r(v("f"), block_in="kb"),
+            tup(App(hash_partition("s", 1), v("R")), empty()),
+        )
+        assert block_params(node) == {"kb", "s"}
+
+    def test_concrete_blocks_are_not_parameters(self):
+        node = for_("xB", v("R"), sing(v("xB")), block_in=64)
+        assert block_params(node) == frozenset()

@@ -1,0 +1,204 @@
+"""Expansion equivalence: Figure-2 definitions vs. plugin semantics.
+
+The paper's claim that definitions "do not increase the expressiveness of
+the language" is checked by interpreting both the definition node (with
+its efficient plugin semantics) and its base-language expansion.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ocal import App, For, FuncPow, TreeFold, UnfoldR, evaluate
+from repro.ocal.builders import (
+    add,
+    app,
+    avg,
+    empty,
+    fold_l,
+    for_,
+    func_pow,
+    head,
+    lam,
+    length,
+    mrg,
+    mul,
+    sing,
+    tail,
+    tup,
+    unfold_r,
+    v,
+)
+from repro.ocal.definitions import (
+    AVG_EXPANSION,
+    HEAD_EXPANSION,
+    LENGTH_EXPANSION,
+    MRG_EXPANSION,
+    TAIL_EXPANSION,
+    expand_builtin,
+    expand_for,
+    expand_funcpow,
+    expand_treefold,
+    expand_unfold,
+    zip_step_expansion,
+)
+
+short_int_lists = st.lists(st.integers(0, 50), min_size=0, max_size=8)
+nonempty_int_lists = st.lists(st.integers(0, 50), min_size=1, max_size=8)
+
+
+class TestBuiltinExpansions:
+    @given(data=nonempty_int_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_head(self, data):
+        assert evaluate(App(HEAD_EXPANSION, v("l")), {"l": data}) == data[0]
+
+    @given(data=nonempty_int_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_tail(self, data):
+        assert evaluate(App(TAIL_EXPANSION, v("l")), {"l": data}) == data[1:]
+
+    @given(data=short_int_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_length(self, data):
+        assert (
+            evaluate(App(LENGTH_EXPANSION, v("l")), {"l": data}) == len(data)
+        )
+
+    @given(data=nonempty_int_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_avg(self, data):
+        expansion = evaluate(App(AVG_EXPANSION, v("l")), {"l": data})
+        plugin = evaluate(app(avg(), v("l")), {"l": data})
+        assert expansion == plugin
+
+    def test_expand_builtin_lookup(self):
+        assert expand_builtin("head") is HEAD_EXPANSION
+        with pytest.raises(ValueError):
+            expand_builtin("zip")
+
+    @given(l1=short_int_lists, l2=short_int_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_mrg_step(self, l1, l2):
+        l1, l2 = sorted(l1), sorted(l2)
+        env = {"p": (l1, l2)}
+        expansion = evaluate(App(MRG_EXPANSION, v("p")), env)
+        plugin = evaluate(app(mrg(), v("p")), env)
+        assert expansion == plugin
+
+
+class TestForExpansion:
+    @given(data=short_int_lists, block=st.integers(1, 5))
+    @settings(max_examples=80, deadline=None)
+    def test_blocked_for(self, data, block):
+        if block == 1:
+            loop = for_("x", v("L"), sing(mul(v("x"), v("x"))))
+        else:
+            loop = for_("b", v("L"), v("b"), block_in=block)
+        expanded = expand_for(loop)
+        env = {"L": data}
+        assert evaluate(expanded, env) == evaluate(loop, env)
+
+    @given(data=short_int_lists, block=st.integers(2, 4))
+    @settings(max_examples=60, deadline=None)
+    def test_blocked_for_with_computation(self, data, block):
+        loop = for_("b", v("L"), sing(app(length(), v("b"))), block_in=block)
+        env = {"L": data}
+        assert evaluate(expand_for(loop), env) == evaluate(loop, env)
+
+    def test_expansion_rejects_unbound_parameter(self):
+        loop = for_("b", v("L"), v("b"), block_in="k1")
+        with pytest.raises(ValueError):
+            expand_for(loop)
+
+
+class TestFuncPowExpansion:
+    @given(
+        values=st.lists(st.integers(0, 9), min_size=4, max_size=4),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_quaternary_sum(self, values):
+        plus = lam(("a", "b"), add(v("a"), v("b")))
+        node = func_pow(2, plus)
+        env = {"t": tuple(values)}
+        assert evaluate(App(expand_funcpow(node), v("t")), env) == sum(values)
+
+    def test_power_one_is_identity(self):
+        plus = lam(("a", "b"), add(v("a"), v("b")))
+        assert expand_funcpow(func_pow(1, plus)) is plus
+
+    @given(
+        values=st.lists(st.integers(0, 9), min_size=8, max_size=8),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_expansion_matches_plugin(self, values):
+        plus = lam(("a", "b"), add(v("a"), v("b")))
+        node = func_pow(3, plus)
+        env = {"t": tuple(values)}
+        assert evaluate(App(node, v("t")), env) == evaluate(
+            App(expand_funcpow(node), v("t")), env
+        )
+
+
+class TestUnfoldExpansion:
+    @given(l1=short_int_lists, l2=short_int_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_merge_two_lists(self, l1, l2):
+        l1, l2 = sorted(l1), sorted(l2)
+        node = unfold_r(mrg())
+        expanded = expand_unfold(node, arity=2)
+        env = {"p": (l1, l2)}
+        assert evaluate(App(expanded, v("p")), env) == evaluate(
+            App(node, v("p")), env
+        )
+
+    @given(
+        l1=st.lists(st.integers(0, 20), min_size=2, max_size=5),
+        l2=st.lists(st.integers(0, 20), min_size=2, max_size=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_zip_expansion(self, l1, l2):
+        # unfoldR(z) zips; the expansion consumes one element of each list
+        # per step, so equal-length inputs match the builtin exactly.
+        n = min(len(l1), len(l2))
+        l1, l2 = l1[:n], l2[:n]
+        from repro.ocal.builders import zip_
+
+        node = unfold_r(zip_step_expansion(2))
+        env = {"p": (l1, l2)}
+        expanded = expand_unfold(node, arity=2)
+        zipped = evaluate(app(zip_(), v("p")), env)
+        assert evaluate(App(expanded, v("p")), env) == zipped
+        assert evaluate(App(node, v("p")), env) == zipped
+
+
+class TestTreeFoldExpansion:
+    @given(
+        data=st.lists(st.integers(0, 99), min_size=0, max_size=12),
+        arity=st.integers(2, 4),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_merge_sort_equivalence(self, data, arity):
+        # f = two-list merge lifted to `arity` lists via repeated merging is
+        # awkward to express; use arity-2/3/4 with a merge over a tuple
+        # realized by unfoldR(mrg) chains only for arity 2.  For arities > 2
+        # use list concatenation + sort oracle via associative "merge" on
+        # sorted lists expressed with unfoldR(funcPow) plugins.
+        seed = [[x] for x in data]
+        if arity == 2:
+            fn = unfold_r(mrg())
+        elif arity == 4:
+            fn = unfold_r(func_pow(2, mrg()))
+        else:
+            return  # only powers of two have funcPow merges
+        node = TreeFold(arity, empty().__class__(), fn)
+        plugin = evaluate(App(node, v("s")), {"s": seed})
+        expanded = expand_treefold(node)
+        expansion = evaluate(App(expanded, v("s")), {"s": seed})
+        assert plugin == sorted(data)
+        assert expansion == sorted(data)
+
+    def test_single_element_seed(self):
+        node = TreeFold(2, empty().__class__(), unfold_r(mrg()))
+        expanded = expand_treefold(node)
+        assert evaluate(App(expanded, v("s")), {"s": [[7]]}) == [7]

@@ -1,0 +1,367 @@
+"""Tests for the OCAL reference interpreter — every construct."""
+
+import pytest
+
+from repro.ocal import InterpreterError, evaluate, run, stable_hash
+from repro.ocal.ast import App, Lit
+from repro.ocal.builders import (
+    add,
+    and_,
+    app,
+    avg,
+    concat,
+    div,
+    empty,
+    eq,
+    flat_map,
+    fold_l,
+    for_,
+    func_pow,
+    ge,
+    gt,
+    hash_partition,
+    head,
+    if_,
+    lam,
+    le,
+    length,
+    let,
+    lit,
+    lt,
+    mod,
+    mrg,
+    mul,
+    ne,
+    not_,
+    or_,
+    prim,
+    proj,
+    sing,
+    sub,
+    tail,
+    tree_fold,
+    tup,
+    unfold_r,
+    v,
+    zip_,
+)
+from repro.ocal.interp import substitute_blocks
+
+
+class TestCore:
+    def test_literal(self):
+        assert run(lit(42)) == 42
+
+    def test_variable(self):
+        assert run(v("x"), x=7) == 7
+
+    def test_unbound_variable(self):
+        with pytest.raises(InterpreterError):
+            run(v("nope"))
+
+    def test_lambda_and_application(self):
+        assert run(app(lam("x", add(v("x"), lit(1))), lit(41))) == 42
+
+    def test_tuple_pattern_binding(self):
+        swap = lam(("a", "b"), tup(v("b"), v("a")))
+        assert run(app(swap, tup(lit(1), lit(2)))) == (2, 1)
+
+    def test_nested_pattern_binding(self):
+        f = lam((("a", "b"), "c"), tup(v("a"), v("c")))
+        assert run(App(f, tup(tup(lit(1), lit(2)), lit(3)))) == (1, 3)
+
+    def test_pattern_arity_mismatch(self):
+        f = lam(("a", "b"), v("a"))
+        with pytest.raises(InterpreterError):
+            run(App(f, lit(5)))
+
+    def test_let(self):
+        assert run(let("x", lit(10), mul(v("x"), v("x")))) == 100
+
+    def test_tuple_and_projection(self):
+        assert run(proj(tup(lit(1), lit(2), lit(3)), 2)) == 2
+
+    def test_projection_out_of_range(self):
+        with pytest.raises(InterpreterError):
+            run(proj(tup(lit(1)), 2))
+
+    def test_singleton_and_empty(self):
+        assert run(sing(lit(5))) == [5]
+        assert run(empty()) == []
+
+    def test_concat(self):
+        assert run(concat(sing(lit(1)), sing(lit(2)))) == [1, 2]
+
+    def test_concat_requires_lists(self):
+        with pytest.raises(InterpreterError):
+            run(concat(lit(1), sing(lit(2))))
+
+    def test_if(self):
+        assert run(if_(lit(True), lit(1), lit(2))) == 1
+        assert run(if_(lit(False), lit(1), lit(2))) == 2
+
+    def test_if_requires_bool(self):
+        with pytest.raises(InterpreterError):
+            run(if_(lit(1), lit(1), lit(2)))
+
+    def test_applying_non_function(self):
+        with pytest.raises(InterpreterError):
+            run(app(lit(5), lit(1)))
+
+
+class TestPrimitives:
+    @pytest.mark.parametrize(
+        "expr, expected",
+        [
+            (add(lit(2), lit(3)), 5),
+            (sub(lit(2), lit(3)), -1),
+            (mul(lit(2), lit(3)), 6),
+            (div(lit(7), lit(2)), 3),  # integer division on Ints
+            (mod(lit(7), lit(2)), 1),
+            (eq(lit(2), lit(2)), True),
+            (ne(lit(2), lit(3)), True),
+            (le(lit(2), lit(2)), True),
+            (ge(lit(1), lit(2)), False),
+            (lt(lit(1), lit(2)), True),
+            (gt(lit(1), lit(2)), False),
+            (and_(lit(True), lit(False)), False),
+            (or_(lit(True), lit(False)), True),
+            (not_(lit(True)), False),
+            (prim("min2", lit(4), lit(7)), 4),
+            (prim("max2", lit(4), lit(7)), 7),
+        ],
+    )
+    def test_ops(self, expr, expected):
+        assert run(expr) == expected
+
+    def test_division_by_zero(self):
+        with pytest.raises(InterpreterError):
+            run(div(lit(1), lit(0)))
+
+    def test_hash_is_stable(self):
+        assert run(prim("hash", lit(42))) == run(prim("hash", lit(42)))
+
+    def test_string_comparison(self):
+        assert run(lt(lit("abc"), lit("abd"))) is True
+
+
+class TestListConstructs:
+    def test_flat_map(self):
+        dup = flat_map(lam("x", concat(sing(v("x")), sing(v("x")))))
+        assert run(app(dup, v("L")), L=[1, 2]) == [1, 1, 2, 2]
+
+    def test_flat_map_requires_list_body(self):
+        bad = flat_map(lam("x", v("x")))
+        with pytest.raises(InterpreterError):
+            run(app(bad, v("L")), L=[1])
+
+    def test_fold_l_matches_paper_semantics(self):
+        # foldL(c, ⊕)([v1..vn]) = ((c ⊕ v1) ⊕ v2) ⊕ … ⊕ vn
+        minus = fold_l(lit(0), lam(("a", "x"), sub(v("a"), v("x"))))
+        assert run(app(minus, v("L")), L=[1, 2, 3]) == -6
+
+    def test_fold_l_empty_list_returns_init(self):
+        f = fold_l(lit(99), lam(("a", "x"), v("x")))
+        assert run(app(f, v("L")), L=[]) == 99
+
+    def test_for_element_iteration(self):
+        loop = for_("x", v("L"), sing(mul(v("x"), v("x"))))
+        assert run(loop, L=[1, 2, 3]) == [1, 4, 9]
+
+    def test_for_block_iteration_binds_blocks(self):
+        loop = for_("b", v("L"), sing(app(length(), v("b"))), block_in=2)
+        assert run(loop, L=[1, 2, 3, 4, 5]) == [2, 2, 1]
+
+    def test_for_block_covers_all_elements(self):
+        loop = for_("b", v("L"), v("b"), block_in=3)
+        assert run(loop, L=list(range(10))) == list(range(10))
+
+    def test_for_with_unbound_parameter_fails(self):
+        loop = for_("b", v("L"), v("b"), block_in="k1")
+        with pytest.raises(InterpreterError):
+            run(loop, L=[1])
+
+    def test_substitute_blocks_enables_execution(self):
+        loop = for_("b", v("L"), v("b"), block_in="k1")
+        bound = substitute_blocks(loop, {"k1": 4})
+        assert run(bound, L=list(range(9))) == list(range(9))
+
+
+class TestBuiltins:
+    def test_head_tail(self):
+        assert run(app(head(), v("L")), L=[1, 2, 3]) == 1
+        assert run(app(tail(), v("L")), L=[1, 2, 3]) == [2, 3]
+
+    def test_head_of_empty_fails(self):
+        with pytest.raises(InterpreterError):
+            run(app(head(), v("L")), L=[])
+
+    def test_tail_of_empty_fails(self):
+        with pytest.raises(InterpreterError):
+            run(app(tail(), v("L")), L=[])
+
+    def test_length(self):
+        assert run(app(length(), v("L")), L=[5, 5, 5]) == 3
+
+    def test_avg(self):
+        assert run(app(avg(), v("L")), L=[2, 4, 6]) == 4
+
+    def test_mrg_step(self):
+        chunk, state = run(app(mrg(), tup(v("a"), v("b"))), a=[1, 3], b=[2])
+        assert chunk == [1]
+        assert state == ([3], [2])
+
+    def test_mrg_step_on_empty_pair(self):
+        chunk, state = run(app(mrg(), tup(v("a"), v("b"))), a=[], b=[])
+        assert chunk == []
+        assert state == ([], [])
+
+    def test_zip(self):
+        out = run(app(zip_(), tup(v("a"), v("b"))), a=[1, 2], b=["x", "y"])
+        assert out == [(1, "x"), (2, "y")]
+
+
+class TestUnfoldAndSort:
+    def test_unfold_mrg_merges_sorted_lists(self):
+        merge = unfold_r(mrg())
+        out = run(app(merge, tup(v("a"), v("b"))), a=[1, 4, 6], b=[2, 3, 5])
+        assert out == [1, 2, 3, 4, 5, 6]
+
+    def test_insertion_sort_via_fold(self):
+        # foldL([], unfoldR(mrg)) over singleton lists is a sort (§7.2).
+        sort = app(fold_l(empty(), unfold_r(mrg())), v("Rs"))
+        data = [5, 1, 4, 1, 5, 9, 2, 6]
+        assert run(sort, Rs=[[x] for x in data]) == sorted(data)
+
+    def test_treefold_matches_paper_ternary_example(self):
+        # treeFold[3](c,f)([v1..v6]) = f(f(v1,v2,v3), f(v4,v5,v6), c)
+        f = lam(
+            ("a", "b", "c"),
+            tup(v("a"), v("b"), v("c")),
+        )
+        out = run(
+            app(tree_fold(3, lit(0), f), v("L")),
+            L=[1, 2, 3, 4, 5, 6],
+        )
+        assert out == ((1, 2, 3), (4, 5, 6), 0)
+
+    def test_treefold_two_way_merge_sort(self):
+        sort = app(tree_fold(2, empty(), unfold_r(mrg())), v("Rs"))
+        data = [9, 3, 7, 1, 8, 2, 5]
+        assert run(sort, Rs=[[x] for x in data]) == sorted(data)
+
+    def test_treefold_2k_way_merge_sort(self):
+        # treeFold[2^k]([], unfoldR(funcPow[k](mrg))) — §7.2's final program.
+        for k in (1, 2, 3):
+            sort = app(
+                tree_fold(2**k, empty(), unfold_r(func_pow(k, mrg()))),
+                v("Rs"),
+            )
+            data = [((j * 7919) % 101) for j in range(25)]
+            assert run(sort, Rs=[[x] for x in data]) == sorted(data)
+
+    def test_treefold_empty_seed_returns_identity(self):
+        sort = app(tree_fold(2, empty(), unfold_r(mrg())), v("Rs"))
+        assert run(sort, Rs=[]) == []
+
+    def test_funcpow_on_plain_binary_function(self):
+        plus = lam(("a", "b"), add(v("a"), v("b")))
+        out = run(
+            app(func_pow(2, plus), tup(lit(1), lit(2), lit(3), lit(4)))
+        )
+        assert out == 10
+
+    def test_funcpow_arity_checked(self):
+        plus = lam(("a", "b"), add(v("a"), v("b")))
+        with pytest.raises(InterpreterError):
+            run(app(func_pow(2, plus), tup(lit(1), lit(2))))
+
+    def test_generic_unfold_step(self):
+        # A step that drains one element from a single list, doubling it.
+        step = lam(
+            "state",
+            if_(
+                eq(app(length(), proj(v("state"), 1)), lit(0)),
+                tup(empty(), tup(empty())),
+                tup(
+                    sing(mul(app(head(), proj(v("state"), 1)), lit(2))),
+                    tup(app(tail(), proj(v("state"), 1))),
+                ),
+            ),
+        )
+        out = run(app(unfold_r(step), tup(v("L"))), L=[1, 2, 3])
+        assert out == [2, 4, 6]
+
+    def test_generic_unfold_detects_non_progress(self):
+        stuck = lam("state", tup(empty(), v("state")))
+        with pytest.raises(InterpreterError):
+            run(app(unfold_r(stuck), tup(v("L"))), L=[1])
+
+
+class TestHashPartition:
+    def test_partitions_cover_input(self):
+        part = app(hash_partition(4), v("L"))
+        data = list(range(20))
+        out = run(part, L=data)
+        assert sorted(x for bucket in out for x in bucket) == data
+        assert len(out) == 4
+
+    def test_partition_on_key_component(self):
+        part = app(hash_partition(2, key_index=1), v("L"))
+        data = [(1, "a"), (2, "b"), (1, "c")]
+        out = run(part, L=data)
+        # Tuples with equal keys land in the same bucket.
+        bucket_of_1 = [b for b in out if (1, "a") in b][0]
+        assert (1, "c") in bucket_of_1
+
+    def test_stable_hash_handles_all_value_kinds(self):
+        for value in (7, True, "abc", (1, "a"), [1, 2]):
+            assert stable_hash(value) == stable_hash(value)
+
+    def test_stable_hash_spreads_ints(self):
+        buckets = {stable_hash(i) % 8 for i in range(100)}
+        assert len(buckets) == 8
+
+
+class TestExample1:
+    def test_naive_join(self):
+        join = for_(
+            "x",
+            v("R"),
+            for_(
+                "y",
+                v("S"),
+                if_(
+                    eq(proj(v("x"), 1), proj(v("y"), 1)),
+                    sing(tup(v("x"), v("y"))),
+                    empty(),
+                ),
+            ),
+        )
+        R = [(1, 10), (2, 20)]
+        S = [(2, 200), (3, 300)]
+        assert run(join, R=R, S=S) == [((2, 20), (2, 200))]
+
+    def test_block_nested_loops_join_same_bag(self):
+        def body():
+            return if_(
+                eq(proj(v("x"), 1), proj(v("y"), 1)),
+                sing(tup(v("x"), v("y"))),
+                empty(),
+            )
+
+        naive = for_("x", v("R"), for_("y", v("S"), body()))
+        blocked = for_(
+            "xB",
+            v("R"),
+            for_(
+                "yB",
+                v("S"),
+                for_("x", v("xB"), for_("y", v("yB"), body())),
+                block_in=3,
+            ),
+            block_in=2,
+        )
+        R = [(i % 5, i) for i in range(8)]
+        S = [(i % 5, -i) for i in range(7)]
+        assert sorted(run(naive, R=R, S=S)) == sorted(run(blocked, R=R, S=S))

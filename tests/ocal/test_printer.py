@@ -1,0 +1,85 @@
+"""Tests for the OCAL pretty printer."""
+
+from repro.ocal import pretty, pretty_block
+from repro.ocal.builders import (
+    add,
+    app,
+    empty,
+    eq,
+    fold_l,
+    for_,
+    func_pow,
+    hash_partition,
+    if_,
+    lam,
+    lit,
+    mrg,
+    not_,
+    proj,
+    sing,
+    tree_fold,
+    tup,
+    unfold_r,
+    v,
+)
+
+
+class TestPretty:
+    def test_naive_join_reads_like_the_paper(self):
+        join = for_(
+            "x",
+            v("R"),
+            for_(
+                "y",
+                v("S"),
+                if_(
+                    eq(proj(v("x"), 1), proj(v("y"), 1)),
+                    sing(tup(v("x"), v("y"))),
+                    empty(),
+                ),
+            ),
+        )
+        text = pretty(join)
+        assert text == (
+            "for (x ← R) for (y ← S) "
+            "if x.1 == y.1 then [⟨x, y⟩] else []"
+        )
+
+    def test_blocked_for_shows_block_sizes(self):
+        loop = for_("xB", v("R"), v("xB"), block_in="k1", block_out="k2")
+        assert "[k1]" in pretty(loop)
+        assert "[k2]" in pretty(loop)
+
+    def test_seq_annotation_rendered(self):
+        loop = for_("x", v("R"), sing(v("x")), seq=("HDD", "RAM"))
+        assert "HDD ⇝ RAM" in pretty(loop)
+
+    def test_fold_and_sort(self):
+        sort = app(fold_l(empty(), unfold_r(mrg())), v("R"))
+        assert pretty(sort) == "(foldL([], unfoldR(mrg)))(R)"
+
+    def test_treefold_merge_sort(self):
+        sort = tree_fold(4, empty(), unfold_r(func_pow(2, mrg())))
+        assert pretty(sort) == "treeFold[4]([], unfoldR(funcPow[2](mrg)))"
+
+    def test_lambda_pattern(self):
+        f = lam(("a", "x"), add(v("a"), v("x")))
+        assert pretty(f) == "λ⟨a, x⟩.a + x"
+
+    def test_not_uses_negation_sign(self):
+        assert pretty(not_(v("p"))) == "¬p"
+
+    def test_literals(self):
+        assert pretty(lit(True)) == "true"
+        assert pretty(lit("s")) == '"s"'
+        assert pretty(lit(3)) == "3"
+
+    def test_partition(self):
+        assert pretty(hash_partition(16, 1)) == "partition[16, key=.1]"
+
+    def test_pretty_block_indents_loops(self):
+        loop = for_("x", v("R"), for_("y", v("S"), sing(v("x"))))
+        text = pretty_block(loop)
+        lines = text.splitlines()
+        assert lines[0].startswith("for (x")
+        assert lines[1].startswith("  for (y")

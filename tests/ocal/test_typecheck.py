@@ -1,0 +1,257 @@
+"""Tests for OCAL type inference (Figure 1)."""
+
+import pytest
+
+from repro.ocal import OcalTypeError, infer
+from repro.ocal.builders import (
+    add,
+    and_,
+    app,
+    avg,
+    concat,
+    empty,
+    eq,
+    flat_map,
+    fold_l,
+    for_,
+    func_pow,
+    hash_partition,
+    head,
+    if_,
+    lam,
+    length,
+    lit,
+    mrg,
+    proj,
+    sing,
+    tail,
+    tree_fold,
+    tup,
+    unfold_r,
+    v,
+    zip_,
+)
+from repro.ocal.types import (
+    ANY,
+    BOOL,
+    INT,
+    STR,
+    ListType,
+    TupleType,
+    list_of,
+    tuple_of,
+    types_compatible,
+)
+
+
+class TestAtoms:
+    def test_literals(self):
+        assert infer(lit(1)) == INT
+        assert infer(lit(True)) == BOOL
+        assert infer(lit("s")) == STR
+
+    def test_variable_from_env(self):
+        assert infer(v("x"), {"x": INT}) == INT
+
+    def test_unbound_variable(self):
+        with pytest.raises(OcalTypeError):
+            infer(v("x"))
+
+
+class TestStructures:
+    def test_tuple(self):
+        assert infer(tup(lit(1), lit("a"))) == tuple_of(INT, STR)
+
+    def test_projection(self):
+        assert infer(proj(tup(lit(1), lit("a")), 2)) == STR
+
+    def test_projection_out_of_range(self):
+        with pytest.raises(OcalTypeError):
+            infer(proj(tup(lit(1)), 3))
+
+    def test_projection_from_non_tuple(self):
+        with pytest.raises(OcalTypeError):
+            infer(proj(lit(1), 1))
+
+    def test_singleton(self):
+        assert infer(sing(lit(1))) == list_of(INT)
+
+    def test_empty_is_polymorphic(self):
+        assert infer(empty()) == list_of(ANY)
+
+    def test_concat_unifies(self):
+        assert infer(concat(empty(), sing(lit(1)))) == list_of(INT)
+
+    def test_concat_rejects_mismatch(self):
+        with pytest.raises(OcalTypeError):
+            infer(concat(sing(lit(1)), sing(lit("a"))))
+
+    def test_concat_rejects_non_list(self):
+        with pytest.raises(OcalTypeError):
+            infer(concat(lit(1), empty()))
+
+
+class TestControl:
+    def test_if_unifies_branches(self):
+        assert infer(if_(lit(True), empty(), sing(lit(1)))) == list_of(INT)
+
+    def test_if_rejects_non_bool(self):
+        with pytest.raises(OcalTypeError):
+            infer(if_(lit(1), lit(1), lit(2)))
+
+    def test_if_rejects_mismatched_branches(self):
+        with pytest.raises(OcalTypeError):
+            infer(if_(lit(True), lit(1), lit("a")))
+
+
+class TestPrims:
+    def test_arithmetic(self):
+        assert infer(add(lit(1), lit(2))) == INT
+
+    def test_comparison_gives_bool(self):
+        assert infer(eq(lit(1), lit(2))) == BOOL
+
+    def test_comparison_rejects_mismatch(self):
+        with pytest.raises(OcalTypeError):
+            infer(eq(lit(1), lit("a")))
+
+    def test_boolean_connectives(self):
+        assert infer(and_(lit(True), lit(False))) == BOOL
+
+    def test_boolean_rejects_ints(self):
+        with pytest.raises(OcalTypeError):
+            infer(and_(lit(1), lit(2)))
+
+    def test_arithmetic_rejects_lists(self):
+        with pytest.raises(OcalTypeError):
+            infer(add(sing(lit(1)), lit(2)))
+
+
+class TestFunctions:
+    def test_application_of_lambda(self):
+        f = lam("x", add(v("x"), lit(1)))
+        assert infer(app(f, lit(1))) == INT
+
+    def test_pattern_application(self):
+        f = lam(("a", "b"), tup(v("b"), v("a")))
+        assert infer(app(f, tup(lit(1), lit("s")))) == tuple_of(STR, INT)
+
+    def test_pattern_arity_mismatch(self):
+        f = lam(("a", "b"), v("a"))
+        with pytest.raises(OcalTypeError):
+            infer(app(f, tup(lit(1), lit(2), lit(3))))
+
+    def test_fold_l(self):
+        total = fold_l(lit(0), lam(("a", "x"), add(v("a"), v("x"))))
+        assert infer(app(total, v("L")), {"L": list_of(INT)}) == INT
+
+    def test_fold_l_accumulator_mismatch(self):
+        bad = fold_l(lit(0), lam(("a", "x"), lit("str")))
+        with pytest.raises(OcalTypeError):
+            infer(app(bad, v("L")), {"L": list_of(INT)})
+
+    def test_flat_map(self):
+        f = flat_map(lam("x", sing(tup(v("x"), v("x")))))
+        result = infer(app(f, v("L")), {"L": list_of(INT)})
+        assert result == list_of(tuple_of(INT, INT))
+
+    def test_flat_map_body_must_be_list(self):
+        f = flat_map(lam("x", v("x")))
+        with pytest.raises(OcalTypeError):
+            infer(app(f, v("L")), {"L": list_of(INT)})
+
+    def test_for_loop(self):
+        loop = for_("x", v("L"), sing(v("x")))
+        assert infer(loop, {"L": list_of(INT)}) == list_of(INT)
+
+    def test_blocked_for_binds_block(self):
+        loop = for_("b", v("L"), sing(app(length(), v("b"))), block_in=4)
+        assert infer(loop, {"L": list_of(INT)}) == list_of(INT)
+
+    def test_for_body_must_be_list(self):
+        loop = for_("x", v("L"), v("x"))
+        with pytest.raises(OcalTypeError):
+            infer(loop, {"L": list_of(INT)})
+
+
+class TestBuiltins:
+    def test_head(self):
+        assert infer(app(head(), v("L")), {"L": list_of(STR)}) == STR
+
+    def test_tail(self):
+        assert infer(app(tail(), v("L")), {"L": list_of(STR)}) == list_of(STR)
+
+    def test_length(self):
+        assert infer(app(length(), v("L")), {"L": list_of(STR)}) == INT
+
+    def test_avg(self):
+        assert infer(app(avg(), v("L")), {"L": list_of(INT)}) == INT
+
+    def test_zip(self):
+        env = {"A": list_of(INT), "B": list_of(STR)}
+        out = infer(app(zip_(), tup(v("A"), v("B"))), env)
+        assert out == list_of(tuple_of(INT, STR))
+
+    def test_mrg(self):
+        env = {"A": list_of(INT), "B": list_of(INT)}
+        out = infer(app(mrg(), tup(v("A"), v("B"))), env)
+        assert out == TupleType(
+            (list_of(INT), tuple_of(list_of(INT), list_of(INT)))
+        )
+
+    def test_hash_partition(self):
+        out = infer(app(hash_partition(8), v("L")), {"L": list_of(INT)})
+        assert out == list_of(list_of(INT))
+
+
+class TestSortPrograms:
+    def test_unfold_mrg(self):
+        env = {"A": list_of(INT), "B": list_of(INT)}
+        out = infer(app(unfold_r(mrg()), tup(v("A"), v("B"))), env)
+        assert out == list_of(INT)
+
+    def test_insertion_sort_type(self):
+        sort = app(fold_l(empty(), unfold_r(mrg())), v("Rs"))
+        out = infer(sort, {"Rs": list_of(list_of(INT))})
+        assert types_compatible(out, list_of(INT))
+
+    def test_treefold_merge_sort_type(self):
+        sort = app(tree_fold(2, empty(), unfold_r(mrg())), v("Rs"))
+        out = infer(sort, {"Rs": list_of(list_of(INT))})
+        assert types_compatible(out, list_of(INT))
+
+    def test_funcpow_merge_type(self):
+        env = {f"L{i}": list_of(INT) for i in range(4)}
+        seed = tup(v("L0"), v("L1"), v("L2"), v("L3"))
+        out = infer(app(unfold_r(func_pow(2, mrg())), seed), env)
+        assert out == list_of(INT)
+
+    def test_funcpow_arity_mismatch(self):
+        env = {"A": list_of(INT), "B": list_of(INT)}
+        with pytest.raises(OcalTypeError):
+            infer(app(unfold_r(func_pow(2, mrg())), tup(v("A"), v("B"))), env)
+
+
+class TestJoinProgram:
+    def test_naive_join_type_matches_paper(self):
+        join = for_(
+            "x",
+            v("R"),
+            for_(
+                "y",
+                v("S"),
+                if_(
+                    eq(proj(v("x"), 1), proj(v("y"), 1)),
+                    sing(tup(v("x"), v("y"))),
+                    empty(),
+                ),
+            ),
+        )
+        env = {
+            "R": list_of(tuple_of(INT, INT)),
+            "S": list_of(tuple_of(INT, INT)),
+        }
+        out = infer(join, env)
+        assert out == list_of(
+            tuple_of(tuple_of(INT, INT), tuple_of(INT, INT))
+        )

@@ -1,0 +1,108 @@
+"""Tests for the OCAL type system (Figure 1)."""
+
+import pytest
+
+from repro.ocal.types import (
+    ANY,
+    BOOL,
+    INT,
+    STR,
+    DType,
+    FunType,
+    ListType,
+    TupleType,
+    fun,
+    list_of,
+    sizeof_atom,
+    tuple_of,
+    type_of_value,
+    types_compatible,
+    unify,
+)
+
+
+class TestConstruction:
+    def test_tuple_of(self):
+        t = tuple_of(INT, STR)
+        assert t == TupleType((INT, STR))
+
+    def test_list_of(self):
+        assert list_of(INT) == ListType(INT)
+
+    def test_fun(self):
+        assert fun(INT, BOOL) == FunType(INT, BOOL)
+
+    def test_join_operator_type_from_paper(self):
+        # ⟨[⟨D,D⟩], [⟨D,D⟩]⟩ → [⟨D,D,D,D⟩]
+        d = INT
+        t = fun(
+            tuple_of(list_of(tuple_of(d, d)), list_of(tuple_of(d, d))),
+            list_of(tuple_of(d, d, d, d)),
+        )
+        assert "→" in str(t)
+
+    def test_rendering(self):
+        assert str(list_of(tuple_of(INT, STR))) == "[⟨Int, Str⟩]"
+
+
+class TestUnify:
+    def test_identical_atoms(self):
+        assert unify(INT, INT) == INT
+
+    def test_mismatched_atoms(self):
+        assert unify(INT, STR) is None
+
+    def test_any_is_wildcard(self):
+        assert unify(ANY, list_of(INT)) == list_of(INT)
+        assert unify(list_of(INT), ANY) == list_of(INT)
+
+    def test_nested_any(self):
+        assert unify(list_of(ANY), list_of(INT)) == list_of(INT)
+
+    def test_tuple_arity_mismatch(self):
+        assert unify(tuple_of(INT), tuple_of(INT, INT)) is None
+
+    def test_list_vs_tuple(self):
+        assert unify(list_of(INT), tuple_of(INT)) is None
+
+    def test_fun_types(self):
+        assert unify(fun(ANY, INT), fun(STR, ANY)) == fun(STR, INT)
+
+    def test_compatibility_predicate(self):
+        assert types_compatible(list_of(ANY), list_of(tuple_of(INT, INT)))
+        assert not types_compatible(INT, BOOL)
+
+
+class TestTypeOfValue:
+    def test_atoms(self):
+        assert type_of_value(3) == INT
+        assert type_of_value(True) == BOOL  # bool checked before int
+        assert type_of_value("s") == STR
+
+    def test_tuple(self):
+        assert type_of_value((1, "a")) == tuple_of(INT, STR)
+
+    def test_list(self):
+        assert type_of_value([1, 2]) == list_of(INT)
+
+    def test_empty_list_is_polymorphic(self):
+        assert type_of_value([]) == list_of(ANY)
+
+    def test_list_of_empty_lists_unifies(self):
+        assert type_of_value([[], [1]]) == list_of(list_of(INT))
+
+    def test_heterogeneous_list_rejected(self):
+        with pytest.raises(TypeError):
+            type_of_value([1, "a"])
+
+    def test_non_ocal_value_rejected(self):
+        with pytest.raises(TypeError):
+            type_of_value({"not": "ocal"})
+
+
+class TestSizes:
+    def test_int_size_matches_figure4_assumption(self):
+        assert sizeof_atom(INT) == 1
+
+    def test_unknown_atom_defaults_to_one(self):
+        assert sizeof_atom(DType("Date")) == 1

@@ -1,0 +1,209 @@
+"""Tests for the sequential-penalty derivative-free optimizer."""
+
+import math
+
+import pytest
+
+from repro.cost import Constraint, CostEstimator, CostModel, atom, list_annot
+from repro.hierarchy import MB, hdd_ram_hierarchy
+from repro.ocal.builders import empty, eq, for_, if_, sing, tup, v
+from repro.optimizer import optimize_parameters
+from repro.symbolic import Const, as_expr, var
+
+
+class TestUnconstrainedMonotone:
+    def test_single_block_maximized(self):
+        # cost = x/k, k ≤ 1000 → k = 1000 ("as big as possible").
+        cost = var("x") / var("k")
+        constraints = [
+            Constraint(Const(1), var("k")),
+            Constraint(var("k"), Const(1000)),
+        ]
+        result = optimize_parameters(cost, constraints, {"k"}, {"x": 1e6})
+        assert result.feasible
+        assert result.values["k"] == pytest.approx(1000, rel=0.05)
+
+    def test_no_parameters(self):
+        result = optimize_parameters(var("x") * 2, [], set(), {"x": 21})
+        assert result.cost == 42
+        assert result.values == {}
+
+
+class TestCompetingBlocks:
+    def test_balanced_split_of_shared_budget(self):
+        # cost = c/(k1*k2) with k1 + k2 ≤ 100 → optimum at k1 = k2 = 50.
+        cost = as_expr(1e9) / (var("k1") * var("k2"))
+        constraints = [
+            Constraint(var("k1") + var("k2"), Const(100)),
+            Constraint(Const(1), var("k1")),
+            Constraint(Const(1), var("k2")),
+        ]
+        result = optimize_parameters(
+            cost, constraints, {"k1", "k2"}, {}
+        )
+        assert result.feasible
+        product = result.values["k1"] * result.values["k2"]
+        assert product >= 0.9 * 50 * 50
+
+    def test_asymmetric_weights(self):
+        # cost = a/k1 + b/(k1·k2), dominated by the k1 term when a ≫ b:
+        # the optimizer should give k1 most of the budget.
+        cost = as_expr(1e12) / var("k1") + as_expr(1e6) / (
+            var("k1") * var("k2")
+        )
+        constraints = [
+            Constraint(var("k1") + var("k2"), Const(1024)),
+            Constraint(Const(1), var("k1")),
+            Constraint(Const(1), var("k2")),
+        ]
+        result = optimize_parameters(cost, constraints, {"k1", "k2"}, {})
+        assert result.feasible
+        assert result.values["k1"] > result.values["k2"]
+
+    def test_matches_grid_search(self):
+        cost = as_expr(3e8) / var("k1") + as_expr(7e9) / (
+            var("k1") * var("k2")
+        )
+        budget = 512
+        constraints = [
+            Constraint(var("k1") + var("k2"), Const(budget)),
+            Constraint(Const(1), var("k1")),
+            Constraint(Const(1), var("k2")),
+        ]
+        result = optimize_parameters(cost, constraints, {"k1", "k2"}, {})
+
+        def evaluate(k1, k2):
+            return 3e8 / k1 + 7e9 / (k1 * k2)
+
+        best = min(
+            evaluate(k1, budget - k1) for k1 in range(1, budget)
+        )
+        assert result.cost <= best * 1.1
+
+    def test_infeasible_detected(self):
+        constraints = [
+            Constraint(var("k"), Const(10)),
+            Constraint(Const(20), var("k")),
+        ]
+        result = optimize_parameters(
+            var("x") / var("k"), constraints, {"k"}, {"x": 100}
+        )
+        assert not result.feasible
+
+
+class TestNonMonotoneObjective:
+    def test_interior_optimum_found(self):
+        # cost = a/k + b·k has optimum at k = sqrt(a/b).
+        a, b = 1e8, 1.0
+        cost = as_expr(a) / var("k") + as_expr(b) * var("k")
+        constraints = [
+            Constraint(Const(1), var("k")),
+            Constraint(var("k"), Const(10**6)),
+        ]
+        result = optimize_parameters(cost, constraints, {"k"}, {})
+        optimum = math.sqrt(a / b)
+        best = 2 * math.sqrt(a * b)
+        assert result.cost <= best * 1.05
+        assert 0.5 * optimum <= result.values["k"] <= 2 * optimum
+
+
+class TestScipyCrossCheck:
+    def test_against_scipy_on_smooth_problem(self):
+        from scipy.optimize import minimize
+
+        cost = as_expr(5e8) / var("k1") + as_expr(2e10) / (
+            var("k1") * var("k2")
+        )
+        budget = 2048.0
+        constraints = [
+            Constraint(var("k1") + var("k2"), Const(budget)),
+            Constraint(Const(1), var("k1")),
+            Constraint(Const(1), var("k2")),
+        ]
+        ours = optimize_parameters(cost, constraints, {"k1", "k2"}, {})
+
+        def objective(p):
+            return 5e8 / p[0] + 2e10 / (p[0] * p[1])
+
+        scipy_result = minimize(
+            objective,
+            x0=[budget / 2, budget / 2],
+            bounds=[(1, budget), (1, budget)],
+            constraints=[
+                {"type": "ineq", "fun": lambda p: budget - p[0] - p[1]}
+            ],
+            method="SLSQP",
+        )
+        assert ours.cost <= scipy_result.fun * 1.1
+
+
+class TestEndToEndWithEstimator:
+    def test_bnl_blocks_fill_the_buffer_pool(self):
+        ram = 8 * MB
+        program = for_(
+            "xB",
+            v("R"),
+            for_(
+                "yB",
+                v("S"),
+                for_(
+                    "a",
+                    v("xB"),
+                    for_(
+                        "b",
+                        v("yB"),
+                        if_(
+                            eq(v("a"), v("b")),
+                            sing(tup(v("a"), v("b"))),
+                            empty(),
+                        ),
+                    ),
+                ),
+                block_in="k2",
+                seq=("HDD", "RAM"),
+            ),
+            block_in="k1",
+        )
+        stats = {"x": 2.0**28, "y": 2.0**24}
+        model = CostModel(
+            hierarchy=hdd_ram_hierarchy(ram),
+            input_annots={
+                "R": list_annot(atom(1), var("x")),
+                "S": list_annot(atom(1), var("y")),
+            },
+            input_locations={"R": "HDD", "S": "HDD"},
+            stats=stats,
+        )
+        estimate = CostEstimator(model).estimate(program)
+        result = optimize_parameters(
+            estimate.total, estimate.constraints, estimate.parameters, stats
+        )
+        assert result.feasible
+        k1, k2 = result.values["k1"], result.values["k2"]
+        # Blocks fill most of the buffer pool…
+        assert k1 + k2 >= 0.5 * ram
+        # …and satisfy every constraint.
+        env = result.env(stats)
+        for constraint in estimate.constraints:
+            assert constraint.satisfied(env)
+
+    def test_tuned_cost_beats_naive_parameters(self):
+        program = for_(
+            "xB",
+            v("R"),
+            for_("a", v("xB"), sing(v("a"))),
+            block_in="k1",
+        )
+        stats = {"x": 2.0**26}
+        model = CostModel(
+            hierarchy=hdd_ram_hierarchy(8 * MB),
+            input_annots={"R": list_annot(atom(1), var("x"))},
+            input_locations={"R": "HDD"},
+            stats=stats,
+        )
+        estimate = CostEstimator(model).estimate(program)
+        result = optimize_parameters(
+            estimate.total, estimate.constraints, estimate.parameters, stats
+        )
+        naive_cost = estimate.total.evaluate({**stats, "k1": 1.0})
+        assert result.cost < naive_cost / 100

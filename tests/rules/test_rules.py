@@ -1,0 +1,406 @@
+"""Unit tests for each transformation rule's matching and output."""
+
+import pytest
+
+from repro.hierarchy import MB, hdd_ram_hierarchy, two_hdd_hierarchy
+from repro.ocal import App, FlatMap, FoldL, For, Lam, TreeFold, UnfoldR, pretty
+from repro.ocal.builders import (
+    add,
+    app,
+    empty,
+    eq,
+    fold_l,
+    for_,
+    func_pow,
+    if_,
+    lam,
+    lit,
+    mrg,
+    proj,
+    sing,
+    tree_fold,
+    tup,
+    unfold_r,
+    v,
+)
+from repro.rules import (
+    ApplyBlock,
+    FldLToTrFld,
+    HashPart,
+    IncBranching,
+    OrderInputs,
+    RuleContext,
+    SeqAc,
+    SwapIter,
+    all_rewrites,
+    default_rules,
+    is_associative_with_identity,
+    match_equi_join,
+    rule_by_name,
+)
+
+
+def naive_join(r="R", s="S"):
+    return for_(
+        "x",
+        v(r),
+        for_(
+            "y",
+            v(s),
+            if_(
+                eq(proj(v("x"), 1), proj(v("y"), 1)),
+                sing(tup(v("x"), v("y"))),
+                empty(),
+            ),
+        ),
+    )
+
+
+def make_ctx(**kwargs):
+    defaults = dict(
+        hierarchy=hdd_ram_hierarchy(32 * MB),
+        input_locations={"R": "HDD", "S": "HDD"},
+    )
+    defaults.update(kwargs)
+    return RuleContext(**defaults)
+
+
+class TestApplyBlock:
+    def test_blocks_a_for_loop(self):
+        ctx = make_ctx()
+        out = list(ApplyBlock().apply(naive_join(), ctx))
+        assert len(out) == 1
+        blocked = out[0]
+        assert isinstance(blocked, For)
+        assert isinstance(blocked.block_in, str)
+        inner = blocked.body
+        assert isinstance(inner, For) and inner.source == v(blocked.var)
+
+    def test_does_not_reblock(self):
+        ctx = make_ctx()
+        blocked = next(iter(ApplyBlock().apply(naive_join(), ctx)))
+        assert list(ApplyBlock().apply(blocked, ctx)) == []
+
+    def test_skips_block_views(self):
+        ctx = make_ctx(for_bound_vars=frozenset({"xB"}))
+        loop = for_("x", v("xB"), sing(v("x")))
+        assert list(ApplyBlock().apply(loop, ctx)) == []
+
+    def test_blocks_fold_application(self):
+        ctx = make_ctx()
+        agg = app(fold_l(lit(0), lam(("a", "e"), add(v("a"), v("e")))), v("R"))
+        out = list(ApplyBlock().apply(agg, ctx))
+        assert len(out) == 1
+        assert isinstance(out[0].fn, FoldL)
+        assert isinstance(out[0].fn.block_in, str)
+
+    def test_blocks_unfold_application(self):
+        ctx = make_ctx()
+        merge = app(unfold_r(mrg()), tup(v("R"), v("S")))
+        out = list(ApplyBlock().apply(merge, ctx))
+        assert len(out) == 1
+        assert isinstance(out[0].fn, UnfoldR)
+        assert isinstance(out[0].fn.block_in, str)
+
+    def test_fresh_parameters_are_distinct(self):
+        ctx = make_ctx()
+        one = next(iter(ApplyBlock().apply(naive_join(), ctx)))
+        two = next(iter(ApplyBlock().apply(naive_join(), ctx)))
+        assert one.block_in != two.block_in
+
+
+class TestSwapIter:
+    def test_swaps_independent_loops(self):
+        ctx = make_ctx()
+        out = list(SwapIter().apply(naive_join(), ctx))
+        assert len(out) == 1
+        swapped = out[0]
+        assert swapped.var == "y" and swapped.source == v("S")
+        assert swapped.body.var == "x"
+
+    def test_refuses_dependent_inner_source(self):
+        ctx = make_ctx()
+        dependent = for_("x", v("R"), for_("y", v("x"), sing(v("y"))))
+        assert list(SwapIter().apply(dependent, ctx)) == []
+
+    def test_block_annotations_travel_with_their_loops(self):
+        ctx = make_ctx()
+        loop = for_(
+            "a",
+            v("R"),
+            for_("b", v("S"), sing(tup(v("a"), v("b"))), block_in="k2"),
+            block_in="k1",
+        )
+        swapped = next(iter(SwapIter().apply(loop, ctx)))
+        assert swapped.block_in == "k2"
+        assert swapped.body.block_in == "k1"
+
+    def test_conditional_variant(self):
+        ctx = make_ctx()
+        prog = for_(
+            "x",
+            v("R"),
+            if_(
+                eq(proj(v("x"), 1), lit(0)),
+                for_("y", v("S"), sing(tup(v("x"), v("y")))),
+                empty(),
+            ),
+        )
+        out = list(SwapIter().apply(prog, ctx))
+        assert len(out) == 1
+        assert out[0].var == "y"
+        inner = out[0].body
+        assert inner.var == "x"
+
+    def test_conditional_variant_requires_empty_else(self):
+        ctx = make_ctx()
+        prog = for_(
+            "x",
+            v("R"),
+            if_(
+                eq(proj(v("x"), 1), lit(0)),
+                for_("y", v("S"), sing(v("y"))),
+                sing(v("x")),
+            ),
+        )
+        assert list(SwapIter().apply(prog, ctx)) == []
+
+    def test_conditional_variant_requires_cond_independent_of_inner(self):
+        ctx = make_ctx()
+        prog = for_(
+            "x",
+            v("R"),
+            if_(
+                eq(proj(v("x"), 1), proj(v("y"), 1)),  # mentions y? no: free
+                for_("y", v("S"), sing(v("y"))),
+                empty(),
+            ),
+        )
+        # The free y in the condition is *not* the loop's y (it is unbound),
+        # but the syntactic check sees the name and conservatively refuses.
+        assert list(SwapIter().apply(prog, ctx)) == []
+
+
+class TestOrderInputs:
+    def test_wraps_two_input_program(self):
+        ctx = make_ctx()
+        out = list(OrderInputs().apply(naive_join(), ctx))
+        assert len(out) == 1
+        wrapped = out[0]
+        assert isinstance(wrapped, App) and isinstance(wrapped.fn, Lam)
+        assert "length" in pretty(wrapped.arg)
+
+    def test_does_not_rewrap(self):
+        ctx = make_ctx()
+        wrapped = next(iter(OrderInputs().apply(naive_join(), ctx)))
+        assert list(OrderInputs().apply(wrapped, ctx)) == []
+
+    def test_requires_two_inputs(self):
+        ctx = make_ctx(input_locations={"R": "HDD"})
+        scan = for_("x", v("R"), sing(v("x")))
+        assert list(OrderInputs().apply(scan, ctx)) == []
+
+
+class TestHashPart:
+    def test_matches_equi_join(self):
+        match = match_equi_join(naive_join())
+        assert match is not None
+        r, s, i, j, _ = match
+        assert (r, s, i, j) == ("R", "S", 1, 1)
+
+    def test_rejects_non_equi_condition(self):
+        from repro.ocal.builders import le
+
+        prog = for_(
+            "x",
+            v("R"),
+            for_(
+                "y",
+                v("S"),
+                if_(
+                    le(proj(v("x"), 1), proj(v("y"), 1)),
+                    sing(tup(v("x"), v("y"))),
+                    empty(),
+                ),
+            ),
+        )
+        assert match_equi_join(prog) is None
+
+    def test_rejects_blocked_loops(self):
+        prog = for_(
+            "x",
+            v("R"),
+            for_(
+                "y",
+                v("S"),
+                if_(
+                    eq(proj(v("x"), 1), proj(v("y"), 1)),
+                    sing(tup(v("x"), v("y"))),
+                    empty(),
+                ),
+            ),
+            block_in="k1",
+        )
+        assert match_equi_join(prog) is None
+
+    def test_produces_partition_zip_flatmap(self):
+        ctx = make_ctx()
+        out = list(HashPart().apply(naive_join(), ctx))
+        assert len(out) == 1
+        text = pretty(out[0])
+        assert "partition" in text and "zip" in text and "flatMap" in text
+
+    def test_self_join_refused(self):
+        ctx = make_ctx()
+        assert list(HashPart().apply(naive_join("R", "R"), ctx)) == []
+
+
+class TestFldLToTrFld:
+    def test_merge_fold_becomes_treefold(self):
+        ctx = make_ctx(input_locations={"Rs": "HDD"})
+        sort = app(fold_l(empty(), unfold_r(mrg())), v("Rs"))
+        out = list(FldLToTrFld().apply(sort, ctx))
+        assert len(out) == 1
+        assert isinstance(out[0].fn, TreeFold)
+        assert out[0].fn.arity == 2
+
+    def test_sum_fold_becomes_treefold(self):
+        ctx = make_ctx()
+        agg = app(fold_l(lit(0), lam(("a", "b"), add(v("a"), v("b")))), v("R"))
+        out = list(FldLToTrFld().apply(agg, ctx))
+        assert len(out) == 1
+
+    def test_wrong_identity_refused(self):
+        ctx = make_ctx()
+        agg = app(fold_l(lit(5), lam(("a", "b"), add(v("a"), v("b")))), v("R"))
+        assert list(FldLToTrFld().apply(agg, ctx)) == []
+
+    def test_non_associative_refused(self):
+        from repro.ocal.builders import sub
+
+        ctx = make_ctx()
+        agg = app(fold_l(lit(0), lam(("a", "b"), sub(v("a"), v("b")))), v("R"))
+        assert list(FldLToTrFld().apply(agg, ctx)) == []
+
+    def test_whitelist_helper(self):
+        assert is_associative_with_identity(unfold_r(mrg()), empty())
+        assert not is_associative_with_identity(unfold_r(mrg()), lit(0))
+
+
+class TestIncBranching:
+    def test_doubles_merge_fan_in(self):
+        ctx = make_ctx()
+        node = tree_fold(2, empty(), unfold_r(mrg()))
+        out = list(IncBranching().apply(node, ctx))
+        assert len(out) == 1
+        raised = out[0]
+        assert raised.arity == 4
+        assert raised.fn.fn.power == 2
+
+    def test_raises_existing_funcpow(self):
+        ctx = make_ctx()
+        node = tree_fold(4, empty(), unfold_r(func_pow(2, mrg())))
+        raised = next(iter(IncBranching().apply(node, ctx)))
+        assert raised.arity == 8 and raised.fn.fn.power == 3
+
+    def test_respects_arity_cap(self):
+        ctx = make_ctx(max_treefold_arity=4)
+        node = tree_fold(4, empty(), unfold_r(func_pow(2, mrg())))
+        assert list(IncBranching().apply(node, ctx)) == []
+
+    def test_plain_binary_function(self):
+        ctx = make_ctx()
+        node = tree_fold(2, lit(0), lam(("a", "b"), add(v("a"), v("b"))))
+        out = list(IncBranching().apply(node, ctx))
+        assert len(out) == 1
+        assert out[0].arity == 4
+
+    def test_arity_power_mismatch_refused(self):
+        ctx = make_ctx()
+        node = tree_fold(4, empty(), unfold_r(mrg()))  # power 1, arity 4
+        assert list(IncBranching().apply(node, ctx)) == []
+
+
+class TestSeqAc:
+    def blocked_inner(self):
+        return for_(
+            "yB",
+            v("S"),
+            for_("y", v("yB"), sing(v("y"))),
+            block_in="k2",
+        )
+
+    def test_annotates_blocked_device_loop(self):
+        ctx = make_ctx()
+        out = list(SeqAc().apply(self.blocked_inner(), ctx))
+        assert len(out) == 1
+        assert out[0].seq == ("HDD", "RAM")
+
+    def test_refuses_unblocked_loop(self):
+        ctx = make_ctx()
+        loop = for_("y", v("S"), sing(v("y")))
+        assert list(SeqAc().apply(loop, ctx)) == []
+
+    def test_refuses_when_output_on_same_device(self):
+        ctx = make_ctx(output_location="HDD")
+        assert list(SeqAc().apply(self.blocked_inner(), ctx)) == []
+
+    def test_allows_when_output_on_other_device(self):
+        ctx = make_ctx(
+            hierarchy=two_hdd_hierarchy(32 * MB), output_location="HDD2"
+        )
+        out = list(SeqAc().apply(self.blocked_inner(), ctx))
+        assert len(out) == 1
+
+    def test_refuses_when_body_touches_same_device(self):
+        ctx = make_ctx()
+        loop = for_(
+            "xB",
+            v("R"),
+            for_("y", v("S"), sing(v("y"))),  # S also on HDD
+            block_in="k1",
+        )
+        assert list(SeqAc().apply(loop, ctx)) == []
+
+    def test_annotates_blocked_fold(self):
+        ctx = make_ctx()
+        agg = app(
+            fold_l(
+                lit(0), lam(("a", "e"), add(v("a"), v("e"))), block_in="k1"
+            ),
+            v("R"),
+        )
+        out = list(SeqAc().apply(agg, ctx))
+        assert len(out) == 1
+        assert out[0].fn.seq == ("HDD", "RAM")
+
+    def test_does_not_reannotate(self):
+        ctx = make_ctx()
+        annotated = next(iter(SeqAc().apply(self.blocked_inner(), ctx)))
+        assert list(SeqAc().apply(annotated, ctx)) == []
+
+
+class TestEngine:
+    def test_all_positions_visited(self):
+        ctx = make_ctx()
+        rewrites = all_rewrites(naive_join(), default_rules(), ctx)
+        rules_seen = {r.rule for r in rewrites}
+        assert {"apply-block", "swap-iter", "order-inputs", "hash-part"} <= (
+            rules_seen
+        )
+
+    def test_inner_loop_blocked_independently(self):
+        ctx = make_ctx()
+        rewrites = all_rewrites(naive_join(), default_rules(), ctx)
+        blocked = [r.program for r in rewrites if r.rule == "apply-block"]
+        assert len(blocked) == 2  # outer loop and inner loop
+
+    def test_rewrites_are_unique(self):
+        ctx = make_ctx()
+        rewrites = all_rewrites(naive_join(), default_rules(), ctx)
+        assert len({(r.rule, r.program) for r in rewrites}) == len(rewrites)
+
+    def test_rule_by_name(self):
+        assert rule_by_name("apply-block").name == "apply-block"
+        with pytest.raises(KeyError):
+            rule_by_name("no-such-rule")

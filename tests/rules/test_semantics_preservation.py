@@ -1,0 +1,188 @@
+"""Property tests: applying any rule never changes what a program computes.
+
+This is the paper's core soundness claim — "whenever a part of a program
+matches e1 then this part is equivalent to and can be replaced by e2".
+Rules that reorder iteration (swap-iter, hash-part, order-inputs) promise
+*bag* equivalence; the rest preserve results exactly.
+
+Strategy: run the breadth-first rewrite closure to a small depth over a
+corpus of specification programs, execute every program in the closure on
+random inputs with the reference interpreter, and compare against the
+specification's output.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hierarchy import MB, hdd_ram_hierarchy
+from repro.ocal import evaluate, substitute_blocks
+from repro.ocal.builders import (
+    add,
+    app,
+    empty,
+    eq,
+    fold_l,
+    for_,
+    if_,
+    lam,
+    lit,
+    mrg,
+    proj,
+    sing,
+    tup,
+    unfold_r,
+    v,
+)
+from repro.rules import RuleContext, all_rewrites, default_rules
+
+BLOCK_VALUES = {"k": 3}  # every named parameter gets a small block size
+
+
+def closure(program, input_locations, depth=2, output=None):
+    """All programs reachable within `depth` rewrite steps."""
+    ctx = RuleContext(
+        hierarchy=hdd_ram_hierarchy(32 * MB),
+        input_locations=input_locations,
+        output_location=output,
+        max_treefold_arity=8,
+    )
+    seen = {program}
+    frontier = [program]
+    for _ in range(depth):
+        next_frontier = []
+        for candidate in frontier:
+            for rewrite in all_rewrites(candidate, default_rules(), ctx):
+                if rewrite.program not in seen:
+                    seen.add(rewrite.program)
+                    next_frontier.append(rewrite.program)
+        frontier = next_frontier
+    return seen
+
+
+def run_concrete(program, env):
+    bindings = {}
+    from repro.ocal.ast import block_params
+
+    for name in block_params(program):
+        bindings[name] = 3
+    return evaluate(substitute_blocks(program, bindings), env)
+
+
+def as_bag(value):
+    if isinstance(value, list):
+        return sorted(repr(item) for item in value)
+    return value
+
+
+def normalize_pairs(value):
+    """Join results compared up to component swap (order-inputs)."""
+    if isinstance(value, list):
+        out = []
+        for item in value:
+            if isinstance(item, tuple) and len(item) == 2:
+                out.append(tuple(sorted(map(repr, item))))
+            else:
+                out.append((repr(item),))
+        return sorted(out)
+    return value
+
+
+def naive_join():
+    return for_(
+        "x",
+        v("R"),
+        for_(
+            "y",
+            v("S"),
+            if_(
+                eq(proj(v("x"), 1), proj(v("y"), 1)),
+                sing(tup(v("x"), v("y"))),
+                empty(),
+            ),
+        ),
+    )
+
+
+tuples = st.tuples(st.integers(0, 6), st.integers(0, 50))
+relations = st.lists(tuples, min_size=0, max_size=7)
+
+
+class TestJoinClosure:
+    @given(r=relations, s=relations)
+    @settings(max_examples=25, deadline=None)
+    def test_depth2_closure_preserves_join_bag(self, r, s):
+        spec = naive_join()
+        expected = normalize_pairs(run_concrete(spec, {"R": r, "S": s}))
+        programs = closure(spec, {"R": "HDD", "S": "HDD"}, depth=2)
+        assert len(programs) > 5
+        for program in programs:
+            actual = normalize_pairs(
+                run_concrete(program, {"R": r, "S": s})
+            )
+            assert actual == expected
+
+    def test_closure_contains_bnl_shape(self):
+        from repro.ocal import For
+
+        programs = closure(naive_join(), {"R": "HDD", "S": "HDD"}, depth=3)
+        bnl_like = [
+            p
+            for p in programs
+            if isinstance(p, For)
+            and isinstance(p.block_in, str)
+            and isinstance(p.body, For)
+            and isinstance(p.body.block_in, str)
+        ]
+        assert bnl_like, "depth-3 closure should contain a doubly-blocked join"
+
+
+class TestSortClosure:
+    @given(data=st.lists(st.integers(0, 40), min_size=0, max_size=9))
+    @settings(max_examples=25, deadline=None)
+    def test_sort_closure_is_still_a_sort(self, data):
+        spec = app(fold_l(empty(), unfold_r(mrg())), v("Rs"))
+        env = {"Rs": [[x] for x in data]}
+        programs = closure(spec, {"Rs": "HDD"}, depth=3)
+        assert len(programs) >= 4
+        for program in programs:
+            assert run_concrete(program, env) == sorted(data)
+
+    def test_sort_closure_contains_multiway_merge(self):
+        from repro.ocal import App, TreeFold
+
+        spec = app(fold_l(empty(), unfold_r(mrg())), v("Rs"))
+        programs = closure(spec, {"Rs": "HDD"}, depth=3)
+        arities = {
+            p.fn.arity
+            for p in programs
+            if isinstance(p, App) and isinstance(p.fn, TreeFold)
+        }
+        assert 2 in arities and 4 in arities
+
+
+class TestAggregationClosure:
+    @given(data=st.lists(st.integers(0, 100), min_size=0, max_size=12))
+    @settings(max_examples=25, deadline=None)
+    def test_sum_closure_preserves_value(self, data):
+        spec = app(
+            fold_l(lit(0), lam(("a", "b"), add(v("a"), v("b")))), v("R")
+        )
+        programs = closure(spec, {"R": "HDD"}, depth=2)
+        assert len(programs) >= 3
+        for program in programs:
+            assert run_concrete(program, {"R": data}) == sum(data)
+
+
+class TestMergeClosure:
+    @given(
+        a=st.lists(st.integers(0, 30), min_size=0, max_size=8),
+        b=st.lists(st.integers(0, 30), min_size=0, max_size=8),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_union_closure_preserves_merge(self, a, b):
+        a, b = sorted(a), sorted(b)
+        spec = app(unfold_r(mrg()), tup(v("A"), v("B")))
+        programs = closure(spec, {"A": "HDD", "B": "HDD"}, depth=2)
+        for program in programs:
+            assert run_concrete(program, {"A": a, "B": b}) == sorted(a + b)

@@ -1,0 +1,162 @@
+"""Tests for the simulated devices, clock, and cache."""
+
+import pytest
+
+from repro.runtime import CacheSim, FlashDrive, HardDisk, Ram, SimClock
+
+
+@pytest.fixture()
+def clock():
+    return SimClock()
+
+
+class TestClock:
+    def test_io_and_cpu_tracked_separately(self, clock):
+        clock.advance_io(1.5)
+        clock.advance_cpu(0.5)
+        assert clock.now == pytest.approx(2.0)
+        assert clock.io_seconds == pytest.approx(1.5)
+        assert clock.cpu_seconds == pytest.approx(0.5)
+
+    def test_negative_time_rejected(self, clock):
+        with pytest.raises(ValueError):
+            clock.advance_io(-1)
+
+    def test_reset(self, clock):
+        clock.advance_io(1)
+        clock.reset()
+        assert clock.now == 0
+
+
+class TestHardDisk:
+    def make(self, clock):
+        return HardDisk(
+            name="HDD", clock=clock, read_init=15e-3,
+            read_unit=1e-6, write_init=15e-3, write_unit=1e-6,
+        )
+
+    def test_first_read_seeks(self, clock):
+        disk = self.make(clock)
+        disk.read(0, 1000)
+        assert disk.stats.seeks == 1
+        assert clock.io_seconds == pytest.approx(15e-3 + 1000e-6)
+
+    def test_sequential_reads_do_not_reseek(self, clock):
+        disk = self.make(clock)
+        disk.read(0, 1000)
+        disk.read(1000, 1000)
+        assert disk.stats.seeks == 1
+
+    def test_random_reads_reseek(self, clock):
+        disk = self.make(clock)
+        disk.read(0, 100)
+        disk.read(5000, 100)
+        assert disk.stats.seeks == 2
+
+    def test_read_write_interference_emerges(self, clock):
+        disk = self.make(clock)
+        disk.read(0, 100)
+        disk.write(10_000, 100)   # head moves away
+        disk.read(100, 100)       # …so this read seeks again
+        assert disk.stats.seeks == 3
+
+    def test_byte_counters(self, clock):
+        disk = self.make(clock)
+        disk.read(0, 123)
+        disk.write(200, 77)
+        assert disk.stats.bytes_read == 123
+        assert disk.stats.bytes_written == 77
+
+    def test_allocation_is_contiguous(self, clock):
+        disk = self.make(clock)
+        a = disk.allocate(100)
+        b = disk.allocate(50)
+        assert b.start == a.end
+
+
+class TestFlashDrive:
+    def make(self, clock):
+        return FlashDrive(
+            name="SSD", clock=clock, write_init=1.7e-3,
+            write_unit=1e-7, read_unit=1e-7, erase_block=1024,
+        )
+
+    def test_reads_have_no_positioning_cost(self, clock):
+        flash = self.make(clock)
+        flash.read(0, 100)
+        flash.read(90_000, 100)
+        assert flash.stats.erases == 0
+        assert clock.io_seconds == pytest.approx(200e-7)
+
+    def test_sequential_write_erases_per_block(self, clock):
+        flash = self.make(clock)
+        flash.write(0, 4096)  # 4 erase blocks of 1024
+        assert flash.stats.erases == pytest.approx(4, abs=1)
+
+    def test_random_writes_erase_every_time(self, clock):
+        flash = self.make(clock)
+        for i in range(5):
+            flash.write(i * 50_000, 10)
+        assert flash.stats.erases >= 5
+
+    def test_continuing_a_sequence_does_not_erase_again(self, clock):
+        flash = self.make(clock)
+        flash.write(0, 100)
+        erases = flash.stats.erases
+        flash.write(100, 100)  # same erase block, same sequence
+        assert flash.stats.erases == erases
+
+
+class TestRam:
+    def test_ram_is_free(self, clock):
+        ram = Ram(name="RAM", clock=clock)
+        ram.read(0, 10**9)
+        ram.write(0, 10**9)
+        assert clock.now == 0.0
+
+
+class TestCacheSim:
+    def test_size_validation(self):
+        with pytest.raises(ValueError):
+            CacheSim(size=1000, line_size=512, associativity=8)
+
+    def test_cold_miss_then_hit(self):
+        cache = CacheSim(size=64 * 1024, line_size=512)
+        assert cache.access(0) == 1
+        assert cache.access(0) == 0
+        assert cache.access(100) == 0  # same line
+        assert cache.miss_rate == pytest.approx(1 / 3)
+
+    def test_capacity_eviction(self):
+        cache = CacheSim(size=8 * 512, line_size=512, associativity=1)
+        cache.access(0)
+        # Fill the same set until line 0 is evicted (direct-mapped).
+        cache.access(8 * 512)
+        assert cache.access(0) == 1  # evicted → miss again
+
+    def test_lru_within_set(self):
+        cache = CacheSim(size=2 * 512 * 2, line_size=512, associativity=2)
+        # Two-way set: lines 0 and 2 map to set 0.
+        cache.access(0 * 512)
+        cache.access(2 * 512)
+        cache.access(0 * 512)          # refresh line 0
+        cache.access(4 * 512)          # evicts LRU = line 2
+        assert cache.access(0 * 512) == 0
+        assert cache.access(2 * 512) == 1
+
+    def test_multi_byte_access_spans_lines(self):
+        cache = CacheSim(size=64 * 1024, line_size=512)
+        misses = cache.access(0, 1024)
+        assert misses == 2
+
+    def test_streaming_large_array_misses_every_line(self):
+        cache = CacheSim(size=16 * 1024, line_size=512)
+        for addr in range(0, 64 * 1024, 512):
+            cache.access(addr)
+        assert cache.misses == 128
+
+    def test_reset(self):
+        cache = CacheSim(size=64 * 1024, line_size=512)
+        cache.access(0)
+        cache.reset()
+        assert cache.accesses == 0 and cache.misses == 0

@@ -1,0 +1,175 @@
+"""End-to-end synthesizer tests: the paper's derivations come out."""
+
+import pytest
+
+from repro.cost import atom, list_annot, tuple_annot
+from repro.hierarchy import MB, hdd_ram_hierarchy
+from repro.ocal import App, For, TreeFold, evaluate, pretty
+from repro.search import Synthesizer, bind_parameters
+from repro.symbolic import var
+from repro.workloads import (
+    aggregation_spec,
+    insertion_sort_spec,
+    naive_join_spec,
+)
+
+
+def join_synthesizer(**kwargs):
+    options = dict(max_depth=3, max_programs=120)
+    options.update(kwargs)
+    return Synthesizer(hierarchy=hdd_ram_hierarchy(8 * MB), **options)
+
+
+def synthesize_join(synth=None, stats=None):
+    synth = synth or join_synthesizer()
+    return synth.synthesize(
+        spec=naive_join_spec(),
+        input_annots={
+            "R": list_annot(tuple_annot(atom(1), atom(1)), var("x")),
+            "S": list_annot(tuple_annot(atom(1), atom(1)), var("y")),
+        },
+        input_locations={"R": "HDD", "S": "HDD"},
+        stats=stats or {"x": 2.0**26, "y": 2.0**22},
+    )
+
+
+class TestJoinSynthesis:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return synthesize_join()
+
+    def test_spec_vastly_more_expensive(self, result):
+        assert result.spec_cost > result.opt_cost * 1e4
+
+    def test_best_is_blocked(self, result):
+        from repro.ocal import walk, For
+
+        blocked = [
+            n
+            for n in walk(result.best.program)
+            if isinstance(n, For) and n.block_in != 1
+        ]
+        assert blocked, "the winner must fetch data in blocks"
+
+    def test_derivation_recorded(self, result):
+        assert result.best.derivation
+        assert all(isinstance(step, str) for step in result.best.derivation)
+        assert result.steps == len(result.best.derivation)
+
+    def test_search_statistics(self, result):
+        assert result.search_space > 10
+        assert result.candidates_costed > 10
+        assert result.runtime > 0
+        assert result.depth_reached >= 1
+
+    def test_top_candidates_sorted(self, result):
+        costs = [candidate.cost for candidate in result.top]
+        assert costs == sorted(costs)
+        assert result.top[0].cost == result.opt_cost
+
+    def test_tuned_parameters_feasible(self, result):
+        env = result.best.tuned.env(
+            {"x": 2.0**26, "y": 2.0**22}
+        )
+        for constraint in result.best.estimate.constraints:
+            assert constraint.satisfied(env)
+
+    def test_executable_program_is_correct(self, result):
+        program = result.best.executable()
+        R = [(i % 5, i) for i in range(9)]
+        S = [(i % 5, -i) for i in range(7)]
+        expected = evaluate(naive_join_spec(), {"R": R, "S": S})
+
+        def normalize(rows):
+            return sorted(
+                tuple(sorted(map(repr, row))) if isinstance(row, tuple)
+                else (repr(row),)
+                for row in rows
+            )
+
+        actual = evaluate(program, {"R": R, "S": S})
+        assert normalize(actual) == normalize(expected)
+
+
+class TestSortSynthesis:
+    @pytest.fixture(scope="class")
+    def result(self):
+        synth = Synthesizer(
+            hierarchy=hdd_ram_hierarchy(8 * MB),
+            max_depth=5,
+            max_programs=200,
+            max_treefold_arity=16,
+        )
+        return synth.synthesize(
+            spec=insertion_sort_spec(),
+            input_annots={
+                "Rs": list_annot(list_annot(atom(1), 1), var("x")),
+            },
+            input_locations={"Rs": "HDD"},
+            stats={"x": 1e8},
+            output_location="HDD",
+        )
+
+    def test_derives_treefold_merge_sort(self, result):
+        assert isinstance(result.best.program, App)
+        assert isinstance(result.best.program.fn, TreeFold)
+        assert result.best.program.fn.arity >= 4
+
+    def test_derivation_follows_the_paper(self, result):
+        chain = result.best.derivation
+        assert "fldL-to-trfld" in chain
+        assert "inc-branching" in chain
+        assert "apply-block" in chain
+
+    def test_quadratic_to_quasilinear_speedup(self, result):
+        assert result.spec_cost / result.opt_cost > 1e4
+
+    def test_executable_sorts(self, result):
+        program = result.best.executable()
+        data = [9, 1, 8, 2, 7, 3, 5, 4, 6, 0]
+        out = evaluate(program, {"Rs": [[x] for x in data]})
+        assert out == sorted(data)
+
+
+class TestAggregationSynthesis:
+    def test_blocked_scan_derived(self):
+        synth = Synthesizer(
+            hierarchy=hdd_ram_hierarchy(8 * MB),
+            max_depth=3,
+            max_programs=40,
+        )
+        result = synth.synthesize(
+            spec=aggregation_spec(),
+            input_annots={"A": list_annot(atom(1), var("x"))},
+            input_locations={"A": "HDD"},
+            stats={"x": 1e9},
+        )
+        assert result.spec_cost > result.opt_cost * 100
+        text = pretty(result.best.program)
+        assert "foldL [" in text  # blocked fold
+        out = evaluate(result.best.executable(), {"A": [1, 2, 3, 4, 5]})
+        assert out == 15
+
+
+class TestSearchControls:
+    def test_max_programs_truncates(self):
+        synth = join_synthesizer(max_programs=20, max_depth=4)
+        result = synthesize_join(synth)
+        assert result.search_space <= 21
+        assert result.frontier_truncated
+
+    def test_depth_zero_means_spec_only(self):
+        synth = join_synthesizer(max_depth=0)
+        result = synthesize_join(synth)
+        assert result.search_space == 1
+        assert result.best.program == result.spec
+
+    def test_deeper_search_never_worse(self):
+        shallow = synthesize_join(join_synthesizer(max_depth=1))
+        deep = synthesize_join(join_synthesizer(max_depth=3))
+        assert deep.opt_cost <= shallow.opt_cost * 1.0001
+
+    def test_search_space_grows_with_depth(self):
+        shallow = synthesize_join(join_synthesizer(max_depth=1))
+        deep = synthesize_join(join_synthesizer(max_depth=3))
+        assert deep.search_space > shallow.search_space

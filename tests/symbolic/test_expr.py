@@ -1,0 +1,178 @@
+"""Unit tests for the symbolic expression language."""
+
+import math
+from fractions import Fraction
+
+import pytest
+
+from repro.symbolic import (
+    Add,
+    Const,
+    Div,
+    Max,
+    Mul,
+    Sum,
+    Var,
+    as_expr,
+    ceil,
+    ceil_div,
+    ceil_log2,
+    const,
+    floor,
+    log2,
+    smax,
+    smin,
+    summation,
+    var,
+)
+
+
+class TestConstruction:
+    def test_const_normalizes_fractions(self):
+        assert Const(Fraction(4, 2)) == Const(2)
+
+    def test_const_accepts_float(self):
+        assert Const(0.5) == Const(Fraction(1, 2))
+
+    def test_as_expr_passthrough(self):
+        x = var("x")
+        assert as_expr(x) is x
+
+    def test_as_expr_int(self):
+        assert as_expr(7) == Const(7)
+
+    def test_as_expr_rejects_bool(self):
+        with pytest.raises(TypeError):
+            as_expr(True)
+
+    def test_as_expr_rejects_strings(self):
+        with pytest.raises(TypeError):
+            as_expr("x")
+
+    def test_operator_overloading_builds_trees(self):
+        x, y = var("x"), var("y")
+        expr = (x + y) * 2 - x / y
+        assert isinstance(expr, Add)
+
+    def test_pow_requires_int(self):
+        with pytest.raises(TypeError):
+            var("x") ** 0.5
+
+    def test_expressions_are_hashable(self):
+        x = var("x")
+        d = {x + 1: "a", x * 2: "b"}
+        assert d[var("x") + 1] == "a"
+
+    def test_equality_is_structural(self):
+        assert var("x") + 1 == var("x") + 1
+        assert var("x") + 1 != var("y") + 1
+
+    def test_smax_requires_operand(self):
+        with pytest.raises(ValueError):
+            smax()
+
+    def test_smin_requires_operand(self):
+        with pytest.raises(ValueError):
+            smin()
+
+
+class TestEvaluate:
+    def test_arithmetic(self):
+        x, y = var("x"), var("y")
+        expr = (x + 2) * y - x / 2
+        assert expr.evaluate({"x": 4, "y": 3}) == pytest.approx(16.0)
+
+    def test_unbound_variable_raises(self):
+        with pytest.raises(KeyError):
+            var("x").evaluate({})
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            (var("x") / var("y")).evaluate({"x": 1, "y": 0})
+
+    def test_max_min(self):
+        assert smax(var("x"), 3).evaluate({"x": 5}) == 5
+        assert smin(var("x"), 3).evaluate({"x": 5}) == 3
+
+    def test_ceil_floor(self):
+        assert ceil(var("x") / 4).evaluate({"x": 9}) == 3
+        assert floor(var("x") / 4).evaluate({"x": 9}) == 2
+
+    def test_ceil_is_robust_to_float_noise(self):
+        # 0.1 * 3 / 0.3 is 1.0000000000000002 in floats; ceil must be 1.
+        expr = ceil(var("a") * 3 / var("b"))
+        assert expr.evaluate({"a": 0.1, "b": 0.3}) == 1
+
+    def test_log2(self):
+        assert log2(var("x")).evaluate({"x": 8}) == pytest.approx(3.0)
+
+    def test_log2_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            log2(var("x")).evaluate({"x": 0})
+
+    def test_ceil_log2(self):
+        assert ceil_log2(const(9)).evaluate({}) == 4
+
+    def test_sum_inclusive_bounds(self):
+        expr = summation("j", 0, var("n"), var("j"))
+        assert expr.evaluate({"n": 4}) == 10
+
+    def test_sum_shadowing(self):
+        expr = summation("j", 1, 3, var("j") * var("k"))
+        assert expr.evaluate({"k": 2, "j": 99}) == 12
+
+    def test_power(self):
+        assert (var("x") ** 3).evaluate({"x": 2}) == 8
+
+    def test_negative_power(self):
+        assert (var("x") ** -1).evaluate({"x": 4}) == pytest.approx(0.25)
+
+
+class TestSubstitute:
+    def test_substitute_variable(self):
+        expr = var("x") + var("y")
+        assert expr.substitute({"x": 3}).evaluate({"y": 4}) == 7
+
+    def test_substitute_with_expression(self):
+        expr = var("x") * 2
+        substituted = expr.substitute({"x": var("y") + 1})
+        assert substituted.evaluate({"y": 4}) == 10
+
+    def test_substitute_respects_sum_binding(self):
+        expr = summation("j", 0, var("n"), var("j") + var("c"))
+        substituted = expr.substitute({"j": 100, "c": 1})
+        # The bound j must not be replaced; c must.
+        assert substituted.evaluate({"n": 2}) == (0 + 1) + (1 + 1) + (2 + 1)
+
+    def test_substitute_in_bounds(self):
+        expr = summation("j", 0, var("n"), const(1))
+        assert expr.substitute({"n": 5}).evaluate({}) == 6
+
+
+class TestFreeVars:
+    def test_free_vars_collects_names(self):
+        expr = (var("x") + var("y")) * smax(var("z"), 1)
+        assert expr.free_vars() == {"x", "y", "z"}
+
+    def test_sum_bound_var_is_still_reported_in_body(self):
+        # free_vars is a syntactic occurrence check used for closure tests;
+        # the Sum body mentions j even though it is bound.
+        expr = summation("j", 0, var("n"), var("j"))
+        assert "n" in expr.free_vars()
+
+
+class TestPrinting:
+    def test_str_round_trips_semantics(self):
+        expr = (var("x") + 1) * var("y")
+        assert str(expr) == "(x + 1)*y"
+
+    def test_str_of_fraction(self):
+        assert str(const(Fraction(1, 2))) == "1/2"
+
+    def test_str_of_functions(self):
+        assert str(smax(var("x"), const(1))) == "max(x, 1)"
+        assert str(ceil_div(var("x"), var("k"))) == "ceil(x/k)"
+
+    def test_str_of_sum(self):
+        expr = summation("j", 0, var("n"), var("j"))
+        assert str(expr) == "sum(j=0..n, j)"

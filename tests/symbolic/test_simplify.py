@@ -1,0 +1,212 @@
+"""Tests for the simplification engine, including closed forms of sums."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.symbolic import (
+    Const,
+    Div,
+    Max,
+    Var,
+    ceil,
+    const,
+    expr_key,
+    floor,
+    is_nonneg,
+    log2,
+    simplify,
+    smax,
+    smin,
+    summation,
+    var,
+)
+
+
+class TestConstantFolding:
+    def test_addition(self):
+        assert simplify(const(2) + const(3)) == Const(5)
+
+    def test_multiplication(self):
+        assert simplify(const(2) * const(3) * var("x") * const(0)) == Const(0)
+
+    def test_division(self):
+        assert simplify(const(7) / const(2)) == Const(Fraction(7, 2))
+
+    def test_nested(self):
+        expr = (const(1) + const(1)) * (const(6) / const(3))
+        assert simplify(expr) == Const(4)
+
+    def test_zero_division_detected(self):
+        with pytest.raises(ZeroDivisionError):
+            simplify(var("x") / const(0))
+
+
+class TestCollection:
+    def test_like_terms_collected(self):
+        x = var("x")
+        assert simplify(x + x + x) == simplify(3 * x)
+
+    def test_subtraction_cancels(self):
+        x = var("x")
+        assert simplify(x - x) == Const(0)
+
+    def test_product_powers_merge(self):
+        x = var("x")
+        assert expr_key(x * x * x) == expr_key(x ** 3)
+
+    def test_division_cancels_monomials(self):
+        x, k = var("x"), var("k")
+        assert simplify((x * k) / k) == x
+
+    def test_division_by_monomial_keeps_negative_power(self):
+        x, k = var("x"), var("k")
+        expr = simplify(x / k * k)
+        assert expr == x
+
+    def test_distribution(self):
+        x, y = var("x"), var("y")
+        assert expr_key((x + y) * 2) == expr_key(2 * x + 2 * y)
+
+    def test_sum_of_quotients_with_common_denominator(self):
+        x, k = var("x"), var("k")
+        assert expr_key(x / k + x / k) == expr_key(2 * x / k)
+
+
+class TestMaxMin:
+    def test_max_constant_folding(self):
+        assert simplify(smax(const(3), const(5))) == Const(5)
+
+    def test_max_with_zero_dropped_for_nonneg(self):
+        x = var("x")
+        assert simplify(smax(x, const(0))) == x
+
+    def test_max_duplicates_removed(self):
+        x = var("x")
+        assert simplify(smax(x, x)) == x
+
+    def test_min_with_zero_is_zero_for_nonneg(self):
+        assert simplify(smin(var("x"), const(0))) == Const(0)
+
+    def test_max_flattens_nested(self):
+        x, y, z = var("x"), var("y"), var("z")
+        expr = simplify(smax(smax(x, y), z))
+        assert isinstance(expr, Max)
+        assert len(expr.operands) == 3
+
+    def test_max_keeps_positive_constant(self):
+        expr = simplify(smax(var("x"), const(2)))
+        assert isinstance(expr, Max)
+
+
+class TestRounding:
+    def test_ceil_of_constant(self):
+        assert simplify(ceil(const(Fraction(7, 2)))) == Const(4)
+
+    def test_floor_of_constant(self):
+        assert simplify(floor(const(Fraction(7, 2)))) == Const(3)
+
+    def test_ceil_of_integer_expression_is_dropped(self):
+        expr = simplify(ceil(ceil(var("x") / 2)))
+        # inner ceil makes the operand integral, outer ceil disappears
+        assert expr == simplify(ceil(var("x") / 2))
+
+    def test_ceil_of_negative_fraction(self):
+        assert simplify(ceil(const(Fraction(-7, 2)))) == Const(-3)
+
+
+class TestLog:
+    def test_log2_of_power_of_two(self):
+        assert simplify(log2(const(1024))) == Const(10)
+
+    def test_log2_of_variable_kept(self):
+        assert "log2" in str(simplify(log2(var("x"))))
+
+
+class TestClosedFormSums:
+    def test_constant_body(self):
+        # sum_{j=0}^{n} 1 == n + 1
+        expr = summation("j", 0, var("n"), const(1))
+        assert expr_key(expr) == expr_key(var("n") + 1)
+
+    def test_linear_body_is_insertion_sort_shape(self):
+        # sum_{j=0}^{x-1} (j+1) == x(x+1)/2 — the naive-sort transfer count
+        x = var("x")
+        expr = summation("j", 0, x - 1, var("j") + 1)
+        assert expr_key(expr) == expr_key(x * (x + 1) / 2)
+
+    def test_insertion_sort_cost_formula(self):
+        # Section 7.2: sum_{j=0}^{x-1} (I + (j+1)U) = x·I + x(x+1)/2·U
+        x, init, unit = var("x"), var("I"), var("U")
+        expr = summation("j", 0, x - 1, init + (var("j") + 1) * unit)
+        expected = x * init + x * (x + 1) / 2 * unit
+        assert expr_key(expr) == expr_key(expected)
+
+    def test_quadratic_body(self):
+        expr = summation("j", 0, var("n"), var("j") ** 2)
+        n = var("n")
+        expected = n * (n + 1) * (2 * n + 1) / 6
+        assert expr_key(expr) == expr_key(expected)
+
+    def test_cubic_body(self):
+        expr = summation("j", 0, var("n"), var("j") ** 3)
+        n = var("n")
+        expected = (n * (n + 1) / 2) ** 2
+        assert expr_key(expr) == expr_key(expected)
+
+    def test_nonzero_lower_bound(self):
+        expr = summation("j", 2, 5, var("j"))
+        assert simplify(expr) == Const(2 + 3 + 4 + 5)
+
+    def test_coefficient_free_of_bound_var(self):
+        expr = summation("j", 0, var("n") - 1, var("c") * var("j"))
+        n, c = var("n"), var("c")
+        assert expr_key(expr) == expr_key(c * n * (n - 1) / 2)
+
+    def test_opaque_when_body_not_polynomial(self):
+        expr = summation("j", 0, var("n"), log2(var("j") + 1))
+        assert "sum" in str(simplify(expr))
+
+    def test_opaque_sum_still_evaluates(self):
+        expr = summation("j", 0, var("n"), log2(var("j") + 1))
+        simplified = simplify(expr)
+        assert simplified.evaluate({"n": 3}) == pytest.approx(
+            expr.evaluate({"n": 3})
+        )
+
+
+class TestSignAnalysis:
+    def test_vars_assumed_nonneg(self):
+        assert is_nonneg(var("x"))
+
+    def test_products_and_sums(self):
+        assert is_nonneg(var("x") * var("y") + 3)
+
+    def test_negative_constant(self):
+        assert not is_nonneg(const(-1))
+
+    def test_difference_not_provable(self):
+        assert not is_nonneg(var("x") - var("y"))
+
+    def test_even_power_always_nonneg(self):
+        assert is_nonneg((var("x") - var("y")) ** 2)
+
+
+class TestEquivalenceSpotChecks:
+    ENV = {"x": 37.0, "y": 11.0, "k": 3.0, "n": 9.0}
+
+    @pytest.mark.parametrize(
+        "expr",
+        [
+            (var("x") + var("y")) * var("k") - var("x"),
+            var("x") / var("k") + var("y") / var("k"),
+            smax(var("x"), var("y")) * smin(var("x"), var("y")),
+            ceil(var("x") / var("k")) * var("k"),
+            summation("j", 0, var("n"), var("j") * var("k") + 1),
+            (var("x") + 1) ** 2 - var("x") ** 2,
+        ],
+    )
+    def test_simplification_preserves_value(self, expr):
+        assert simplify(expr).evaluate(self.ENV) == pytest.approx(
+            expr.evaluate(self.ENV)
+        )

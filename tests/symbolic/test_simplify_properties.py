@@ -1,0 +1,91 @@
+"""Property-based tests: simplification preserves numeric value."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.symbolic import (
+    as_expr,
+    ceil,
+    floor,
+    simplify,
+    smax,
+    smin,
+    summation,
+    var,
+)
+
+VAR_NAMES = ("x", "y", "k")
+
+
+def _leaf():
+    return st.one_of(
+        st.integers(min_value=0, max_value=12).map(as_expr),
+        st.sampled_from(VAR_NAMES).map(var),
+    )
+
+
+def _compound(children):
+    return st.one_of(
+        st.tuples(children, children).map(lambda p: p[0] + p[1]),
+        st.tuples(children, children).map(lambda p: p[0] * p[1]),
+        st.tuples(children, children).map(lambda p: p[0] - p[1]),
+        st.tuples(children, children).map(lambda p: smax(p[0], p[1])),
+        st.tuples(children, children).map(lambda p: smin(p[0], p[1])),
+        children.map(ceil),
+        children.map(floor),
+        # Divide only by positive constants to keep evaluation total.
+        st.tuples(children, st.integers(min_value=1, max_value=7)).map(
+            lambda p: p[0] / p[1]
+        ),
+    )
+
+
+EXPRESSIONS = st.recursive(_leaf(), _compound, max_leaves=12)
+
+ENVS = st.fixed_dictionaries(
+    {name: st.integers(min_value=1, max_value=40) for name in VAR_NAMES}
+)
+
+
+@given(expr=EXPRESSIONS, env=ENVS)
+@settings(max_examples=200, deadline=None)
+def test_simplify_preserves_value(expr, env):
+    expected = expr.evaluate(env)
+    actual = simplify(expr).evaluate(env)
+    assert math.isclose(actual, expected, rel_tol=1e-9, abs_tol=1e-9)
+
+
+@given(expr=EXPRESSIONS, env=ENVS)
+@settings(max_examples=100, deadline=None)
+def test_simplify_is_idempotent(expr, env):
+    once = simplify(expr)
+    twice = simplify(once)
+    assert math.isclose(
+        once.evaluate(env), twice.evaluate(env), rel_tol=1e-9, abs_tol=1e-9
+    )
+
+
+@given(
+    lower=st.integers(min_value=0, max_value=5),
+    width=st.integers(min_value=0, max_value=8),
+    a=st.integers(min_value=0, max_value=6),
+    b=st.integers(min_value=0, max_value=6),
+    c=st.integers(min_value=0, max_value=4),
+)
+@settings(max_examples=150, deadline=None)
+def test_polynomial_sums_have_exact_closed_forms(lower, width, a, b, c):
+    j = var("j")
+    body = as_expr(a) + as_expr(b) * j + as_expr(c) * j * j
+    expr = summation("j", lower, lower + width, body)
+    expected = sum(a + b * jv + c * jv * jv for jv in range(lower, lower + width + 1))
+    simplified = simplify(expr)
+    assert "sum" not in str(simplified)
+    assert simplified.evaluate({}) == expected
+
+
+@given(expr=EXPRESSIONS)
+@settings(max_examples=100, deadline=None)
+def test_simplify_never_invents_variables(expr):
+    assert simplify(expr).free_vars() <= expr.free_vars()

@@ -1,0 +1,174 @@
+"""Semantic tests for every naive specification against Python oracles."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ocal import run
+from repro.workloads import (
+    aggregation_spec,
+    column_store_read_spec,
+    duplicate_removal_spec,
+    insertion_sort_spec,
+    make_columns,
+    make_singleton_runs,
+    make_sorted_multiset,
+    make_sorted_unique,
+    make_tuples,
+    make_value_multiplicity,
+    multiset_diff_multiplicity_spec,
+    multiset_diff_sorted_spec,
+    multiset_union_multiplicity_spec,
+    multiset_union_sorted_spec,
+    naive_join_spec,
+    naive_product_spec,
+    set_union_spec,
+)
+
+ints = st.lists(st.integers(0, 30), max_size=10)
+
+
+class TestJoinSpecs:
+    @given(
+        r=st.lists(st.tuples(st.integers(0, 4), st.integers()), max_size=8),
+        s=st.lists(st.tuples(st.integers(0, 4), st.integers()), max_size=8),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_naive_join(self, r, s):
+        expected = [(x, y) for x in r for y in s if x[0] == y[0]]
+        assert run(naive_join_spec(), R=r, S=s) == expected
+
+    @given(
+        r=st.lists(st.tuples(st.integers(), st.integers()), max_size=6),
+        s=st.lists(st.tuples(st.integers(), st.integers()), max_size=6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_product(self, r, s):
+        expected = [(x, y) for x in r for y in s]
+        assert run(naive_product_spec(), R=r, S=s) == expected
+
+
+class TestSortSpec:
+    @given(data=ints)
+    @settings(max_examples=50, deadline=None)
+    def test_insertion_sort(self, data):
+        runs = [[x] for x in data]
+        assert run(insertion_sort_spec(), Rs=runs) == sorted(data)
+
+
+class TestSetOps:
+    @given(a=ints, b=ints)
+    @settings(max_examples=50, deadline=None)
+    def test_set_union(self, a, b):
+        a, b = sorted(set(a)), sorted(set(b))
+        assert run(set_union_spec(), A=a, B=b) == sorted(set(a) | set(b))
+
+    @given(a=ints, b=ints)
+    @settings(max_examples=50, deadline=None)
+    def test_multiset_union(self, a, b):
+        a, b = sorted(a), sorted(b)
+        assert run(multiset_union_sorted_spec(), A=a, B=b) == sorted(a + b)
+
+    @given(a=ints, b=ints)
+    @settings(max_examples=50, deadline=None)
+    def test_multiset_diff(self, a, b):
+        a, b = sorted(a), sorted(b)
+        expected = sorted((Counter(a) - Counter(b)).elements())
+        assert run(multiset_diff_sorted_spec(), A=a, B=b) == expected
+
+    @given(
+        a=st.dictionaries(st.integers(0, 20), st.integers(1, 5), max_size=6),
+        b=st.dictionaries(st.integers(0, 20), st.integers(1, 5), max_size=6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_value_multiplicity_union(self, a, b):
+        va, vb = sorted(a.items()), sorted(b.items())
+        expected = sorted((Counter(a) + Counter(b)).items())
+        assert run(multiset_union_multiplicity_spec(), A=va, B=vb) == expected
+
+    @given(
+        a=st.dictionaries(st.integers(0, 20), st.integers(1, 5), max_size=6),
+        b=st.dictionaries(st.integers(0, 20), st.integers(1, 5), max_size=6),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_value_multiplicity_diff(self, a, b):
+        va, vb = sorted(a.items()), sorted(b.items())
+        expected = sorted((Counter(a) - Counter(b)).items())
+        assert run(multiset_diff_multiplicity_spec(), A=va, B=vb) == expected
+
+
+class TestScans:
+    @given(
+        rows=st.integers(0, 8),
+        cols=st.integers(2, 5),
+        seed=st.integers(0, 99),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_column_read(self, rows, cols, seed):
+        columns = make_columns(rows, cols, seed=seed)
+        expected = list(zip(*(columns[f"C{i + 1}"] for i in range(cols))))
+        assert run(column_store_read_spec(cols), **columns) == expected
+
+    def test_column_read_needs_two(self):
+        with pytest.raises(ValueError):
+            column_store_read_spec(1)
+
+    @given(data=ints)
+    @settings(max_examples=50, deadline=None)
+    def test_duplicate_removal(self, data):
+        data = sorted(x for x in data if x >= 0)  # sentinel is -1
+        expected = sorted(set(data))
+        assert run(duplicate_removal_spec(), A=data) == expected
+
+    @given(data=ints)
+    @settings(max_examples=50, deadline=None)
+    def test_aggregation(self, data):
+        assert run(aggregation_spec(), A=data) == sum(data)
+
+
+class TestGenerators:
+    def test_tuples_deterministic(self):
+        assert make_tuples(5, 3, seed=1) == make_tuples(5, 3, seed=1)
+
+    def test_sorted_unique(self):
+        out = make_sorted_unique(10, 100, seed=2)
+        assert out == sorted(set(out)) and len(out) == 10
+
+    def test_sorted_unique_domain_check(self):
+        with pytest.raises(ValueError):
+            make_sorted_unique(10, 5)
+
+    def test_sorted_multiset(self):
+        out = make_sorted_multiset(20, 5, seed=3)
+        assert out == sorted(out) and len(out) == 20
+
+    def test_value_multiplicity(self):
+        out = make_value_multiplicity(6, 50, seed=4)
+        values = [value for value, _ in out]
+        assert values == sorted(set(values))
+        assert all(mult >= 1 for _, mult in out)
+
+    def test_singleton_runs(self):
+        out = make_singleton_runs(7, 10, seed=5)
+        assert len(out) == 7 and all(len(run_) == 1 for run_ in out)
+
+
+class TestProfiles:
+    def test_profile_and_selectivity(self):
+        from repro.workloads import RelationProfile, join_selectivity
+
+        r = RelationProfile(card=1000, elem_bytes=512, key_domain=100)
+        s = RelationProfile(card=100, elem_bytes=512, key_domain=100)
+        assert r.total_bytes == 512_000
+        assert join_selectivity(r, s) == pytest.approx(0.01)
+        spec = r.input_spec()
+        assert spec.card == 1000 and spec.elem_bytes == 512
+
+    def test_unique_key_selectivity(self):
+        from repro.workloads import RelationProfile, join_selectivity
+
+        r = RelationProfile(card=1000, elem_bytes=8)
+        s = RelationProfile(card=10, elem_bytes=8)
+        assert join_selectivity(r, s) == pytest.approx(1 / 1000)
