@@ -1,18 +1,57 @@
-"""§7.4: the running time of OCAS itself.
+"""§7.4: the running time of OCAS itself — now strategy-aware.
 
-Reproduced claims: the search space grows roughly exponentially with the
-number of transformation steps; the synthesizer's running time tracks the
-search-space size and is *independent of the input data size* (costing
-never executes programs).
+Reproduced claims:
+
+* the search space grows roughly exponentially with the number of
+  transformation steps;
+* the synthesizer's running time tracks the search-space size and is
+  *independent of the input data size* (costing never executes
+  programs);
+* the pluggable strategies (beam, best-first) find the **same best
+  program** as exhaustive BFS on every Table-1 workload while costing a
+  fraction of the candidates — ≥3× fewer tunings and ≥2× less wall
+  clock on the join workloads, where the space is largest.
+
+The head-to-head comparison is persisted to ``BENCH_search.json`` at the
+repository root (candidates costed, wall time, cache hit rate per
+strategy per workload) so later changes have a perf trajectory to
+compare against.
 """
+
+import json
+import pathlib
+import time
 
 import pytest
 
+from repro.bench.table1 import ALL_EXPERIMENTS
 from repro.cost import atom, list_annot, tuple_annot
 from repro.hierarchy import MB, hdd_ram_hierarchy
-from repro.search import Synthesizer
+from repro.rules.registry import default_rules
+from repro.search import BeamSearch, BestFirst, Synthesizer
 from repro.symbolic import var
 from repro.workloads import naive_join_spec
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_search.json"
+)
+
+#: The Table-1 join rows — the workloads with a non-trivial search space,
+#: where the candidate/wall-clock reduction targets apply.
+JOIN_WORKLOADS = (
+    "BNL - No writeout",
+    "BNL with cache - No writeout",
+    "(GRACE) hash join - No writeout",
+)
+
+#: Strategy line-up of the head-to-head comparison.  Beam width 3 is the
+#: narrowest beam that still reproduces every exhaustive winner;
+#: best-first runs with its default pruning margin.
+STRATEGIES = {
+    "exhaustive-bfs": lambda: None,
+    "beam": lambda: BeamSearch(width=3),
+    "best-first": lambda: BestFirst(),
+}
 
 
 def synthesize(depth, stats, max_programs=4000):
@@ -65,3 +104,143 @@ def test_runtime_independent_of_input_size(benchmark, by_depth):
     # by five orders of magnitude leaves synthesis time unchanged (±3x).
     assert large.runtime < small.runtime * 3 + 0.5
     assert small.search_space == large.search_space
+
+
+# ----------------------------------------------------------------------
+# Strategy head-to-head over every Table-1 workload
+# ----------------------------------------------------------------------
+def _run_strategy(experiment, strategy):
+    """Fresh synthesizer per run: no cache leakage between strategies."""
+    rules = [
+        rule
+        for rule in default_rules()
+        if rule.name not in experiment.exclude_rules
+    ]
+    synth = Synthesizer(
+        hierarchy=experiment.hierarchy,
+        rules=rules,
+        max_depth=experiment.max_depth,
+        max_programs=experiment.max_programs,
+        max_treefold_arity=experiment.max_treefold_arity,
+        strategy=strategy,
+    )
+    started = time.perf_counter()
+    result = synth.synthesize(
+        spec=experiment.spec,
+        input_annots=experiment.input_annots,
+        input_locations=experiment.input_locations,
+        stats=experiment.stats,
+        output_location=experiment.output_location,
+    )
+    wall = time.perf_counter() - started
+    return result, wall
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    """{workload: {strategy: (SynthesisResult, wall seconds)}} for all 16."""
+    rows = {}
+    for factory in ALL_EXPERIMENTS:
+        experiment = factory()
+        rows[experiment.name] = {
+            name: _run_strategy(experiment, make())
+            for name, make in STRATEGIES.items()
+        }
+    return rows
+
+
+def _aggregate(comparison, workloads, strategy):
+    candidates = sum(
+        comparison[w][strategy][0].candidates_costed for w in workloads
+    )
+    wall = sum(comparison[w][strategy][1] for w in workloads)
+    return candidates, wall
+
+
+def test_strategies_agree_on_every_table1_workload(comparison, report):
+    lines = ["strategy head-to-head (best program identity):"]
+    for workload, runs in comparison.items():
+        reference = runs["exhaustive-bfs"][0].best.program
+        for name in ("beam", "best-first"):
+            assert runs[name][0].best.program == reference, (
+                f"{name} diverged from exhaustive BFS on {workload!r}"
+            )
+        lines.append(f"  {workload}: all strategies agree")
+    report.append("\n".join(lines))
+
+
+@pytest.mark.parametrize("strategy", ["beam", "best-first"])
+def test_candidate_reduction_on_join_workloads(comparison, strategy):
+    exhaustive, _ = _aggregate(comparison, JOIN_WORKLOADS, "exhaustive-bfs")
+    reduced, _ = _aggregate(comparison, JOIN_WORKLOADS, strategy)
+    assert exhaustive / reduced >= 3.0, (
+        f"{strategy} costed {reduced} candidates vs {exhaustive} exhaustive"
+    )
+
+
+@pytest.mark.parametrize("strategy", ["beam", "best-first"])
+def test_wall_clock_reduction_on_join_workloads(comparison, strategy):
+    _, exhaustive_wall = _aggregate(
+        comparison, JOIN_WORKLOADS, "exhaustive-bfs"
+    )
+    _, reduced_wall = _aggregate(comparison, JOIN_WORKLOADS, strategy)
+    assert exhaustive_wall / reduced_wall >= 2.0, (
+        f"{strategy} took {reduced_wall:.2f}s vs {exhaustive_wall:.2f}s"
+    )
+
+
+def test_record_bench_search_json(comparison, report):
+    """Persist the head-to-head numbers for future perf trajectories."""
+    workloads = {}
+    for workload, runs in comparison.items():
+        reference = runs["exhaustive-bfs"][0].best.program
+        workloads[workload] = {}
+        for name, (result, wall) in runs.items():
+            workloads[workload][name] = {
+                "candidates_costed": result.candidates_costed,
+                "search_space": result.search_space,
+                "expanded": result.expanded,
+                "pruned": result.pruned,
+                "depth_reached": result.depth_reached,
+                "steps": result.steps,
+                "opt_cost_s": result.opt_cost,
+                "wall_s": round(wall, 4),
+                "cache_hit_rate": round(result.cache.hit_rate, 4),
+                "best_matches_exhaustive": result.best.program == reference,
+            }
+    aggregates = {}
+    for name in STRATEGIES:
+        candidates, wall = _aggregate(comparison, JOIN_WORKLOADS, name)
+        aggregates[name] = {
+            "join_candidates_costed": candidates,
+            "join_wall_s": round(wall, 4),
+        }
+    exhaustive = aggregates["exhaustive-bfs"]
+    for name in ("beam", "best-first"):
+        aggregates[name]["join_candidate_reduction"] = round(
+            exhaustive["join_candidates_costed"]
+            / aggregates[name]["join_candidates_costed"],
+            2,
+        )
+        aggregates[name]["join_wall_speedup"] = round(
+            exhaustive["join_wall_s"] / aggregates[name]["join_wall_s"], 2
+        )
+    payload = {
+        "description": (
+            "Search-strategy head-to-head on the Table-1 workloads: "
+            "candidates costed, wall time and cache hit rate per strategy."
+        ),
+        "strategies": {
+            "exhaustive-bfs": {},
+            "beam": {"width": 3},
+            "best-first": {"margin": BestFirst().margin},
+        },
+        "join_workloads": list(JOIN_WORKLOADS),
+        "workloads": workloads,
+        "aggregates": aggregates,
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
+    report.append(
+        "strategy aggregates on join workloads: "
+        + json.dumps(aggregates, indent=2)
+    )

@@ -1,0 +1,160 @@
+"""Keyed memoization for the costing pipeline (DESIGN.md §6.3).
+
+Costing a candidate is two-phase: the Section-5 **estimator** walks the
+program and produces a symbolic cost with constraints, then the penalty
+**optimizer** tunes the block/buffer parameters numerically.  The second
+phase dominates (hundreds of expression evaluations per candidate), and
+both phases are pure functions of their inputs — so the synthesizer
+routes them through a :class:`CostMemo`:
+
+* **estimates** are keyed by the (hash-consed) program itself — repeated
+  synthesize calls over the same model, and any strategy that re-visits
+  a program, reuse the full symbolic estimate;
+* **tunings** are keyed by the *optimization problem* — the cost
+  expression, constraints, parameter set and statistics.  Distinct
+  programs frequently induce the identical problem (block-parameter
+  names are canonicalized to ``k1, k2, …``, so e.g. variants that move
+  an annotation without changing the transfer structure collide), and
+  the pattern search is run once per problem, not once per candidate.
+
+Hit/miss counters are exposed as :class:`CacheStats` and surfaced on
+``SynthesisResult`` so benchmarks can report cache effectiveness.
+
+A ``CostMemo`` must only be shared between runs that cost against the
+same :class:`~repro.cost.estimator.CostModel`; the synthesizer keeps one
+memo per model fingerprint.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..ocal.ast import Node
+from ..optimizer.penalty import OptimizationResult, ParameterOptimizer
+from .estimator import CostEstimate, EstimatorError
+
+__all__ = ["CacheStats", "CostMemo"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for one memoization scope."""
+
+    estimate_hits: int = 0
+    estimate_misses: int = 0
+    tune_hits: int = 0
+    tune_misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return (
+            self.estimate_hits
+            + self.estimate_misses
+            + self.tune_hits
+            + self.tune_misses
+        )
+
+    @property
+    def hits(self) -> int:
+        return self.estimate_hits + self.tune_hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache (0.0 when unused)."""
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(
+            self.estimate_hits,
+            self.estimate_misses,
+            self.tune_hits,
+            self.tune_misses,
+        )
+
+    def since(self, earlier: "CacheStats") -> "CacheStats":
+        """Counters accumulated after an earlier :meth:`snapshot`."""
+        return CacheStats(
+            self.estimate_hits - earlier.estimate_hits,
+            self.estimate_misses - earlier.estimate_misses,
+            self.tune_hits - earlier.tune_hits,
+            self.tune_misses - earlier.tune_misses,
+        )
+
+
+#: Sentinel stored for programs whose estimation failed, so the failure
+#: is also memoized (uncostable candidates are common during search).
+_FAILED = object()
+
+
+class CostMemo:
+    """Memoization tables for estimates and parameter tunings."""
+
+    def __init__(self) -> None:
+        self._estimates: dict[Node, object] = {}
+        self._tunings: dict[object, OptimizationResult] = {}
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    def estimate(
+        self, program: Node, compute: Callable[[], CostEstimate]
+    ) -> CostEstimate:
+        """Return the memoized estimate of *program*, computing on miss.
+
+        :raises EstimatorError: when the (possibly cached) estimation
+            failed — failures are memoized too.
+        """
+        cached = self._estimates.get(program)
+        if cached is not None:
+            self.stats.estimate_hits += 1
+            if cached is _FAILED:
+                raise EstimatorError("memoized estimation failure")
+            return cached  # type: ignore[return-value]
+        self.stats.estimate_misses += 1
+        try:
+            estimate = compute()
+        except EstimatorError:
+            self._estimates[program] = _FAILED
+            raise
+        self._estimates[program] = estimate
+        return estimate
+
+    # ------------------------------------------------------------------
+    def tune(
+        self,
+        estimate: CostEstimate,
+        stats: dict[str, float],
+        penalty_rounds: int = 2,
+    ) -> OptimizationResult:
+        """Tune the parameters of *estimate*, memoized by problem identity."""
+        key = (
+            estimate.total,
+            tuple(estimate.constraints),
+            estimate.parameters,
+            tuple(sorted(stats.items())),
+            penalty_rounds,
+        )
+        cached = self._tunings.get(key)
+        if cached is not None:
+            self.stats.tune_hits += 1
+            return cached
+        self.stats.tune_misses += 1
+        tuned = ParameterOptimizer(
+            cost=estimate.total,
+            constraints=estimate.constraints,
+            parameters=estimate.parameters,
+            stats=dict(stats),
+            penalty_rounds=penalty_rounds,
+        ).run()
+        self._tunings[key] = tuned
+        return tuned
+
+    # ------------------------------------------------------------------
+    def sizes(self) -> tuple[int, int]:
+        """(cached estimates, cached tunings) — introspection for tests."""
+        return len(self._estimates), len(self._tunings)
+
+    def clear(self) -> None:
+        self._estimates.clear()
+        self._tunings.clear()

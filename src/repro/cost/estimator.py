@@ -95,7 +95,13 @@ from .annotated import (
 )
 from .events import Constraint, CostEvents
 
-__all__ = ["CostModel", "CostEstimate", "CostEstimator", "EstimatorError"]
+__all__ = [
+    "CostModel",
+    "CostEstimate",
+    "CostEstimator",
+    "EstimatorError",
+    "optimistic_cost",
+]
 
 ZERO = Const(0)
 ONE = Const(1)
@@ -151,6 +157,115 @@ class CostEstimate:
     def evaluate(self, env: dict[str, float]) -> float:
         """Numeric cost in seconds under a full variable binding."""
         return self.total.evaluate(env)
+
+
+#: Parameter values probed by :func:`optimistic_cost` — powers of two
+#: from 1 to 2^40 (the optimizer's own ``max_value``).  A factor-2 grid
+#: overshoots the continuous minimum of a unimodal term (``k + n/k``
+#: shapes) by at most ~6%; ``BestFirst.margin`` absorbs that slack.
+_OPTIMISM_LADDER = tuple(2.0 ** e for e in range(0, 41))
+
+_EVAL_ERRORS = (KeyError, ValueError, ZeroDivisionError, OverflowError)
+
+
+def _param_box(
+    parameters: frozenset[str],
+    constraints: list[Constraint],
+    stats: dict[str, float],
+) -> dict[str, tuple[float, ...]]:
+    """Probe values per parameter, capped by single-parameter constraints.
+
+    Uses the optimizer's own upper-bound derivation
+    (:func:`~repro.optimizer.penalty.single_param_upper_bound`), so the
+    relaxation box matches the feasible region the tuner searches.  The
+    true constrained optimum lies inside the box (joint constraints only
+    shrink it further), so minimizing over the box stays a valid
+    relaxation — and a far tighter one than the raw ``[1, 2^40]`` range,
+    which lets block-size terms collapse toward zero.
+    """
+    from ..optimizer.penalty import single_param_upper_bound
+
+    box: dict[str, tuple[float, ...]] = {}
+    for name in parameters:
+        bound = single_param_upper_bound(name, constraints, stats)
+        box[name] = tuple(
+            v for v in _OPTIMISM_LADDER if v < bound
+        ) + (bound,)
+    return box
+
+
+def _term_minimum(
+    term,
+    params: tuple[str, ...],
+    stats: dict[str, float],
+    box: dict[str, tuple[float, ...]],
+) -> float:
+    """Minimum of one additive cost term over the relaxed parameter box.
+
+    Terms with at most two parameters are minimized over the full probe
+    grid; wider terms (rare) fall back to rank-aligned assignments.
+    Cost terms are monotone or unimodal in each block parameter, so the
+    probe ladder's endpoints and geometric interior capture the minimum.
+    """
+    import itertools
+
+    if not params:
+        try:
+            return term.evaluate(dict(stats))
+        except _EVAL_ERRORS:
+            return math.inf
+    if len(params) <= 2:
+        assignments = itertools.product(*(box[name] for name in params))
+    else:
+        width = max(len(box[name]) for name in params)
+        assignments = (
+            tuple(
+                box[name][min(rank, len(box[name]) - 1)] for name in params
+            )
+            for rank in range(width)
+        )
+    best = math.inf
+    for assignment in assignments:
+        env = dict(stats)
+        env.update(zip(params, assignment))
+        try:
+            best = min(best, term.evaluate(env))
+        except _EVAL_ERRORS:
+            continue
+    return best
+
+
+def optimistic_cost(estimate: CostEstimate, stats: dict[str, float]) -> float:
+    """An admissible lower bound on the *tuned* cost of an estimate.
+
+    The untuned cost is a sum of transfer terms.  Each term is minimized
+    *independently* over the parameter box spanned by the estimate's
+    single-parameter constraints (joint constraints are relaxed away);
+    the sum of independent minima is ≤ the value of the sum at any joint
+    in-box assignment, in particular at the constrained optimum the
+    penalty optimizer will find.  Best-first search uses the bound to
+    order not-yet-tuned programs and to skip the full tuning pass for
+    candidates that provably cannot beat the incumbent.
+
+    Returns ``inf`` when some term never evaluates — such programs carry
+    no usable bound.
+    """
+    from ..symbolic import Add
+
+    total = estimate.total
+    if not estimate.parameters:
+        return _term_minimum(total, (), stats, {})
+    box = _param_box(estimate.parameters, estimate.constraints, stats)
+    terms = total.terms if isinstance(total, Add) else (total,)
+    parameters = frozenset(estimate.parameters)
+    bound = 0.0
+    for term in terms:
+        term_params = tuple(sorted(term.free_vars() & parameters))
+        minimum = _term_minimum(term, term_params, stats, box)
+        if minimum == math.inf:
+            return math.inf
+        bound += minimum
+    return bound
 
 
 class CostEstimator:

@@ -37,7 +37,12 @@ from .ast import (
     free_vars,
     fresh_name,
     map_children,
+    clear_intern_pool,
+    intern_node,
+    intern_pool_size,
     node_count,
+    node_key,
+    node_size,
     pattern_names,
     substitute,
     walk,
@@ -80,6 +85,8 @@ __all__ = [
     "Pattern", "BlockSize",
     "pattern_names", "free_vars", "substitute", "fresh_name",
     "map_children", "children", "walk", "node_count", "block_params",
+    "node_size", "node_key", "intern_node", "intern_pool_size",
+    "clear_intern_pool",
     # interp
     "evaluate", "run", "InterpreterError", "stable_hash",
     "substitute_blocks",

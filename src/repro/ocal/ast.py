@@ -18,7 +18,22 @@ parameters* (strings); named parameters are what the non-linear optimizer
 tunes after synthesis.
 
 All nodes are frozen dataclasses: immutable, hashable, structurally
-comparable — which is what the breadth-first search uses for dedup.
+comparable — which is what the search strategies use for dedup.  Two
+performance refinements keep dedup cheap on large search spaces
+(DESIGN.md §6):
+
+* **cached structural hashes** — the first ``hash(node)`` walks the tree
+  once and memoizes the result on the instance, so ``seen``-set
+  membership stops re-hashing whole trees on every probe;
+* **hash-consing** — :func:`intern_node` returns one canonical instance
+  per structural identity.  Interned trees share subtrees, which makes
+  equality checks between distinct programs short-circuit on object
+  identity (tuple comparison inside the generated ``__eq__`` applies the
+  ``is`` fast path per field).
+
+:func:`node_size` (cached node count) and :func:`node_key` (a cheap
+``(hash, size, head)`` triple) give strategies an O(1) summary of a tree
+without retraversal.
 """
 
 from __future__ import annotations
@@ -62,6 +77,11 @@ __all__ = [
     "children",
     "walk",
     "node_count",
+    "node_size",
+    "node_key",
+    "intern_node",
+    "intern_pool_size",
+    "clear_intern_pool",
     "block_params",
 ]
 
@@ -89,9 +109,15 @@ BUILTIN_NAMES = frozenset({"head", "tail", "length", "avg", "mrg", "zip"})
 
 
 class Node:
-    """Base class for OCAL expressions."""
+    """Base class for OCAL expressions.
 
-    __slots__ = ()
+    The two base slots back the lazy per-instance caches (structural
+    hash, subtree size); subclasses add their field slots on top.  Both
+    are written via ``object.__setattr__`` because every node class is
+    frozen.
+    """
+
+    __slots__ = ("_hash", "_size")
 
     def __str__(self) -> str:  # pragma: no cover - delegates to printer
         from .printer import pretty
@@ -332,6 +358,97 @@ class SizeAnnot(Node):
 
 
 # ----------------------------------------------------------------------
+# Cached structural hashing and hash-consing
+# ----------------------------------------------------------------------
+_NODE_CLASSES: tuple[type, ...] = (
+    Var, Lit, Lam, App, Tup, Proj, Sing, Empty, Concat, If, Prim,
+    FlatMap, FoldL, For, TreeFold, UnfoldR, FuncPow, Builtin,
+    HashPartition, SizeAnnot,
+)
+
+
+def _install_hash_cache(cls: type) -> None:
+    """Wrap the dataclass-generated ``__hash__`` with a per-instance cache.
+
+    The structural hash of a tree is computed once, on first use, and
+    stored in the ``_hash`` slot; every later ``hash()`` — every seen-set
+    probe, dict lookup, or dedup key — is O(1).
+    """
+    structural = cls.__hash__
+
+    def __hash__(self, _structural=structural):
+        try:
+            return self._hash
+        except AttributeError:
+            value = _structural(self)
+            object.__setattr__(self, "_hash", value)
+            return value
+
+    cls.__hash__ = __hash__
+
+
+for _cls in _NODE_CLASSES:
+    _install_hash_cache(_cls)
+del _cls
+
+
+def node_size(node: Node) -> int:
+    """Number of AST nodes, memoized on the instance.
+
+    Shared (interned) subtrees make this amortized O(1): each distinct
+    subtree is counted once per process, not once per containing program.
+    """
+    try:
+        return node._size
+    except AttributeError:
+        pass
+    size = 1
+    for child in children(node):
+        size += node_size(child)
+    object.__setattr__(node, "_size", size)
+    return size
+
+
+def node_key(node: Node) -> tuple[int, int, str]:
+    """A cheap structural summary: ``(hash, size, head constructor)``.
+
+    Not a substitute for equality — two distinct trees may collide — but
+    a constant-time first-pass key for indexes and dedup maps.
+    """
+    return (hash(node), node_size(node), type(node).__name__)
+
+
+_INTERN_POOL: dict[Node, Node] = {}
+
+
+def intern_node(node: Node) -> Node:
+    """Hash-cons *node*: return the canonical instance for its structure.
+
+    Children are interned bottom-up, so structurally identical subtrees
+    of different programs become the *same* object.  Identity then makes
+    both hashing (cached once on the shared instance) and equality
+    (identity fast path) cheap for the search's seen-set bookkeeping.
+    """
+    pool = _INTERN_POOL
+    existing = pool.get(node)
+    if existing is not None:
+        return existing
+    canonical = map_children(node, intern_node)
+    pool[canonical] = canonical
+    return canonical
+
+
+def intern_pool_size() -> int:
+    """Number of distinct trees currently hash-consed."""
+    return len(_INTERN_POOL)
+
+
+def clear_intern_pool() -> None:
+    """Drop all interned nodes (tests; long-lived processes)."""
+    _INTERN_POOL.clear()
+
+
+# ----------------------------------------------------------------------
 # Pattern utilities
 # ----------------------------------------------------------------------
 def pattern_names(pattern: Pattern) -> tuple[str, ...]:
@@ -390,7 +507,7 @@ def walk(node: Node) -> Iterator[Node]:
 
 def node_count(node: Node) -> int:
     """Number of AST nodes — the program-size tiebreaker in search."""
-    return sum(1 for _ in walk(node))
+    return node_size(node)
 
 
 # ----------------------------------------------------------------------

@@ -27,7 +27,48 @@ from dataclasses import dataclass, field
 from ..cost.events import Constraint
 from ..symbolic import Expr
 
-__all__ = ["ParameterOptimizer", "OptimizationResult", "optimize_parameters"]
+__all__ = [
+    "ParameterOptimizer",
+    "OptimizationResult",
+    "optimize_parameters",
+    "single_param_upper_bound",
+]
+
+_EVAL_ERRORS = (KeyError, ValueError, ZeroDivisionError, OverflowError)
+
+
+def single_param_upper_bound(
+    name: str,
+    constraints: list[Constraint],
+    stats: dict[str, float],
+    max_value: float = 2.0**40,
+) -> float:
+    """Largest *name* allowed by its single-parameter constraints.
+
+    Considers only constraints whose free variables are *name* plus
+    statistics, treating the left side as linear in *name* (true of the
+    capacity and ``maxSeq`` constraints the estimator emits).  Shared by
+    the optimizer's search bounds and by the admissible lower bound of
+    :func:`repro.cost.estimator.optimistic_cost` — the two must agree
+    on the feasible box or best-first pruning loses its guarantee.
+    """
+    bound = max_value
+    known = set(stats)
+    for constraint in constraints:
+        lhs_vars = constraint.lhs.free_vars()
+        rhs_vars = constraint.rhs.free_vars()
+        if name not in lhs_vars or (lhs_vars | rhs_vars) - {name} - known:
+            continue
+        env = dict(stats)
+        env[name] = 1.0
+        try:
+            slope = constraint.lhs.evaluate(env)
+            rhs = constraint.rhs.evaluate(env)
+        except _EVAL_ERRORS:
+            continue
+        if slope > 0 and rhs >= slope:
+            bound = min(bound, rhs / slope)
+    return max(1.0, bound)
 
 
 @dataclass
@@ -162,20 +203,9 @@ class ParameterOptimizer:
     # ------------------------------------------------------------------
     def _upper_bound(self, name: str) -> float:
         """Largest value allowed by single-parameter constraints."""
-        bound = self.max_value
-        for constraint in self.constraints:
-            lhs_vars = constraint.lhs.free_vars()
-            rhs_vars = constraint.rhs.free_vars()
-            if name not in lhs_vars or (lhs_vars | rhs_vars) - {name} - set(
-                self.stats
-            ):
-                continue
-            env = self._env({name: 1.0})
-            slope = self._safe_eval(constraint.lhs, env)
-            rhs = self._safe_eval(constraint.rhs, env)
-            if slope > 0 and rhs >= slope:
-                bound = min(bound, rhs / slope)
-        return max(1.0, bound)
+        return single_param_upper_bound(
+            name, self.constraints, self.stats, self.max_value
+        )
 
     def _repair(
         self, point: dict[str, float], bounds: dict[str, float]

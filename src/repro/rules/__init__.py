@@ -2,7 +2,7 @@
 
 from .apply_block import ApplyBlock
 from .base import Rewrite, Rule, RuleContext
-from .engine import all_rewrites
+from .engine import all_rewrites, iter_rewrites
 from .fld_to_trfld import FldLToTrFld, is_associative_with_identity
 from .hash_part import HashPart, match_equi_join
 from .inc_branching import IncBranching
@@ -16,6 +16,7 @@ __all__ = [
     "RuleContext",
     "Rewrite",
     "all_rewrites",
+    "iter_rewrites",
     "ApplyBlock",
     "SwapIter",
     "OrderInputs",

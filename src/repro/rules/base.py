@@ -53,10 +53,16 @@ class RuleContext:
 
 @dataclass(frozen=True)
 class Rewrite:
-    """One rule application: the rule's name and the rewritten program."""
+    """One rule application: the rule's name and the rewritten program.
+
+    ``position`` records where in the original program the rule fired, as
+    a tuple of ``(field_name, index)`` steps from the root (``index`` is
+    ``None`` for scalar fields) — diagnostics for derivation replay.
+    """
 
     rule: str
     program: Node
+    position: tuple[tuple[str, int | None], ...] = ()
 
 
 class Rule:

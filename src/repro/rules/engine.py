@@ -1,49 +1,75 @@
 """The rewrite engine: apply every rule at every program position.
 
-``all_rewrites(program, rules, ctx)`` returns one :class:`Rewrite` per
-(rule, position, variant) triple — the breadth-first search of Section 6
-expands a program by exactly this set.
+``iter_rewrites(program, rules, ctx)`` lazily yields one
+:class:`Rewrite` per (rule, position, variant) triple, in a
+deterministic pre-order — node first, then fields in declaration order,
+tuple items left to right.  Identical outcomes produced at different
+positions are deduplicated *during* generation, so consumers that stop
+early (beam and best-first strategies, truncated searches) never pay for
+rewrites they will not look at.  ``all_rewrites`` materializes the same
+sequence for callers that want the full single-step neighborhood — the
+breadth-first search of Section 6 expands a program by exactly this set.
+
+Positions are tracked as tuples of ``(field_name, index)`` steps from
+the program root (``index`` is ``None`` for scalar fields) and recorded
+on each emitted :class:`Rewrite` for diagnostics and ordering.
 """
 
 from __future__ import annotations
 
 import dataclasses
+from typing import Iterator
 
-from ..ocal.ast import For, Lam, Node, pattern_names
+from ..ocal.ast import For, Node
 from .base import Rewrite, Rule, RuleContext
 
-__all__ = ["all_rewrites"]
+__all__ = ["all_rewrites", "iter_rewrites"]
+
+#: One step of a position path: (dataclass field name, tuple index or None).
+PositionStep = tuple[str, int | None]
+
+
+def iter_rewrites(
+    program: Node, rules: list[Rule], ctx: RuleContext
+) -> Iterator[Rewrite]:
+    """Lazily yield the deduplicated single-step rewrites of *program*.
+
+    The first occurrence of each ``(rule, resulting program)`` pair wins;
+    later positions producing an identical program are suppressed as they
+    are generated, keeping the output order identical to the historical
+    materialize-then-dedup behavior.
+    """
+    emitted: set[tuple[str, Node]] = set()
+    for rule_name, position, rewritten in _iter_positions(
+        program, rules, ctx, frozenset(), lambda new: new, ()
+    ):
+        key = (rule_name, rewritten)
+        if key in emitted:
+            continue
+        emitted.add(key)
+        yield Rewrite(rule_name, rewritten, position)
 
 
 def all_rewrites(
     program: Node, rules: list[Rule], ctx: RuleContext
 ) -> list[Rewrite]:
     """All single-step rewrites of *program* under *rules*."""
-    results: list[Rewrite] = []
-    _visit(program, rules, ctx, frozenset(), lambda new: new, results)
-    # Deduplicate identical outcomes produced by different positions.
-    seen: set[tuple[str, Node]] = set()
-    unique: list[Rewrite] = []
-    for rewrite in results:
-        key = (rewrite.rule, rewrite.program)
-        if key not in seen:
-            seen.add(key)
-            unique.append(rewrite)
-    return unique
+    return list(iter_rewrites(program, rules, ctx))
 
 
-def _visit(
+def _iter_positions(
     node: Node,
     rules: list[Rule],
     ctx: RuleContext,
     for_bound: frozenset[str],
     rebuild,
-    results: list[Rewrite],
-) -> None:
+    position: tuple[PositionStep, ...],
+) -> Iterator[tuple[str, tuple[PositionStep, ...], Node]]:
+    """Pre-order generator of (rule name, position, rewritten program)."""
     position_ctx = ctx.at_position(for_bound)
     for rule in rules:
         for replacement in rule.apply(node, position_ctx):
-            results.append(Rewrite(rule.name, rebuild(replacement)))
+            yield rule.name, position, rebuild(replacement)
 
     inner_bound = for_bound
     if isinstance(node, For):
@@ -53,25 +79,25 @@ def _visit(
         value = getattr(node, field.name)
         if isinstance(value, Node):
             child_bound = _bound_for_child(node, field.name, inner_bound, for_bound)
-            _visit(
+            yield from _iter_positions(
                 value,
                 rules,
                 ctx,
                 child_bound,
                 _make_rebuild(node, field.name, None, rebuild),
-                results,
+                position + ((field.name, None),),
             )
         elif isinstance(value, tuple) and value and all(
             isinstance(v, Node) for v in value
         ):
             for index, item in enumerate(value):
-                _visit(
+                yield from _iter_positions(
                     item,
                     rules,
                     ctx,
                     for_bound,
                     _make_rebuild(node, field.name, index, rebuild),
-                    results,
+                    position + ((field.name, index),),
                 )
 
 

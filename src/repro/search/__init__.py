@@ -1,6 +1,21 @@
-"""The breadth-first program synthesizer (OCAS proper)."""
+"""The program synthesizer (OCAS proper) and its search strategies."""
 
+from .frontier import (
+    FifoFrontier,
+    PriorityFrontier,
+    SearchItem,
+    SearchLimits,
+    SearchState,
+)
 from .result import Candidate, SynthesisResult, bind_parameters
+from .strategies import (
+    BeamSearch,
+    BestFirst,
+    ExhaustiveBFS,
+    SearchStrategy,
+    SearchTask,
+    resolve_strategy,
+)
 from .synthesizer import Synthesizer, synthesize
 
 __all__ = [
@@ -9,4 +24,15 @@ __all__ = [
     "Candidate",
     "SynthesisResult",
     "bind_parameters",
+    "SearchStrategy",
+    "SearchTask",
+    "ExhaustiveBFS",
+    "BeamSearch",
+    "BestFirst",
+    "resolve_strategy",
+    "SearchLimits",
+    "SearchItem",
+    "SearchState",
+    "FifoFrontier",
+    "PriorityFrontier",
 ]

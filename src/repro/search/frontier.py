@@ -1,0 +1,189 @@
+"""Frontier structures and shared bookkeeping for search strategies.
+
+A strategy explores the rewrite graph rooted at the specification; what
+varies is the *order* in which programs are expanded and which expansion
+results are kept.  This module provides the pieces every strategy
+shares:
+
+* :class:`SearchLimits` — the depth / program-count caps;
+* :class:`SearchItem` — one frontier entry (program, derivation, depth,
+  ranking cost, insertion order for deterministic tie-breaks);
+* :class:`FifoFrontier` and :class:`PriorityFrontier` — the two frontier
+  disciplines (queue for BFS-like sweeps, min-heap for best-first);
+* :class:`SearchState` — seen-set, incumbent best, top-``k`` list and
+  the statistics that end up on ``SynthesisResult``.
+
+Truncation is deterministic: the moment the seen-set reaches
+``max_programs`` the search stops generating (the rewrite stream is
+lazy, so nothing is generated and then discarded), ``truncated`` is
+recorded, and ``depth_reached`` always reflects the deepest depth at
+which a candidate was successfully costed — including a partially
+expanded final depth.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+
+from ..ocal.ast import Node, node_size
+from ..ocal.printer import pretty
+from .result import Candidate
+
+__all__ = [
+    "SearchLimits",
+    "SearchItem",
+    "FifoFrontier",
+    "PriorityFrontier",
+    "SearchState",
+]
+
+
+@dataclass(frozen=True)
+class SearchLimits:
+    """Exploration caps shared by every strategy."""
+
+    max_depth: int
+    max_programs: int
+
+
+@dataclass(frozen=True)
+class SearchItem:
+    """One entry of a frontier.
+
+    ``cost`` is the ranking key (tuned cost, or an optimistic lower
+    bound for not-yet-tuned programs — ``tuned`` says which); ``order``
+    is a global insertion counter making every ranking a deterministic
+    total order.
+    """
+
+    program: Node
+    derivation: tuple[str, ...]
+    depth: int
+    cost: float
+    order: int
+    tuned: bool = True
+
+    @property
+    def rank(self) -> tuple[float, int]:
+        return (self.cost, self.order)
+
+
+class FifoFrontier:
+    """Plain queue — insertion order, the BFS discipline."""
+
+    def __init__(self) -> None:
+        self._items: deque[SearchItem] = deque()
+
+    def push(self, item: SearchItem) -> None:
+        self._items.append(item)
+
+    def pop(self) -> SearchItem:
+        return self._items.popleft()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+
+class PriorityFrontier:
+    """Min-heap over ``SearchItem.rank`` — the best-first discipline."""
+
+    def __init__(self) -> None:
+        self._heap: list[tuple[float, int, SearchItem]] = []
+
+    def push(self, item: SearchItem) -> None:
+        heapq.heappush(self._heap, (item.cost, item.order, item))
+
+    def pop(self) -> SearchItem:
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)
+
+
+@dataclass
+class SearchState:
+    """Mutable search bookkeeping, strategy-independent.
+
+    ``seen`` holds canonicalized (hash-consed) programs, so membership
+    probes use cached hashes and identity-fast equality.  ``costed``
+    counts *fully tuned* candidates — the number the paper's Table 1
+    running-time discussion tracks, and the one lower-bound pruning
+    reduces.
+    """
+
+    seen: set[Node]
+    best: Candidate
+    top: list[Candidate]
+    keep_top: int
+    costed: int = 1
+    expanded: int = 0
+    pruned: int = 0
+    depth_reached: int = 0
+    truncated: bool = False
+    _order: int = field(default=0, init=False)
+
+    @classmethod
+    def initial(cls, spec: Node, spec_candidate: Candidate, keep_top: int) -> "SearchState":
+        return cls(
+            seen={spec},
+            best=spec_candidate,
+            top=[spec_candidate],
+            keep_top=keep_top,
+        )
+
+    # ------------------------------------------------------------------
+    def admit(self, program: Node, limits: SearchLimits) -> bool:
+        """Try to add *program* to the seen-set under the program cap.
+
+        Returns ``False`` (and flags truncation) when the cap is already
+        reached; the caller must then stop expanding.  Duplicate
+        programs also return ``False`` but do not flag truncation.
+        """
+        if program in self.seen:
+            return False
+        if len(self.seen) >= limits.max_programs:
+            self.truncated = True
+            return False
+        self.seen.add(program)
+        return True
+
+    def record(self, candidate: Candidate, depth: int) -> None:
+        """Account one successfully costed candidate at *depth*."""
+        self.costed += 1
+        if depth > self.depth_reached:
+            self.depth_reached = depth
+        merged = self.top + [candidate]
+        merged.sort(key=lambda c: c.cost)
+        self.top = merged[: self.keep_top]
+        if self._better(candidate, self.best):
+            self.best = candidate
+
+    @staticmethod
+    def _better(challenger: Candidate, incumbent: Candidate) -> bool:
+        """Strict total preference order over candidates.
+
+        Cost first; ties break on program size, then on the printed
+        form.  Cost ties are real (the estimator deliberately charges no
+        CPU, so e.g. the two orders of an innermost in-memory loop pair
+        cost the same) — a total order makes every strategy converge on
+        the *same* winner regardless of exploration order.
+        """
+        if challenger.cost != incumbent.cost:
+            return challenger.cost < incumbent.cost
+        challenger_size = node_size(challenger.program)
+        incumbent_size = node_size(incumbent.program)
+        if challenger_size != incumbent_size:
+            return challenger_size < incumbent_size
+        return pretty(challenger.program) < pretty(incumbent.program)
+
+    def next_order(self) -> int:
+        self._order += 1
+        return self._order

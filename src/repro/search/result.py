@@ -1,15 +1,19 @@
 """Synthesis outcome types.
 
-``SynthesisResult`` carries exactly the statistics Table 1 reports per
-experiment: the naive specification's estimated cost (*Spec*), the best
+``SynthesisResult`` carries the statistics Table 1 reports per
+experiment — the naive specification's estimated cost (*Spec*), the best
 synthesized program's estimated cost (*Opt*), the search-space size, the
-derivation depth (*Steps*) and the synthesizer's own running time.
+derivation depth (*Steps*) and the synthesizer's own running time —
+plus the strategy-level accounting added with the pluggable search core:
+which strategy ran, how many programs were expanded, how many tunings
+the best-first lower bound pruned, and the cost-cache hit/miss counters.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..cost.cache import CacheStats
 from ..cost.estimator import CostEstimate
 from ..ocal.ast import Node
 from ..ocal.interp import substitute_blocks
@@ -55,6 +59,14 @@ class SynthesisResult:
     candidates_costed: int
     frontier_truncated: bool = False
     top: list[Candidate] = field(default_factory=list)
+    #: name of the search strategy that produced this result.
+    strategy: str = "exhaustive-bfs"
+    #: programs whose rewrite neighborhood was generated.
+    expanded: int = 0
+    #: candidates whose tuning the lower bound proved unnecessary.
+    pruned: int = 0
+    #: cost-cache counters for this run (estimates + tunings).
+    cache: CacheStats = field(default_factory=CacheStats)
 
     @property
     def opt_cost(self) -> float:

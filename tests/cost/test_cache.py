@@ -1,0 +1,190 @@
+"""Tests for the cost memoization cache (estimates + tunings)."""
+
+import pytest
+
+from repro.cost import (
+    CacheStats,
+    CostEstimator,
+    CostModel,
+    CostMemo,
+    EstimatorError,
+    atom,
+    list_annot,
+    tuple_annot,
+)
+from repro.hierarchy import MB, hdd_ram_hierarchy
+from repro.search import Synthesizer
+from repro.symbolic import var
+from repro.workloads import naive_join_spec
+
+JOIN_ANNOTS = {
+    "R": list_annot(tuple_annot(atom(1), atom(1)), var("x")),
+    "S": list_annot(tuple_annot(atom(1), atom(1)), var("y")),
+}
+JOIN_STATS = {"x": 2.0**20, "y": 2.0**16}
+
+
+def join_model():
+    return CostModel(
+        hierarchy=hdd_ram_hierarchy(8 * MB),
+        input_annots=JOIN_ANNOTS,
+        input_locations={"R": "HDD", "S": "HDD"},
+        stats=JOIN_STATS,
+    )
+
+
+class TestCacheStats:
+    def test_hit_rate_empty(self):
+        assert CacheStats().hit_rate == 0.0
+
+    def test_hit_rate(self):
+        stats = CacheStats(estimate_hits=3, estimate_misses=1, tune_hits=2,
+                           tune_misses=2)
+        assert stats.hits == 5
+        assert stats.lookups == 8
+        assert stats.hit_rate == pytest.approx(5 / 8)
+
+    def test_since_snapshot(self):
+        stats = CacheStats(estimate_hits=2, tune_misses=1)
+        before = stats.snapshot()
+        stats.estimate_hits += 3
+        stats.tune_hits += 1
+        delta = stats.since(before)
+        assert delta.estimate_hits == 3
+        assert delta.tune_hits == 1
+        assert delta.tune_misses == 0
+
+
+class TestEstimateMemo:
+    def test_estimate_computed_once(self):
+        memo = CostMemo()
+        model = join_model()
+        program = naive_join_spec()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return CostEstimator(model).estimate(program)
+
+        first = memo.estimate(program, compute)
+        second = memo.estimate(program, compute)
+        assert first is second
+        assert len(calls) == 1
+        assert memo.stats.estimate_misses == 1
+        assert memo.stats.estimate_hits == 1
+
+    def test_failures_are_memoized(self):
+        memo = CostMemo()
+        calls = []
+
+        def compute():
+            calls.append(1)
+            raise EstimatorError("nope")
+
+        program = naive_join_spec()
+        with pytest.raises(EstimatorError):
+            memo.estimate(program, compute)
+        with pytest.raises(EstimatorError):
+            memo.estimate(program, compute)
+        assert len(calls) == 1
+
+
+class TestTuneMemo:
+    def test_tuning_reused_for_identical_problems(self):
+        memo = CostMemo()
+        model = join_model()
+        program = naive_join_spec()
+        estimate = memo.estimate(
+            program, lambda: CostEstimator(model).estimate(program)
+        )
+        first = memo.tune(estimate, JOIN_STATS)
+        second = memo.tune(estimate, JOIN_STATS)
+        assert first is second
+        assert memo.stats.tune_misses == 1
+        assert memo.stats.tune_hits == 1
+
+    def test_different_stats_are_different_problems(self):
+        memo = CostMemo()
+        model = join_model()
+        program = naive_join_spec()
+        estimate = memo.estimate(
+            program, lambda: CostEstimator(model).estimate(program)
+        )
+        memo.tune(estimate, JOIN_STATS)
+        memo.tune(estimate, {"x": 2.0**10, "y": 2.0**8})
+        assert memo.stats.tune_misses == 2
+
+    def test_sizes_and_clear(self):
+        memo = CostMemo()
+        model = join_model()
+        program = naive_join_spec()
+        estimate = memo.estimate(
+            program, lambda: CostEstimator(model).estimate(program)
+        )
+        memo.tune(estimate, JOIN_STATS)
+        estimates, tunings = memo.sizes()
+        assert estimates == 1 and tunings == 1
+        memo.clear()
+        assert memo.sizes() == (0, 0)
+
+
+class TestSynthesizerIntegration:
+    def test_repeated_synthesis_hits_the_cache(self):
+        synth = Synthesizer(
+            hierarchy=hdd_ram_hierarchy(8 * MB), max_depth=2, max_programs=60
+        )
+
+        def run():
+            return synth.synthesize(
+                spec=naive_join_spec(),
+                input_annots=JOIN_ANNOTS,
+                input_locations={"R": "HDD", "S": "HDD"},
+                stats=JOIN_STATS,
+            )
+
+        first, second = run(), run()
+        assert first.cache.estimate_hits == 0 or (
+            first.cache.estimate_hits < first.cache.estimate_misses
+        )
+        # The second run re-visits exactly the same programs: everything
+        # is served from the memo.
+        assert second.cache.estimate_misses == 0
+        assert second.cache.tune_misses == 0
+        assert second.cache.estimate_hits > 0
+        assert second.best.program == first.best.program
+        assert second.opt_cost == first.opt_cost
+
+    def test_cache_counters_reported_per_run(self):
+        synth = Synthesizer(
+            hierarchy=hdd_ram_hierarchy(8 * MB), max_depth=2, max_programs=60
+        )
+
+        def run():
+            return synth.synthesize(
+                spec=naive_join_spec(),
+                input_annots=JOIN_ANNOTS,
+                input_locations={"R": "HDD", "S": "HDD"},
+                stats=JOIN_STATS,
+            )
+
+        first, second = run(), run()
+        # Per-run deltas, not cumulative totals.
+        assert second.cache.estimate_hits <= (
+            first.cache.estimate_hits + first.cache.estimate_misses
+        )
+        assert second.cache.hit_rate == 1.0
+
+    def test_intra_run_tuning_reuse_across_candidates(self):
+        synth = Synthesizer(
+            hierarchy=hdd_ram_hierarchy(8 * MB), max_depth=3, max_programs=120
+        )
+        result = synth.synthesize(
+            spec=naive_join_spec(),
+            input_annots=JOIN_ANNOTS,
+            input_locations={"R": "HDD", "S": "HDD"},
+            stats=JOIN_STATS,
+        )
+        # Structurally different candidates collapse to identical
+        # optimization problems; the optimizer runs once per problem.
+        assert result.cache.tune_hits > 0
+        assert result.cache.tune_misses < result.candidates_costed

@@ -174,3 +174,73 @@ class TestBlockParams:
     def test_concrete_blocks_are_not_parameters(self):
         node = for_("xB", v("R"), sing(v("xB")), block_in=64)
         assert block_params(node) == frozenset()
+
+
+class TestHashConsing:
+    def test_hash_is_cached_on_the_instance(self):
+        node = for_("x", v("R"), sing(tup(v("x"), v("x"))))
+        first = hash(node)
+        assert node._hash == first
+        assert hash(node) == first
+
+    def test_equal_trees_hash_equal(self):
+        a = for_("x", v("R"), sing(v("x")))
+        b = for_("x", v("R"), sing(v("x")))
+        assert a is not b
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_node_size_matches_walk(self):
+        node = for_("x", v("R"), sing(tup(v("x"), Prim("+", (v("x"), v("x"))))))
+        from repro.ocal import node_size, walk
+
+        assert node_size(node) == sum(1 for _ in walk(node))
+        assert node_count(node) == node_size(node)
+
+    def test_node_key_is_stable_and_cheap(self):
+        from repro.ocal import node_key
+
+        a = for_("x", v("R"), sing(v("x")))
+        b = for_("x", v("R"), sing(v("x")))
+        assert node_key(a) == node_key(b)
+        assert node_key(a)[2] == "For"
+
+    def test_intern_returns_canonical_instance(self):
+        from repro.ocal import clear_intern_pool, intern_node
+
+        clear_intern_pool()
+        a = intern_node(for_("x", v("R"), sing(v("x"))))
+        b = intern_node(for_("x", v("R"), sing(v("x"))))
+        assert a is b
+
+    def test_intern_shares_subtrees_across_programs(self):
+        from repro.ocal import clear_intern_pool, intern_node
+
+        clear_intern_pool()
+        shared = sing(tup(v("x"), v("y")))
+        a = intern_node(for_("x", v("R"), shared))
+        b = intern_node(for_("z", v("S"), sing(tup(v("x"), v("y")))))
+        assert a.body is b.body
+
+    def test_intern_pool_bookkeeping(self):
+        from repro.ocal import (
+            clear_intern_pool,
+            intern_node,
+            intern_pool_size,
+        )
+
+        clear_intern_pool()
+        assert intern_pool_size() == 0
+        intern_node(tup(v("x"), v("y")))
+        # the tuple plus its two variables
+        assert intern_pool_size() == 3
+        clear_intern_pool()
+        assert intern_pool_size() == 0
+
+    def test_interned_nodes_stay_value_equal_to_fresh_ones(self):
+        from repro.ocal import intern_node
+
+        fresh = for_("x", v("R"), sing(v("x")), block_in="k1")
+        assert intern_node(fresh) == for_(
+            "x", v("R"), sing(v("x")), block_in="k1"
+        )

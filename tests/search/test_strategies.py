@@ -1,0 +1,203 @@
+"""Strategy-level tests: agreement, pruning, determinism, resolution."""
+
+import math
+
+import pytest
+
+from repro.cost import atom, list_annot, optimistic_cost, tuple_annot
+from repro.hierarchy import MB, hdd_ram_hierarchy
+from repro.search import (
+    BeamSearch,
+    BestFirst,
+    ExhaustiveBFS,
+    FifoFrontier,
+    PriorityFrontier,
+    SearchItem,
+    Synthesizer,
+    resolve_strategy,
+    synthesize,
+)
+from repro.symbolic import var
+from repro.workloads import naive_join_spec
+
+JOIN_ANNOTS = {
+    "R": list_annot(tuple_annot(atom(1), atom(1)), var("x")),
+    "S": list_annot(tuple_annot(atom(1), atom(1)), var("y")),
+}
+JOIN_STATS = {"x": 2.0**26, "y": 2.0**22}
+
+
+def join_synthesizer(**kwargs):
+    options = dict(max_depth=3, max_programs=120)
+    options.update(kwargs)
+    return Synthesizer(hierarchy=hdd_ram_hierarchy(8 * MB), **options)
+
+
+def synthesize_join(synth):
+    return synth.synthesize(
+        spec=naive_join_spec(),
+        input_annots=JOIN_ANNOTS,
+        input_locations={"R": "HDD", "S": "HDD"},
+        stats=JOIN_STATS,
+    )
+
+
+class TestStrategyAgreement:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return {
+            name: synthesize_join(join_synthesizer(strategy=strategy))
+            for name, strategy in [
+                ("exhaustive", None),
+                ("beam", BeamSearch(width=4)),
+                ("best-first", BestFirst()),
+            ]
+        }
+
+    def test_all_strategies_find_the_same_best_program(self, results):
+        reference = results["exhaustive"].best.program
+        assert results["beam"].best.program == reference
+        assert results["best-first"].best.program == reference
+
+    def test_strategy_name_recorded(self, results):
+        assert results["exhaustive"].strategy == "exhaustive-bfs"
+        assert results["beam"].strategy == "beam"
+        assert results["best-first"].strategy == "best-first"
+
+    def test_non_exhaustive_strategies_cost_fewer_candidates(self, results):
+        exhaustive = results["exhaustive"].candidates_costed
+        assert results["beam"].candidates_costed < exhaustive
+        assert results["best-first"].candidates_costed < exhaustive
+
+    def test_best_first_prunes_and_still_covers_the_space(self, results):
+        bf = results["best-first"]
+        assert bf.pruned > 0
+        assert bf.search_space == results["exhaustive"].search_space
+
+    def test_beam_narrows_the_explored_space(self, results):
+        assert (
+            results["beam"].search_space
+            < results["exhaustive"].search_space
+        )
+
+    def test_expanded_counter_populated(self, results):
+        for result in results.values():
+            assert result.expanded > 0
+
+
+class TestLowerBoundAdmissibility:
+    def test_bound_never_exceeds_tuned_cost_of_winners(self):
+        result = synthesize_join(join_synthesizer())
+        for candidate in result.top:
+            bound = optimistic_cost(candidate.estimate, JOIN_STATS)
+            assert bound <= candidate.cost * (1 + 1e-9)
+
+    def test_bound_without_parameters_is_exact(self):
+        result = synthesize_join(join_synthesizer(max_depth=0))
+        spec = result.best
+        bound = optimistic_cost(spec.estimate, JOIN_STATS)
+        if not spec.estimate.parameters:
+            assert bound == pytest.approx(spec.cost)
+        else:
+            assert bound <= spec.cost * (1 + 1e-9)
+
+
+class TestDeterminism:
+    def test_truncated_search_is_reproducible(self):
+        first = synthesize_join(join_synthesizer(max_programs=20, max_depth=4))
+        second = synthesize_join(join_synthesizer(max_programs=20, max_depth=4))
+        assert first.frontier_truncated and second.frontier_truncated
+        assert first.search_space == second.search_space
+        assert first.candidates_costed == second.candidates_costed
+        assert first.best.program == second.best.program
+        assert first.depth_reached == second.depth_reached
+
+    def test_truncation_reflects_partial_depth(self):
+        result = synthesize_join(join_synthesizer(max_programs=20, max_depth=4))
+        assert result.frontier_truncated
+        # Programs were admitted and costed at the depth the cap tripped.
+        assert result.depth_reached >= 1
+        assert result.search_space <= 21
+
+    def test_beam_truncated_search_is_reproducible(self):
+        make = lambda: join_synthesizer(
+            max_programs=20, max_depth=4, strategy=BeamSearch(width=4)
+        )
+        first, second = synthesize_join(make()), synthesize_join(make())
+        assert first.best.program == second.best.program
+        assert first.candidates_costed == second.candidates_costed
+
+
+class TestResolution:
+    def test_none_resolves_to_exhaustive(self):
+        assert isinstance(resolve_strategy(None), ExhaustiveBFS)
+
+    def test_names_resolve(self):
+        assert isinstance(resolve_strategy("exhaustive-bfs"), ExhaustiveBFS)
+        assert isinstance(resolve_strategy("bfs"), ExhaustiveBFS)
+        assert isinstance(resolve_strategy("beam"), BeamSearch)
+        assert isinstance(resolve_strategy("best-first"), BestFirst)
+
+    def test_instances_pass_through(self):
+        beam = BeamSearch(width=2)
+        assert resolve_strategy(beam) is beam
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown search strategy"):
+            resolve_strategy("simulated-annealing")
+
+    def test_non_strategy_object_raises(self):
+        with pytest.raises(TypeError):
+            resolve_strategy(42)
+
+    def test_facade_accepts_strategy_names(self):
+        result = synthesize(
+            spec=naive_join_spec(),
+            hierarchy=hdd_ram_hierarchy(8 * MB),
+            input_annots=JOIN_ANNOTS,
+            input_locations={"R": "HDD", "S": "HDD"},
+            stats=JOIN_STATS,
+            max_depth=2,
+            max_programs=60,
+            strategy="beam",
+        )
+        assert result.strategy == "beam"
+
+    def test_invalid_configurations_raise(self):
+        with pytest.raises(ValueError):
+            BeamSearch(width=0)
+        with pytest.raises(ValueError):
+            BestFirst(margin=0.5)
+
+
+class TestFrontiers:
+    def test_fifo_order(self):
+        frontier = FifoFrontier()
+        items = [
+            SearchItem(naive_join_spec(), (), 0, float(i), i)
+            for i in (3, 1, 2)
+        ]
+        for item in items:
+            frontier.push(item)
+        assert [frontier.pop().order for _ in range(3)] == [3, 1, 2]
+        assert not frontier
+
+    def test_priority_order_with_tie_break(self):
+        frontier = PriorityFrontier()
+        spec = naive_join_spec()
+        frontier.push(SearchItem(spec, (), 0, 2.0, 1))
+        frontier.push(SearchItem(spec, (), 0, 1.0, 3))
+        frontier.push(SearchItem(spec, (), 0, 1.0, 2))
+        popped = [frontier.pop() for _ in range(3)]
+        assert [(i.cost, i.order) for i in popped] == [
+            (1.0, 2),
+            (1.0, 3),
+            (2.0, 1),
+        ]
+
+    def test_greedy_beam_width_one_terminates(self):
+        result = synthesize_join(
+            join_synthesizer(strategy=BeamSearch(width=1))
+        )
+        assert result.opt_cost <= result.spec_cost
+        assert math.isfinite(result.opt_cost)
