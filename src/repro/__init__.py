@@ -23,7 +23,7 @@ Subpackages
 ``repro.optimizer``  non-linear block/buffer parameter tuning
 ``repro.search``     the breadth-first synthesizer (OCAS proper)
 ``repro.codegen``    OCAL -> C text and OCAL -> executable plan compilers
-``repro.runtime``    simulated storage substrate (HDD/SSD/cache) + executor
+``repro.runtime``    pluggable execution backends: analytic simulator + real files
 ``repro.workloads``  naive specifications and synthetic relation generators
 ``repro.bench``      harnesses regenerating every table/figure of the paper
 """
@@ -48,8 +48,14 @@ def __getattr__(name):
         "hdd_ram_cache_hierarchy",
         "two_hdd_hierarchy",
         "hdd_flash_hierarchy",
+        "ram_ssd_hdd_hierarchy",
+        "hierarchy_preset",
     }:
         from . import hierarchy
 
         return getattr(hierarchy, name)
+    if name in {"SimBackend", "FileBackend", "get_backend"}:
+        from . import runtime
+
+        return getattr(runtime, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

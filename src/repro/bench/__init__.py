@@ -9,6 +9,12 @@ from .figure8 import (
 )
 from .harness import Experiment, ExperimentRow, format_table, run_experiment
 from .table1 import ALL_EXPERIMENTS
+from .validation import (
+    VALIDATION_WORKLOADS,
+    run_validation,
+    validation_experiment,
+    write_validation_report,
+)
 
 __all__ = [
     "Experiment",
@@ -16,6 +22,10 @@ __all__ = [
     "run_experiment",
     "format_table",
     "ALL_EXPERIMENTS",
+    "VALIDATION_WORKLOADS",
+    "validation_experiment",
+    "run_validation",
+    "write_validation_report",
     "Figure8Point",
     "bnl_writeout_sweep",
     "merge_sort_sweep",

@@ -30,7 +30,14 @@ from ..runtime.executor import ExecutionConfig, InputSpec
 from ..search.synthesizer import Synthesizer
 from ..search.result import SynthesisResult
 
-__all__ = ["Experiment", "ExperimentRow", "run_experiment", "format_table"]
+__all__ = [
+    "Experiment",
+    "ExperimentRow",
+    "run_experiment",
+    "synthesize_experiment",
+    "experiment_config",
+    "format_table",
+]
 
 
 @dataclass
@@ -76,6 +83,8 @@ class ExperimentRow:
     steps: int
     synth_runtime: float
     derivation: tuple[str, ...]
+    #: the backend's full result (measured wall clock, byte counters …).
+    result: "object | None" = None
 
     @property
     def act_over_opt(self) -> float:
@@ -91,8 +100,12 @@ class ExperimentRow:
         return self.spec_cost / self.opt_cost
 
 
-def run_experiment(experiment: Experiment) -> ExperimentRow:
-    """Synthesize, tune, and simulate one experiment."""
+def synthesize_experiment(
+    experiment: Experiment, strategy: str | None = None
+) -> SynthesisResult:
+    """The synthesis half of the pipeline, honoring the experiment's
+    rule exclusions and caps (shared by the bench, CLI, and validation).
+    """
     from ..rules.registry import default_rules
 
     rules = [
@@ -106,23 +119,49 @@ def run_experiment(experiment: Experiment) -> ExperimentRow:
         max_depth=experiment.max_depth,
         max_programs=experiment.max_programs,
         max_treefold_arity=experiment.max_treefold_arity,
+        strategy=strategy,
     )
-    synthesis = synthesizer.synthesize(
+    return synthesizer.synthesize(
         spec=experiment.spec,
         input_annots=experiment.input_annots,
         input_locations=experiment.input_locations,
         stats=experiment.stats,
         output_location=experiment.output_location,
     )
-    plan = compile_candidate(synthesis.best)
-    config = ExecutionConfig(
+
+
+def experiment_config(experiment: Experiment) -> ExecutionConfig:
+    """The execution configuration an experiment's runs share."""
+    return ExecutionConfig(
         hierarchy=experiment.hierarchy,
         input_locations=experiment.input_locations,
         output_location=experiment.output_location,
         cond_probability=experiment.cond_probability,
         output_card_override=experiment.output_card_override,
     )
-    result = plan.execute(config, experiment.inputs)
+
+
+def run_experiment(
+    experiment: Experiment,
+    backend: str = "sim",
+    backend_options: dict | None = None,
+    strategy: str | None = None,
+) -> ExperimentRow:
+    """Synthesize, tune, and execute one experiment.
+
+    ``backend`` selects the execution substrate for the Act column:
+    ``"sim"`` (the analytic simulator, default) or ``"file"`` (real
+    temp-file execution; ``backend_options`` are forwarded, e.g.
+    ``{"workdir": ..., "seed": 7}``).  ``strategy`` selects the search
+    strategy (``None`` = the exhaustive default).
+    """
+    from ..runtime.backend import get_backend
+
+    synthesis = synthesize_experiment(experiment, strategy=strategy)
+    plan = compile_candidate(synthesis.best)
+    config = experiment_config(experiment)
+    resolved = get_backend(backend, **(backend_options or {}))
+    result = plan.execute(config, experiment.inputs, backend=resolved)
     return ExperimentRow(
         experiment=experiment,
         synthesis=synthesis,
@@ -135,6 +174,7 @@ def run_experiment(experiment: Experiment) -> ExperimentRow:
         steps=synthesis.steps,
         synth_runtime=synthesis.runtime,
         derivation=synthesis.best.derivation,
+        result=result,
     )
 
 

@@ -1,0 +1,206 @@
+"""``python -m repro`` — synthesize and execute workloads from the shell.
+
+Subcommands:
+
+* ``list`` — available workloads, hierarchy presets, and backends;
+* ``run <workload>`` — synthesize a named (scaled-down Table-1) workload
+  and execute the winner on a chosen backend
+  (``--backend sim|file``, ``--hierarchy <preset>``), printing a
+  Table-1-style summary row;
+* ``validate`` — run the predicted-vs-measured validation bench on both
+  backends and write ``BENCH_validation.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Out-of-core algorithm synthesis: synthesize a workload and "
+            "run the winner on the simulated or the real-file backend."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list workloads, presets, and backends")
+
+    run = sub.add_parser(
+        "run", help="synthesize one workload and execute the winner"
+    )
+    run.add_argument("workload", help="workload name (see `list`)")
+    run.add_argument(
+        "--backend", default="sim", help="execution backend: sim | file"
+    )
+    run.add_argument(
+        "--hierarchy",
+        default=None,
+        help="hierarchy preset overriding the workload default",
+    )
+    run.add_argument(
+        "--ram-size", type=int, default=None,
+        help="root (buffer pool) size in bytes for --hierarchy",
+    )
+    run.add_argument(
+        "--strategy", default="best-first",
+        help="search strategy: exhaustive-bfs | beam | best-first",
+    )
+    run.add_argument("--seed", type=int, default=7, help="data seed (file)")
+    run.add_argument(
+        "--workdir", default=None,
+        help="directory for the file backend's temp files",
+    )
+
+    validate = sub.add_parser(
+        "validate",
+        help="predicted-vs-measured validation on both backends",
+    )
+    validate.add_argument(
+        "--workloads", default=None,
+        help="comma-separated workload names (default: the standard set)",
+    )
+    validate.add_argument(
+        "--out", default="BENCH_validation.json", help="report path"
+    )
+    validate.add_argument("--seed", type=int, default=7)
+    validate.add_argument("--workdir", default=None)
+    return parser
+
+
+def _cmd_list() -> int:
+    from .bench.validation import VALIDATION_WORKLOADS
+    from .hierarchy import HIERARCHY_PRESETS
+    from .runtime import backend_names
+
+    print("workloads:")
+    for name in VALIDATION_WORKLOADS:
+        print(f"  {name}")
+    print("hierarchy presets:")
+    for name in HIERARCHY_PRESETS:
+        print(f"  {name}")
+    print("backends:")
+    for name in backend_names():
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    from .bench.harness import experiment_config, synthesize_experiment
+    from .bench.validation import validation_experiment
+    from .codegen.plan import compile_candidate
+    from .hierarchy import hierarchy_preset
+    from .runtime import get_backend
+
+    try:
+        experiment = validation_experiment(args.workload)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    if args.hierarchy is not None:
+        try:
+            hierarchy = hierarchy_preset(args.hierarchy, args.ram_size)
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
+        # The preset must provide every node the workload names.
+        needed = set(experiment.input_locations.values())
+        if experiment.output_location is not None:
+            needed.add(experiment.output_location)
+        missing = sorted(needed - set(hierarchy.nodes))
+        if missing:
+            print(
+                f"hierarchy preset {args.hierarchy!r} has no node(s) "
+                f"{missing} required by workload {args.workload!r} "
+                f"(preset nodes: {sorted(hierarchy.nodes)})",
+                file=sys.stderr,
+            )
+            return 2
+        experiment.hierarchy = hierarchy
+    try:
+        backend = get_backend(
+            args.backend,
+            **(
+                {"seed": args.seed, "workdir": args.workdir}
+                if args.backend == "file"
+                else {}
+            ),
+        )
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+
+    started = time.perf_counter()
+    synthesis = synthesize_experiment(experiment, strategy=args.strategy)
+    synth_seconds = time.perf_counter() - started
+    plan = compile_candidate(synthesis.best)
+    config = experiment_config(experiment)
+    result = plan.execute(config, experiment.inputs, backend=backend)
+
+    header = (
+        f"{'Experiment':<26} {'Spec[s]':>12} {'Opt[s]':>10} {'Act[s]':>10} "
+        f"{'Act/Opt':>8} {'Space':>6} {'Steps':>5} {'Synth[s]':>8}"
+    )
+    ratio = (
+        result.elapsed / synthesis.opt_cost
+        if synthesis.opt_cost > 0
+        else float("inf")
+    )
+    print(header)
+    print("-" * len(header))
+    print(
+        f"{experiment.name:<26} {synthesis.spec_cost:>12.5g} "
+        f"{synthesis.opt_cost:>10.4g} {result.elapsed:>10.4g} "
+        f"{ratio:>8.2f} {synthesis.search_space:>6} "
+        f"{synthesis.steps:>5} {synth_seconds:>8.2f}"
+    )
+    print(f"backend: {result.backend}  ({result.summary()})")
+    print(f"derivation: {' -> '.join(synthesis.best.derivation) or '(spec)'}")
+    if plan.parameter_values:
+        tuned = ", ".join(
+            f"{name}={value}"
+            for name, value in sorted(plan.parameter_values.items())
+        )
+        print(f"tuned parameters: {tuned}")
+    report = result.stats.report()
+    if report:
+        print(report)
+    return 0
+
+
+def _cmd_validate(args) -> int:
+    from .bench.validation import DEFAULT_WORKLOADS, write_validation_report
+
+    names = (
+        tuple(name.strip() for name in args.workloads.split(",") if name)
+        if args.workloads
+        else DEFAULT_WORKLOADS
+    )
+    report = write_validation_report(
+        path=args.out, names=names, seed=args.seed, workdir=args.workdir
+    )
+    for workload in report["workloads"]:
+        status = "ok" if workload["winner_first"] else "DISAGREES"
+        print(
+            f"{workload['workload']:<26} winner-first: {status:<10} "
+            f"act/opt: {workload['act_over_opt']:.2f}"
+        )
+    print(f"report written to {args.out}")
+    return 0 if report["all_winner_first"] else 1
+
+
+def main(argv=None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,10 +1,11 @@
-"""Executable plans: tuned programs ready for the simulated substrate.
+"""Executable plans: tuned programs ready for an execution substrate.
 
 In the paper, the optimized OCAL program is compiled to C and run on real
 hardware.  Here the "compiled" artifact is an :class:`ExecutablePlan`
 binding the tuned parameter values into the program; running it hands the
-bound program to :class:`repro.runtime.SimExecutor`, whose role parallels
-the generated binary.
+bound program to a pluggable :class:`~repro.runtime.backend
+.ExecutionBackend` — the analytic simulator by default, or the real-file
+out-of-core executor with ``backend="file"``.
 """
 
 from __future__ import annotations
@@ -13,11 +14,11 @@ from dataclasses import dataclass
 
 from ..ocal.ast import Node, block_params
 from ..ocal.interp import substitute_blocks
+from ..runtime.backend import ExecutionBackend, get_backend
 from ..runtime.executor import (
     ExecutionConfig,
     ExecutionResult,
     InputSpec,
-    SimExecutor,
 )
 from ..search.result import Candidate
 
@@ -43,10 +44,17 @@ class ExecutablePlan:
             )
 
     def execute(
-        self, config: ExecutionConfig, inputs: dict[str, InputSpec]
+        self,
+        config: ExecutionConfig,
+        inputs: dict[str, InputSpec],
+        backend: "str | ExecutionBackend" = "sim",
     ) -> ExecutionResult:
-        """Run the plan on the simulated substrate."""
-        return SimExecutor(config).run(self.program, inputs)
+        """Run the plan on the selected substrate (``"sim"``/``"file"``)."""
+        try:
+            resolved = get_backend(backend)
+        except ValueError as exc:
+            raise PlanError(str(exc)) from None
+        return resolved.run(self.program, inputs, config)
 
 
 def compile_candidate(candidate: Candidate) -> ExecutablePlan:

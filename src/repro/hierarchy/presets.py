@@ -34,6 +34,9 @@ __all__ = [
     "hdd_ram_cache_hierarchy",
     "two_hdd_hierarchy",
     "hdd_flash_hierarchy",
+    "ram_ssd_hdd_hierarchy",
+    "HIERARCHY_PRESETS",
+    "hierarchy_preset",
 ]
 
 #: InitCom[HDD ↔ RAM]: one seek of the 1TB Western Digital drive.
@@ -115,6 +118,33 @@ def two_hdd_hierarchy(ram_size: int = 256 * MB) -> MemoryHierarchy:
     )
 
 
+def ram_ssd_hdd_hierarchy(
+    ram_size: int = 32 * MB, ssd_size: int = 512 * GB
+) -> MemoryHierarchy:
+    """A three-level *chain*: RAM root → SSD → HDD.
+
+    The staging pattern of multi-tier out-of-core systems (bulk data on
+    the disk, a flash tier in between): a block fetched from the HDD
+    crosses both edges, so its cost is the HDD transfer *plus* the SSD
+    hop — exactly what the estimator's per-edge charging and the
+    backends' path-summed device costs produce without special cases.
+    """
+    ram = ram_node(ram_size)
+    ssd = ssd_node(size=ssd_size)
+    hdd = hdd_node()
+    edges = {
+        (hdd.name, ssd.name): EdgeCost(init=HDD_SEEK, unit=HDD_UNIT),
+        (ssd.name, hdd.name): EdgeCost(init=HDD_SEEK, unit=HDD_UNIT),
+        (ssd.name, ram.name): EdgeCost(init=0.0, unit=SSD_UNIT),
+        (ram.name, ssd.name): EdgeCost(init=SSD_INIT, unit=SSD_UNIT),
+    }
+    return MemoryHierarchy.build(
+        root=ram,
+        children={ram.name: [ssd], ssd.name: [hdd]},
+        edges=edges,
+    )
+
+
 def hdd_flash_hierarchy(ram_size: int = 256 * MB) -> MemoryHierarchy:
     """RAM root with an HDD leaf (input) and a flash leaf (output)."""
     ram = ram_node(ram_size)
@@ -128,3 +158,25 @@ def hdd_flash_hierarchy(ram_size: int = 256 * MB) -> MemoryHierarchy:
         children={ram.name: [hdd, ssd]},
         edges=edges,
     )
+
+
+#: Named factories for CLI/bench selection (``--hierarchy <name>``).
+HIERARCHY_PRESETS = {
+    "hdd-ram": hdd_ram_hierarchy,
+    "hdd-ram-cache": hdd_ram_cache_hierarchy,
+    "two-hdd": two_hdd_hierarchy,
+    "hdd-flash": hdd_flash_hierarchy,
+    "ram-ssd-hdd": ram_ssd_hdd_hierarchy,
+}
+
+
+def hierarchy_preset(name: str, ram_size: int | None = None) -> MemoryHierarchy:
+    """Instantiate a preset by name, optionally overriding the RAM size."""
+    try:
+        factory = HIERARCHY_PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown hierarchy preset {name!r}; "
+            f"expected one of {sorted(HIERARCHY_PRESETS)}"
+        ) from None
+    return factory(ram_size) if ram_size is not None else factory()

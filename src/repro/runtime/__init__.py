@@ -1,5 +1,26 @@
-"""Simulated storage substrate — the stand-in for the paper's testbed."""
+"""Execution substrates — the stand-ins for the paper's testbed.
 
+Two pluggable backends behind one interface (:mod:`repro.runtime.backend`):
+the analytic simulator (``SimBackend`` / the historical ``SimExecutor``)
+and the real-file out-of-core executor (``FileBackend``).
+"""
+
+from .accounting import (
+    ChargeModel,
+    ExecutionConfig,
+    ExecutionError,
+    ExecutionResult,
+    InputSpec,
+    build_devices,
+    cumulative_edge_costs,
+)
+from .backend import (
+    ExecutionBackend,
+    SimBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
 from .cache import CacheSim
 from .cache_experiment import (
     CacheExperimentResult,
@@ -8,15 +29,11 @@ from .cache_experiment import (
 )
 from .clock import SimClock
 from .devices import Extent, FlashDrive, HardDisk, Ram, SimDevice
-from .executor import (
-    ExecutionConfig,
-    ExecutionError,
-    ExecutionResult,
-    InputSpec,
-    SimExecutor,
-    build_devices,
-)
+from .executor import SimExecutor
+from .file_backend import FileBackend
+from .interpreter import AnalyticInterpreter
 from .stats import DeviceStats, ExecutionStats
+from .values import RtList, RtScalar, RtValue
 
 __all__ = [
     "SimClock",
@@ -31,9 +48,21 @@ __all__ = [
     "InputSpec",
     "ExecutionConfig",
     "ExecutionResult",
-    "SimExecutor",
     "ExecutionError",
+    "ChargeModel",
+    "AnalyticInterpreter",
+    "SimExecutor",
+    "ExecutionBackend",
+    "SimBackend",
+    "FileBackend",
+    "get_backend",
+    "register_backend",
+    "backend_names",
     "build_devices",
+    "cumulative_edge_costs",
+    "RtList",
+    "RtScalar",
+    "RtValue",
     "CacheExperimentResult",
     "run_cache_experiment",
     "simulate_join_accesses",

@@ -1,0 +1,106 @@
+"""Pluggable execution backends.
+
+An :class:`ExecutionBackend` turns a tuned program plus input statistics
+into an :class:`~repro.runtime.accounting.ExecutionResult`.  Two
+substrates are provided:
+
+* :class:`SimBackend` — the analytic simulator (the seed's
+  ``SimExecutor``): loops are charged analytically against behavioral
+  device models, which scales to gigabyte workloads;
+* :class:`~repro.runtime.file_backend.FileBackend` — real execution:
+  block-sized reads/writes against actual temp files, bounded in-memory
+  buffers, spill files for intermediates, measured wall clock and byte
+  counters (registered lazily to avoid an import cycle).
+
+``get_backend("sim" | "file")`` resolves names to instances so call
+sites (CLI, benches, plans) can thread a string through.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from ..ocal.ast import Node
+from .accounting import ExecutionConfig, ExecutionResult, InputSpec
+from .interpreter import AnalyticInterpreter
+
+__all__ = [
+    "ExecutionBackend",
+    "SimBackend",
+    "get_backend",
+    "register_backend",
+    "backend_names",
+]
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """The substrate interface every executor implements."""
+
+    name: str
+
+    def run(
+        self,
+        program: Node,
+        inputs: dict[str, InputSpec],
+        config: ExecutionConfig,
+    ) -> ExecutionResult:
+        """Execute a fully-bound program and report the outcome."""
+        ...
+
+
+class SimBackend:
+    """The analytic simulator behind the backend interface.
+
+    Bit-for-bit compatible with the seed's ``SimExecutor``: it *is* the
+    same interpreter and charge model, merely reached through the
+    pluggable interface.
+    """
+
+    name = "sim"
+
+    def run(
+        self,
+        program: Node,
+        inputs: dict[str, InputSpec],
+        config: ExecutionConfig,
+    ) -> ExecutionResult:
+        return AnalyticInterpreter(config).run(program, inputs)
+
+
+_REGISTRY: dict[str, type] = {"sim": SimBackend}
+
+
+def register_backend(name: str, factory: type) -> None:
+    """Register a backend class under a name (idempotent)."""
+    _REGISTRY[name] = factory
+
+
+def backend_names() -> tuple[str, ...]:
+    """Names accepted by :func:`get_backend`."""
+    _ensure_file_backend()
+    return tuple(sorted(_REGISTRY))
+
+
+def _ensure_file_backend() -> None:
+    if "file" not in _REGISTRY:  # pragma: no branch - tiny guard
+        from . import file_backend  # noqa: F401  (registers itself)
+
+
+def get_backend(backend: "str | ExecutionBackend", **options) -> ExecutionBackend:
+    """Resolve a backend name (or pass an instance through).
+
+    Keyword options are forwarded to the backend constructor — e.g.
+    ``get_backend("file", workdir=..., seed=7)``.
+    """
+    if not isinstance(backend, str):
+        return backend
+    _ensure_file_backend()
+    try:
+        factory = _REGISTRY[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown execution backend {backend!r}; "
+            f"expected one of {sorted(_REGISTRY)}"
+        ) from None
+    return factory(**options)

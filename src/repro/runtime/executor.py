@@ -1,62 +1,36 @@
 """Simulated execution of synthesized programs ("Act" measurements).
 
-The paper measures generated C programs on physical disks; our substitute
-executes the tuned program against the simulated devices of
-:mod:`repro.runtime.devices`, walking the same program structure the cost
-estimator walks but with three crucial differences:
+Compatibility façade over the decomposed runtime.  The seed's 944-line
+monolith now lives in three cohesive modules —
 
-* **actual cardinalities** — joins produce ``x·y·selectivity`` tuples,
-  not the worst case; set difference produces its true output; this is
-  how the paper's overestimation-by-worst-case analysis (§7.3) becomes
-  observable;
-* **CPU charges** — every loop iteration, merge step, hash, and output
-  byte costs simulated CPU time that the *estimator deliberately
-  ignores*, reproducing the growing underestimation for CPU-heavy tasks
-  (Figure 8);
-* **behavioral devices** — seeks and erases are charged by device-head
-  state, so read/write interference on a shared disk and sequential
-  streaming on a dedicated one *emerge* rather than being assumed.
+* :mod:`repro.runtime.values`      — runtime values (``RtList`` …);
+* :mod:`repro.runtime.accounting`  — config/result types, device
+  construction over arbitrary hierarchy trees, and the charge model;
+* :mod:`repro.runtime.interpreter` — the AST-walking interpreter core —
 
-Loops over billions of tuples are charged analytically (the body is
-walked once per loop, then scaled by the iteration count), which is what
-makes simulating gigabyte workloads feasible in Python — see DESIGN.md's
-substitution notes.
+with the pluggable substrates in :mod:`repro.runtime.backend` (analytic
+``SimBackend``) and :mod:`repro.runtime.file_backend` (real files).
+Everything the seed exported from here keeps working: ``SimExecutor``
+*is* the analytic interpreter, with identical construction, attributes,
+and — bit for bit — identical simulated numbers on every hierarchy whose
+devices sit one edge below the root (all of the seed's executor tests).
+The one deliberate change: devices deeper in the tree now price the
+*whole* path to the root (``cumulative_edge_costs``), so a ≥3-level
+chain is charged consistently with the estimator's per-edge rules —
+e.g. the cache preset's HDD adds the RAM↔Cache hop it previously lost.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-
-from ..hierarchy import MemoryHierarchy
-from ..ocal.ast import (
-    App,
-    Builtin,
-    Concat,
-    Empty,
-    FlatMap,
-    FoldL,
-    For,
-    FuncPow,
-    HashPartition,
-    If,
-    Lam,
-    Lit,
-    Node,
-    Pattern,
-    Prim,
-    Proj,
-    Sing,
-    SizeAnnot,
-    TreeFold,
-    Tup,
-    UnfoldR,
-    Var,
+from .accounting import (
+    ExecutionConfig,
+    ExecutionError,
+    ExecutionResult,
+    InputSpec,
+    build_devices,
 )
-from .cache import CacheSim
-from .clock import SimClock
-from .devices import FlashDrive, HardDisk, Ram, SimDevice
-from .stats import ExecutionStats
+from .interpreter import AnalyticInterpreter
+from .values import RtList, RtScalar, RtValue
 
 __all__ = [
     "InputSpec",
@@ -65,880 +39,11 @@ __all__ = [
     "SimExecutor",
     "ExecutionError",
     "build_devices",
+    "RtList",
+    "RtScalar",
+    "RtValue",
 ]
 
 
-class ExecutionError(RuntimeError):
-    """Raised when a program cannot be executed by the simulator."""
-
-
-@dataclass(frozen=True)
-class InputSpec:
-    """Statistics describing one stored input relation."""
-
-    card: float
-    elem_bytes: float
-    sorted: bool = False
-
-
-@dataclass
-class ExecutionConfig:
-    """Workload- and machine-level knobs for one simulated run."""
-
-    hierarchy: MemoryHierarchy
-    input_locations: dict[str, str]
-    output_location: str | None = None
-    #: probability that a data-dependent if-condition holds (join
-    #: selectivity, duplicate rate, …); the estimator's worst case is 1.
-    cond_probability: float = 1.0
-    #: workload-level override for the program's output cardinality
-    #: (e.g. |R ⋈ S| = x·y·sel, which per-bucket probabilities cannot
-    #: reconstruct); used for write-out sizing and reporting.
-    output_card_override: float | None = None
-    cpu_per_iteration: float = 5e-10
-    cpu_per_output_byte: float = 1e-9
-    cpu_per_hash: float = 5e-9
-    cache: CacheSim | None = None
-
-
-@dataclass
-class ExecutionResult:
-    """Outcome of one simulated run."""
-
-    elapsed: float
-    io_seconds: float
-    cpu_seconds: float
-    stats: ExecutionStats
-    output_card: float
-    output_bytes: float
-
-    def summary(self) -> str:
-        return (
-            f"elapsed={self.elapsed:.2f}s (io={self.io_seconds:.2f}s, "
-            f"cpu={self.cpu_seconds:.2f}s), output={self.output_card:.4g} "
-            f"tuples"
-        )
-
-
-# ----------------------------------------------------------------------
-# Runtime values
-# ----------------------------------------------------------------------
-@dataclass
-class RtList:
-    """A list value: cardinality/element statistics plus residence."""
-
-    card: float
-    elem_bytes: float
-    device: SimDevice | None  # None = resident at the root (RAM)
-    addr: int = 0
-    sorted: bool = False
-    elem: "RtValue | None" = None  # structure of elements when nested
-
-
-@dataclass
-class RtScalar:
-    """An atomic value of known byte width."""
-
-    nbytes: float = 1.0
-
-
-#: values: RtList, RtScalar, or tuples thereof
-RtValue = object
-
-
-def build_devices(
-    hierarchy: MemoryHierarchy, clock: SimClock
-) -> dict[str, SimDevice]:
-    """Instantiate one simulated device per hierarchy node."""
-    devices: dict[str, SimDevice] = {}
-    root = hierarchy.root.name
-    for name, node in hierarchy.nodes.items():
-        if name == root:
-            devices[name] = Ram(name=name, clock=clock, capacity=node.size)
-            continue
-        parent = hierarchy.parent(name)
-        up = (name, parent.name if parent else root)
-        down = (up[1], up[0])
-        read_cost = hierarchy.edges.get(up)
-        write_cost = hierarchy.edges.get(down)
-        read_init = read_cost.init if read_cost else 0.0
-        read_unit = read_cost.unit if read_cost else 0.0
-        write_init = write_cost.init if write_cost else 0.0
-        write_unit = write_cost.unit if write_cost else 0.0
-        if node.max_seq_write is not None:
-            devices[name] = FlashDrive(
-                name=name,
-                clock=clock,
-                read_init=read_init,
-                read_unit=read_unit,
-                write_init=write_init,
-                write_unit=write_unit,
-                capacity=node.size,
-                erase_block=node.max_seq_write,
-            )
-        else:
-            devices[name] = HardDisk(
-                name=name,
-                clock=clock,
-                read_init=read_init,
-                read_unit=read_unit,
-                write_init=write_init,
-                write_unit=write_unit,
-                capacity=node.size,
-            )
-    return devices
-
-
-class SimExecutor:
-    """Walks a tuned program, advancing the simulated clock."""
-
-    def __init__(self, config: ExecutionConfig) -> None:
-        self.config = config
-        self.hierarchy = config.hierarchy
-        self.root = config.hierarchy.root.name
-        self.clock = SimClock()
-        self.devices = build_devices(config.hierarchy, self.clock)
-        self.stats = ExecutionStats()
-
-    # ------------------------------------------------------------------
-    def run(
-        self, program: Node, inputs: dict[str, InputSpec]
-    ) -> ExecutionResult:
-        """Execute a program whose parameters are already bound."""
-        self.clock.reset()
-        env: dict[str, RtValue] = {}
-        for name, spec in inputs.items():
-            location = self.config.input_locations.get(name, self.root)
-            device = (
-                None if location == self.root else self.devices[location]
-            )
-            extent = (
-                device.allocate(spec.card * spec.elem_bytes)
-                if device is not None
-                else None
-            )
-            env[name] = RtList(
-                card=float(spec.card),
-                elem_bytes=float(spec.elem_bytes),
-                device=device,
-                addr=extent.start if extent else 0,
-                sorted=spec.sorted,
-            )
-        result = self._exec(program, env)
-        output_card, output_bytes = self._measure(result)
-        if self.config.output_card_override is not None:
-            scale = (
-                output_bytes / output_card if output_card > 0 else 1.0
-            )
-            output_card = self.config.output_card_override
-            output_bytes = output_card * max(1.0, scale)
-        out = self.config.output_location
-        if out is not None and not self._resident_on(result, out):
-            self._write_out(output_bytes, self.devices[out])
-        self._collect_device_stats()
-        if self.config.cache is not None:
-            self.stats.cache_accesses = self.config.cache.accesses
-            self.stats.cache_misses = self.config.cache.misses
-        return ExecutionResult(
-            elapsed=self.clock.now,
-            io_seconds=self.clock.io_seconds,
-            cpu_seconds=self.clock.cpu_seconds,
-            stats=self.stats,
-            output_card=output_card,
-            output_bytes=output_bytes,
-        )
-
-    # ------------------------------------------------------------------
-    # Expression dispatch
-    # ------------------------------------------------------------------
-    def _exec(self, expr: Node, env: dict[str, RtValue]) -> RtValue:
-        if isinstance(expr, Var):
-            if expr.name not in env:
-                raise ExecutionError(f"unbound variable {expr.name!r}")
-            return env[expr.name]
-        if isinstance(expr, Lit):
-            return RtScalar(1.0)
-        if isinstance(expr, Sing):
-            item = self._exec(expr.item, env)
-            return RtList(
-                card=1.0,
-                elem_bytes=self._bytes_of(item),
-                device=None,
-                elem=item,
-            )
-        if isinstance(expr, Empty):
-            return RtList(card=0.0, elem_bytes=0.0, device=None)
-        if isinstance(expr, Tup):
-            return tuple(self._exec(item, env) for item in expr.items)
-        if isinstance(expr, Proj):
-            value = self._exec(expr.tup, env)
-            if isinstance(value, tuple):
-                if expr.index > len(value):
-                    raise ExecutionError(f".{expr.index} out of range")
-                return value[expr.index - 1]
-            return value
-        if isinstance(expr, Concat):
-            left = self._exec(expr.left, env)
-            right = self._exec(expr.right, env)
-            return self._concat(left, right)
-        if isinstance(expr, If):
-            return self._exec_if(expr, env)
-        if isinstance(expr, Prim):
-            for arg in expr.args:
-                self._exec(arg, env)
-            if expr.op == "hash":
-                self.clock.advance_cpu(self.config.cpu_per_hash)
-            return RtScalar(1.0)
-        if isinstance(expr, For):
-            return self._exec_for(expr, env)
-        if isinstance(expr, SizeAnnot):
-            return self._exec(expr.expr, env)
-        if isinstance(expr, App):
-            return self._exec_app(expr, env)
-        if isinstance(
-            expr,
-            (Lam, FoldL, FlatMap, TreeFold, UnfoldR, FuncPow, Builtin,
-             HashPartition),
-        ):
-            return RtScalar(0.0)
-        raise ExecutionError(f"cannot execute {type(expr).__name__}")
-
-    # ------------------------------------------------------------------
-    # if-then-else with actual branch probabilities
-    # ------------------------------------------------------------------
-    def _exec_if(self, expr: If, env: dict[str, RtValue]) -> RtValue:
-        self._exec(expr.cond, env)
-        then = self._exec(expr.then, env)
-        orelse = self._exec(expr.orelse, env)
-        if self._is_order_inputs(expr):
-            # length(a) ≤ length(b) — resolved exactly, not probabilistically.
-            a = env[expr.cond.args[0].arg.name]
-            b = env[expr.cond.args[1].arg.name]
-            return (a, b) if a.card <= b.card else (b, a)
-        if isinstance(then, RtList) and isinstance(orelse, RtList):
-            p = self.config.cond_probability
-            card = p * then.card + (1 - p) * orelse.card
-            elem_bytes = max(then.elem_bytes, orelse.elem_bytes)
-            return RtList(
-                card=card,
-                elem_bytes=elem_bytes,
-                device=None,
-                elem=then.elem or orelse.elem,
-            )
-        return then
-
-    @staticmethod
-    def _is_order_inputs(expr: If) -> bool:
-        cond = expr.cond
-        return (
-            isinstance(cond, Prim)
-            and cond.op == "<="
-            and len(cond.args) == 2
-            and all(
-                isinstance(a, App)
-                and isinstance(a.fn, Builtin)
-                and a.fn.name == "length"
-                and isinstance(a.arg, Var)
-                for a in cond.args
-            )
-            and isinstance(expr.then, Tup)
-            and isinstance(expr.orelse, Tup)
-        )
-
-    # ------------------------------------------------------------------
-    # for loops — analytic scaling of one representative iteration
-    # ------------------------------------------------------------------
-    def _exec_for(self, expr: For, env: dict[str, RtValue]) -> RtValue:
-        source = self._exec(expr.source, env)
-        if not isinstance(source, RtList):
-            raise ExecutionError("for iterates over a non-list")
-        block = expr.block_in
-        if isinstance(block, str):
-            raise ExecutionError(
-                f"block parameter {block!r} must be bound before execution"
-            )
-        card = source.card
-        if block == 1:
-            bound = self._element_of(source)
-            iterations = card
-            per_request = source.elem_bytes
-        else:
-            bound = RtList(
-                card=float(min(block, card) if card else 0),
-                elem_bytes=source.elem_bytes,
-                device=None,
-                elem=source.elem,
-            )
-            iterations = math.ceil(card / block) if card else 0
-            per_request = min(block, card) * source.elem_bytes if card else 0
-        inner_env = dict(env)
-        inner_env[expr.var] = bound
-
-        io_before = self.clock.io_seconds
-        cpu_before = self.clock.cpu_seconds
-        stats_before = self._snapshot_device_stats()
-        body = self._exec(expr.body, inner_env)
-        body_io = self.clock.io_seconds - io_before
-        body_cpu = self.clock.cpu_seconds - cpu_before
-        if not isinstance(body, RtList):
-            raise ExecutionError("for body must produce a list")
-
-        # Scale the remaining iterations analytically: the body ran once;
-        # clock and per-device counters are multiplied for the rest.
-        if iterations > 1:
-            self.clock.advance_io(body_io * (iterations - 1))
-            self.clock.advance_cpu(body_cpu * (iterations - 1))
-            self._scale_device_deltas(stats_before, iterations - 1)
-        self.clock.advance_cpu(self.config.cpu_per_iteration * iterations)
-        self.stats.tuples_processed += iterations
-
-        # Source fetch: one request per iteration; requests are
-        # sequential when the body did no I/O of its own.
-        if source.device is not None and iterations:
-            self._charge_scan(
-                source,
-                requests=iterations,
-                request_bytes=per_request,
-                body_did_io=body_io > 0,
-            )
-        # Cache modeling: element-granular access of root-resident data.
-        if (
-            source.device is None
-            and self.config.cache is not None
-            and block == 1
-            and card
-        ):
-            self._charge_cache_scan(source)
-
-        return RtList(
-            card=body.card * iterations,
-            elem_bytes=body.elem_bytes,
-            device=None,
-            elem=body.elem,
-            sorted=body.sorted and iterations <= 1,
-        )
-
-    def _charge_scan(
-        self,
-        source: RtList,
-        requests: float,
-        request_bytes: float,
-        body_did_io: bool,
-    ) -> None:
-        device = source.device
-        total = source.card * source.elem_bytes
-        if body_did_io:
-            # Each request is separated by other I/O: the head moved, so
-            # every request repositions.  Charge analytically.
-            device.clock.advance_io(device.read_init * requests)
-            device.stats.seeks += int(requests)
-            device.clock.advance_io(total * device.read_unit)
-            device.stats.reads += int(requests)
-            device.stats.bytes_read += total
-        else:
-            # Uninterrupted requests coalesce into one sequential run.
-            device.read(source.addr, total)
-
-    def _charge_cache_scan(self, source: RtList) -> None:
-        cache = self.config.cache
-        base = source.addr
-        elem = max(1, int(source.elem_bytes))
-        count = int(source.card)
-        # Touch each element once, line by line.
-        for index in range(count):
-            cache.access(base + index * elem, elem)
-        self.clock.advance_cpu(cache.miss_penalty * 0)  # stall added at end
-
-    # ------------------------------------------------------------------
-    # Applications
-    # ------------------------------------------------------------------
-    def _exec_app(self, expr: App, env: dict[str, RtValue]) -> RtValue:
-        fn = expr.fn
-        if isinstance(fn, Lam):
-            arg = self._exec(expr.arg, env)
-            arg = self._maybe_spill(arg)
-            inner = dict(env)
-            self._bind(fn.pattern, arg, inner)
-            return self._exec(fn.body, inner)
-        if isinstance(fn, FlatMap):
-            loop = For("_fm", expr.arg, App(fn.fn, Var("_fm")), 1)
-            return self._exec_for(loop, env)
-        if isinstance(fn, FoldL):
-            return self._exec_fold(fn, expr.arg, env)
-        if isinstance(fn, UnfoldR):
-            return self._exec_unfold(fn, expr.arg, env)
-        if isinstance(fn, TreeFold):
-            return self._exec_treefold(fn, expr.arg, env)
-        if isinstance(fn, Builtin):
-            return self._exec_builtin(fn.name, expr.arg, env)
-        if isinstance(fn, HashPartition):
-            return self._exec_partition(fn, expr.arg, env)
-        if isinstance(fn, FuncPow):
-            return self._exec(expr.arg, env)
-        raise ExecutionError(
-            f"cannot execute application of {type(fn).__name__}"
-        )
-
-    # ------------------------------------------------------------------
-    def _exec_fold(
-        self, fn: FoldL, arg: Node, env: dict[str, RtValue]
-    ) -> RtValue:
-        source = self._exec(arg, env)
-        if not isinstance(source, RtList):
-            raise ExecutionError("foldL consumes a non-list")
-        block = fn.block_in
-        if isinstance(block, str):
-            raise ExecutionError(f"unbound block parameter {block!r}")
-        card = source.card
-        init = self._exec(fn.init, env)
-        if not isinstance(fn.fn, Lam):
-            return self._exec_fold_opaque(fn, source, init, env)
-        inner = dict(env)
-        self._bind(
-            fn.fn.pattern, (init, self._element_of(source)), inner
-        )
-        step = self._exec(fn.fn.body, inner)
-        self.clock.advance_cpu(self.config.cpu_per_iteration * card)
-        self.stats.tuples_processed += card
-        if source.device is not None and card:
-            requests = card if block == 1 else math.ceil(card / block)
-            self._charge_scan(
-                source,
-                requests=requests,
-                request_bytes=source.elem_bytes * min(block, card),
-                body_did_io=False,
-            )
-        # Growth of the accumulator: linear interpolation init → step.
-        if isinstance(init, RtList) and isinstance(step, RtList):
-            delta = max(0.0, step.card - init.card)
-            final = RtList(
-                card=init.card + delta * card * self.config.cond_probability
-                if delta < 1.0
-                else init.card + delta * card,
-                elem_bytes=max(init.elem_bytes, step.elem_bytes),
-                device=None,
-                elem=step.elem or init.elem,
-            )
-            return self._maybe_spill(final)
-        if isinstance(init, tuple) and isinstance(step, tuple):
-            return tuple(
-                self._fold_component(i, s, card)
-                for i, s in zip(init, step)
-            )
-        return step
-
-    def _fold_component(
-        self, init: RtValue, step: RtValue, card: float
-    ) -> RtValue:
-        if isinstance(init, RtList) and isinstance(step, RtList):
-            delta = max(0.0, step.card - init.card)
-            grown = RtList(
-                card=init.card + delta * card,
-                elem_bytes=max(init.elem_bytes, step.elem_bytes),
-                device=None,
-                elem=step.elem or init.elem,
-            )
-            return self._maybe_spill(grown)
-        return step
-
-    def _exec_fold_opaque(
-        self, fn: FoldL, source: RtList, init: RtValue, env: dict
-    ) -> RtValue:
-        """foldL whose step is a function value (e.g. unfoldR(mrg)).
-
-        The insertion-sort pattern: the accumulator is re-merged with one
-        element per iteration, costing Θ(card²) transfers when spilled.
-        """
-        card = source.card
-        if isinstance(source.elem, RtList):
-            elem_card = source.elem.card
-            rec_bytes = source.elem.elem_bytes
-        else:
-            elem_card = 1.0
-            rec_bytes = source.elem_bytes
-        total_elems = card * elem_card
-        acc_bytes_final = total_elems * rec_bytes
-        self.clock.advance_cpu(self.config.cpu_per_iteration * total_elems)
-        spills = acc_bytes_final > self.hierarchy.root.size
-        if source.device is not None and card:
-            self._charge_scan(
-                source,
-                requests=card,
-                request_bytes=source.elem_bytes,
-                body_did_io=spills,
-            )
-        if spills:
-            device = source.device or self._spill_device()
-            # Quadratic re-read and write-back of the growing accumulator.
-            total_traffic = rec_bytes * total_elems * (total_elems + 1) / 2
-            write_evictions = total_traffic / rec_bytes  # element-wise
-            device.clock.advance_io(
-                total_traffic * (device.read_unit + device.write_unit)
-            )
-            device.stats.bytes_read += total_traffic
-            device.stats.bytes_written += total_traffic
-            device.clock.advance_io(device.write_init * write_evictions)
-            device.stats.seeks += int(write_evictions)
-            device.clock.advance_io(device.read_init * card)
-            self.clock.advance_cpu(
-                self.config.cpu_per_iteration * total_elems * total_elems / 2
-            )
-            return RtList(
-                card=total_elems,
-                elem_bytes=rec_bytes,
-                device=device,
-                sorted=True,
-            )
-        self.clock.advance_cpu(
-            self.config.cpu_per_iteration * total_elems * max(
-                1.0, math.log2(max(2.0, total_elems))
-            )
-        )
-        return RtList(
-            card=total_elems, elem_bytes=rec_bytes, device=None, sorted=True
-        )
-
-    # ------------------------------------------------------------------
-    def _exec_unfold(
-        self, fn: UnfoldR, arg: Node, env: dict[str, RtValue]
-    ) -> RtValue:
-        source = self._exec(arg, env)
-        if not isinstance(source, tuple):
-            raise ExecutionError("unfoldR consumes a tuple of lists")
-        lists = [v for v in source if isinstance(v, RtList)]
-        block = fn.block_in
-        if isinstance(block, str):
-            raise ExecutionError(f"unbound block parameter {block!r}")
-        total = 0.0
-        for item in lists:
-            total += item.card
-            if item.device is not None and item.card:
-                requests = (
-                    item.card if block == 1 else math.ceil(item.card / block)
-                )
-                # Consuming several streams interleaves their requests on
-                # the device, so each block fetch repositions the head.
-                self._charge_scan(
-                    item,
-                    requests=requests,
-                    request_bytes=item.elem_bytes * min(block, item.card),
-                    body_did_io=len(lists) > 1,
-                )
-        inner = fn.fn
-        self.clock.advance_cpu(self.config.cpu_per_iteration * total)
-        self.stats.tuples_processed += total
-        if isinstance(inner, Builtin) and inner.name == "zip":
-            min_card = min((l.card for l in lists), default=0.0)
-            return RtList(
-                card=min_card,
-                elem_bytes=sum(l.elem_bytes for l in lists),
-                device=None,
-                elem=tuple(self._element_of(l) for l in lists),
-            )
-        elem_bytes = max((l.elem_bytes for l in lists), default=1.0)
-        # Custom step functions produce data-dependent output sizes; the
-        # cond_probability knob scales from the sum-of-inputs worst case.
-        out_card = total * self.config.cond_probability
-        return RtList(
-            card=out_card, elem_bytes=elem_bytes, device=None, sorted=True
-        )
-
-    # ------------------------------------------------------------------
-    def _exec_treefold(
-        self, fn: TreeFold, arg: Node, env: dict[str, RtValue]
-    ) -> RtValue:
-        source = self._exec(arg, env)
-        if not isinstance(source, RtList):
-            raise ExecutionError("treeFold consumes a list")
-        runs = source.card
-        elem_card = (
-            source.elem.card if isinstance(source.elem, RtList) else 1.0
-        )
-        elem_bytes = (
-            source.elem.elem_bytes
-            if isinstance(source.elem, RtList)
-            else source.elem_bytes
-        )
-        total_elems = runs * elem_card
-        total_bytes = total_elems * elem_bytes
-        device = source.device or self._spill_device()
-        levels = max(
-            1, math.ceil(math.log(max(2.0, runs), fn.arity))
-        )
-        block_in = 1
-        block_out = 1
-        if isinstance(fn.fn, UnfoldR):
-            if isinstance(fn.fn.block_in, str) or isinstance(
-                fn.fn.block_out, str
-            ):
-                raise ExecutionError("unbound treeFold block parameters")
-            block_in = fn.fn.block_in
-            block_out = fn.fn.block_out
-        for _ in range(levels):
-            reads = math.ceil(total_elems / block_in)
-            writes = math.ceil(total_bytes / max(1, block_out))
-            device.clock.advance_io(device.read_init * reads)
-            device.stats.seeks += reads
-            device.clock.advance_io(total_bytes * device.read_unit)
-            device.stats.bytes_read += total_bytes
-            device.clock.advance_io(device.write_init * writes)
-            device.stats.seeks += writes
-            device.clock.advance_io(total_bytes * device.write_unit)
-            device.stats.bytes_written += total_bytes
-            self.clock.advance_cpu(
-                self.config.cpu_per_iteration * total_elems
-                * math.log2(max(2, fn.arity))
-            )
-        self.stats.tuples_processed += total_elems * levels
-        return RtList(
-            card=total_elems,
-            elem_bytes=elem_bytes,
-            device=device,
-            sorted=True,
-        )
-
-    # ------------------------------------------------------------------
-    def _exec_builtin(
-        self, name: str, arg: Node, env: dict[str, RtValue]
-    ) -> RtValue:
-        value = self._exec(arg, env)
-        if name == "length":
-            return RtScalar(1.0)
-        if name == "avg":
-            if isinstance(value, RtList) and value.device is not None:
-                self._charge_scan(
-                    value, value.card, value.elem_bytes, body_did_io=False
-                )
-            return RtScalar(1.0)
-        if name == "head":
-            if not isinstance(value, RtList):
-                raise ExecutionError("head of a non-list")
-            if value.device is not None:
-                value.device.read(value.addr, value.elem_bytes)
-            return self._element_of(value)
-        if name == "tail":
-            if not isinstance(value, RtList):
-                raise ExecutionError("tail of a non-list")
-            return RtList(
-                card=max(0.0, value.card - 1),
-                elem_bytes=value.elem_bytes,
-                device=value.device,
-                addr=value.addr,
-                sorted=value.sorted,
-                elem=value.elem,
-            )
-        if name == "zip":
-            if not isinstance(value, tuple):
-                raise ExecutionError("zip consumes a tuple of lists")
-            lists = [v for v in value if isinstance(v, RtList)]
-            min_card = min((l.card for l in lists), default=0.0)
-            # Elements of the zip are tuples of the inputs' *elements*
-            # (bucket pairs for zipped partitions), not the inputs.
-            return RtList(
-                card=min_card,
-                elem_bytes=sum(l.elem_bytes for l in lists),
-                device=None,
-                elem=tuple(self._element_of(l) for l in lists),
-            )
-        if name == "mrg":
-            return (RtList(1.0, 1.0, None), value)
-        raise ExecutionError(f"cannot execute builtin {name!r}")
-
-    def _exec_partition(
-        self, fn: HashPartition, arg: Node, env: dict[str, RtValue]
-    ) -> RtValue:
-        source = self._exec(arg, env)
-        if not isinstance(source, RtList):
-            raise ExecutionError("partition consumes a non-list")
-        buckets = fn.buckets
-        if isinstance(buckets, str):
-            raise ExecutionError(f"unbound bucket parameter {buckets!r}")
-        total_bytes = source.card * source.elem_bytes
-        if source.device is not None and source.card:
-            source.device.read(source.addr, total_bytes)
-        self.clock.advance_cpu(self.config.cpu_per_hash * source.card)
-        bucket = RtList(
-            card=source.card / max(1, buckets),
-            elem_bytes=source.elem_bytes,
-            device=None,
-            elem=source.elem,
-        )
-        partitions = RtList(
-            card=float(buckets),
-            elem_bytes=bucket.card * bucket.elem_bytes,
-            device=None,
-            elem=bucket,
-        )
-        return self._maybe_spill(partitions)
-
-    # ------------------------------------------------------------------
-    # Placement and output
-    # ------------------------------------------------------------------
-    def _maybe_spill(self, value: RtValue) -> RtValue:
-        if not isinstance(value, RtList):
-            return value
-        if value.device is not None:
-            return value
-        total = value.card * value.elem_bytes
-        if total <= self.hierarchy.root.size:
-            return value
-        device = self._spill_device()
-        extent = device.allocate(total)
-        device.write(extent.start, total)
-        elem = value.elem
-        if isinstance(elem, RtList):
-            # Nested contents (partition buckets) live on the device too.
-            elem = RtList(
-                card=elem.card,
-                elem_bytes=elem.elem_bytes,
-                device=device,
-                addr=extent.start,
-                sorted=elem.sorted,
-                elem=elem.elem,
-            )
-        return RtList(
-            card=value.card,
-            elem_bytes=value.elem_bytes,
-            device=device,
-            addr=extent.start,
-            sorted=value.sorted,
-            elem=elem,
-        )
-
-    def _spill_device(self) -> SimDevice:
-        out = self.config.output_location
-        if out is not None:
-            return self.devices[out]
-        leaves = [
-            self.devices[n.name] for n in self.hierarchy.leaves()
-        ]
-        if not leaves:
-            raise ExecutionError("no device to spill to")
-        return max(leaves, key=lambda d: d.capacity)
-
-    def _write_out(self, nbytes: float, device: SimDevice) -> None:
-        if nbytes <= 0:
-            return
-        extent = device.allocate(nbytes)
-        # Evictions in root-sized chunks.  If the program also *read*
-        # from this device, the evictions interleave with the reads and
-        # every chunk repositions the head — the same interference the
-        # paper's "BNL writing to HDD" row demonstrates.
-        interferes = device.stats.bytes_read > 0
-        chunk = max(1, self.hierarchy.root.size // 4)
-        addr = extent.start
-        remaining = nbytes
-        iterations = 0
-        max_explicit = 1 << 16
-        while remaining > 0 and iterations < max_explicit:
-            step = min(chunk, remaining)
-            device.write(addr, step)
-            if interferes:
-                device.invalidate_position()
-            addr += int(step)
-            remaining -= step
-            iterations += 1
-        if remaining > 0:
-            # Analytic tail for extremely large outputs.
-            chunks = math.ceil(remaining / chunk)
-            device.clock.advance_io(
-                remaining * device.write_unit
-                + (chunks if interferes else 1) * device.write_init
-            )
-            device.stats.bytes_written += remaining
-            device.stats.seeks += chunks if interferes else 1
-        self.clock.advance_cpu(nbytes * self.config.cpu_per_output_byte)
-
-    # ------------------------------------------------------------------
-    # Helpers
-    # ------------------------------------------------------------------
-    def _element_of(self, source: RtList) -> RtValue:
-        if source.elem is not None:
-            return source.elem
-        return RtScalar(source.elem_bytes)
-
-    def _bytes_of(self, value: RtValue) -> float:
-        if isinstance(value, RtScalar):
-            return value.nbytes
-        if isinstance(value, RtList):
-            return value.card * value.elem_bytes
-        if isinstance(value, tuple):
-            return sum(self._bytes_of(v) for v in value)
-        return 1.0
-
-    def _concat(self, left: RtValue, right: RtValue) -> RtValue:
-        if isinstance(left, RtList) and isinstance(right, RtList):
-            card = left.card + right.card
-            elem_bytes = max(left.elem_bytes, right.elem_bytes)
-            return RtList(
-                card=card,
-                elem_bytes=elem_bytes,
-                device=None,
-                elem=left.elem or right.elem,
-            )
-        raise ExecutionError("⊔ of non-lists")
-
-    def _bind(
-        self, pattern: Pattern, value: RtValue, env: dict[str, RtValue]
-    ) -> None:
-        if isinstance(pattern, str):
-            env[pattern] = value
-            return
-        if not isinstance(value, tuple) or len(value) != len(pattern):
-            raise ExecutionError(
-                f"pattern of arity {len(pattern)} cannot bind this value"
-            )
-        for sub, item in zip(pattern, value):
-            self._bind(sub, item, env)
-
-    def _measure(self, value: RtValue) -> tuple[float, float]:
-        if isinstance(value, RtList):
-            return value.card, value.card * value.elem_bytes
-        if isinstance(value, RtScalar):
-            return 1.0, value.nbytes
-        if isinstance(value, tuple):
-            cards = bytes_total = 0.0
-            for item in value:
-                c, b = self._measure(item)
-                cards += c
-                bytes_total += b
-            return cards, bytes_total
-        return 0.0, 0.0
-
-    def _resident_on(self, value: RtValue, node: str) -> bool:
-        return (
-            isinstance(value, RtList)
-            and value.device is not None
-            and value.device.name == node
-        )
-
-    def _collect_device_stats(self) -> None:
-        for name, device in self.devices.items():
-            self.stats.device(name).merge(device.stats)
-
-    def _snapshot_device_stats(self) -> dict[str, tuple]:
-        return {
-            name: (
-                d.stats.reads,
-                d.stats.writes,
-                d.stats.bytes_read,
-                d.stats.bytes_written,
-                d.stats.seeks,
-                d.stats.erases,
-            )
-            for name, d in self.devices.items()
-        }
-
-    def _scale_device_deltas(
-        self, before: dict[str, tuple], factor: float
-    ) -> None:
-        """Multiply counter growth since *before* by ``factor`` more runs."""
-        for name, snap in before.items():
-            stats = self.devices[name].stats
-            reads, writes, br, bw, seeks, erases = snap
-            stats.reads += int((stats.reads - reads) * factor)
-            stats.writes += int((stats.writes - writes) * factor)
-            stats.bytes_read += (stats.bytes_read - br) * factor
-            stats.bytes_written += (stats.bytes_written - bw) * factor
-            stats.seeks += int((stats.seeks - seeks) * factor)
-            stats.erases += int((stats.erases - erases) * factor)
+#: The analytic interpreter under its historical name.
+SimExecutor = AnalyticInterpreter

@@ -1,0 +1,40 @@
+"""Runtime values of the analytic interpreter.
+
+The analytic substrate does not materialize data: a list is its
+*statistics* — cardinality, element width, residence — exactly the
+information the cost estimator reasons about symbolically, here with
+concrete numbers.  The file-backed substrate
+(:mod:`repro.runtime.file_backend`) has its own concrete value types;
+these statistical values are what every analytic charge rule consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .devices import SimDevice
+
+__all__ = ["RtList", "RtScalar", "RtValue"]
+
+
+@dataclass
+class RtList:
+    """A list value: cardinality/element statistics plus residence."""
+
+    card: float
+    elem_bytes: float
+    device: SimDevice | None  # None = resident at the root (RAM)
+    addr: int = 0
+    sorted: bool = False
+    elem: "RtValue | None" = None  # structure of elements when nested
+
+
+@dataclass
+class RtScalar:
+    """An atomic value of known byte width."""
+
+    nbytes: float = 1.0
+
+
+#: values: RtList, RtScalar, or tuples thereof
+RtValue = object

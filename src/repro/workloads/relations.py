@@ -8,7 +8,10 @@ Two layers:
   cardinality/width/selectivity statistics the estimator and the bulk
   executor consume for gigabyte-scale runs.
 
-Determinism: all generators take a seed and use a local ``Random``.
+Determinism: every generator takes an explicit ``rng`` (a
+``random.Random``) and falls back to a local ``Random(seed)`` with a
+fixed default seed, so real-backend runs and tests reproduce the same
+relations across processes.
 """
 
 from __future__ import annotations
@@ -64,10 +67,14 @@ def join_selectivity(r: RelationProfile, s: RelationProfile) -> float:
 
 
 def make_tuples(
-    card: int, key_domain: int, payload: int = 0, seed: int = 0
+    card: int,
+    key_domain: int,
+    payload: int = 0,
+    seed: int = 0,
+    rng: random.Random | None = None,
 ) -> list[tuple]:
     """Random ⟨key, payload…⟩ tuples with keys uniform over a domain."""
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     out = []
     for i in range(card):
         row = (rng.randrange(key_domain),) + tuple(
@@ -77,41 +84,55 @@ def make_tuples(
     return out
 
 
-def make_sorted_unique(card: int, domain: int, seed: int = 0) -> list[int]:
+def make_sorted_unique(
+    card: int, domain: int, seed: int = 0,
+    rng: random.Random | None = None,
+) -> list[int]:
     """A sorted list of distinct values — a set representation."""
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     if card > domain:
         raise ValueError("cannot draw more unique values than the domain")
     return sorted(rng.sample(range(domain), card))
 
 
-def make_sorted_multiset(card: int, domain: int, seed: int = 0) -> list[int]:
+def make_sorted_multiset(
+    card: int, domain: int, seed: int = 0,
+    rng: random.Random | None = None,
+) -> list[int]:
     """A sorted list with duplicates — a multiset representation."""
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     return sorted(rng.randrange(domain) for _ in range(card))
 
 
 def make_value_multiplicity(
-    values: int, domain: int, max_mult: int = 5, seed: int = 0
+    values: int,
+    domain: int,
+    max_mult: int = 5,
+    seed: int = 0,
+    rng: random.Random | None = None,
 ) -> list[tuple[int, int]]:
     """Sorted ⟨value, multiplicity⟩ pairs with unique values."""
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     chosen = sorted(rng.sample(range(domain), values))
     return [(value, rng.randrange(1, max_mult + 1)) for value in chosen]
 
 
 def make_columns(
-    rows: int, columns: int, seed: int = 0
+    rows: int, columns: int, seed: int = 0,
+    rng: random.Random | None = None,
 ) -> dict[str, list[int]]:
     """Column-store files C1 … Cn of equal length."""
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     return {
         f"C{i + 1}": [rng.randrange(10**6) for _ in range(rows)]
         for i in range(columns)
     }
 
 
-def make_singleton_runs(card: int, domain: int, seed: int = 0) -> list[list[int]]:
+def make_singleton_runs(
+    card: int, domain: int, seed: int = 0,
+    rng: random.Random | None = None,
+) -> list[list[int]]:
     """The sort spec's input: a list of singleton lists."""
-    rng = random.Random(seed)
+    rng = rng if rng is not None else random.Random(seed)
     return [[rng.randrange(domain)] for _ in range(card)]

@@ -1,0 +1,79 @@
+"""Plan construction and backend threading, including the error paths."""
+
+import pytest
+
+from repro.codegen.plan import ExecutablePlan, PlanError, compile_candidate
+from repro.hierarchy import KB, hdd_ram_hierarchy
+from repro.ocal.builders import app, fold_l, for_, lam, lit, sing, v, add
+from repro.optimizer.penalty import OptimizationResult
+from repro.runtime import ExecutionConfig, InputSpec, SimBackend
+from repro.search.result import Candidate
+
+
+def scan(block="k1"):
+    return for_(
+        "xB", v("A"), for_("x", v("xB"), sing(v("x"))), block_in=block
+    )
+
+
+def candidate(program, values):
+    return Candidate(
+        program=program,
+        derivation=("apply-block",),
+        estimate=None,
+        tuned=OptimizationResult(values=values, cost=1.0, feasible=True),
+    )
+
+
+def config():
+    return ExecutionConfig(
+        hierarchy=hdd_ram_hierarchy(8 * KB),
+        input_locations={"A": "HDD"},
+    )
+
+
+class TestPlanErrors:
+    def test_unbound_parameters_rejected(self):
+        with pytest.raises(PlanError, match="unbound parameters.*k1"):
+            ExecutablePlan(program=scan(), parameter_values={})
+
+    def test_unknown_backend_rejected(self):
+        plan = ExecutablePlan(program=scan(64), parameter_values={"k1": 64})
+        with pytest.raises(PlanError, match="unknown execution backend"):
+            plan.execute(config(), {"A": InputSpec(16, 8)}, backend="gpu")
+
+    def test_partial_binding_still_rejected(self):
+        program = for_(
+            "xB",
+            v("A"),
+            app(fold_l(lit(0), lam(("a", "e"), add(v("a"), v("e"))),
+                       block_in="k2"), v("xB")),
+            block_in="k1",
+        )
+        with pytest.raises(PlanError, match="k2"):
+            ExecutablePlan(program=program, parameter_values={"k1": 8})
+
+
+class TestCompileCandidate:
+    def test_binds_tuned_values(self):
+        plan = compile_candidate(candidate(scan(), {"k1": 128}))
+        assert plan.parameter_values == {"k1": 128}
+
+    def test_unseen_parameters_default_to_one(self):
+        plan = compile_candidate(candidate(scan(), {}))
+        assert plan.parameter_values == {"k1": 1}
+
+    def test_plan_executes_on_both_backends(self, tmp_path):
+        plan = compile_candidate(candidate(scan(), {"k1": 64}))
+        inputs = {"A": InputSpec(512, 8)}
+        sim = plan.execute(config(), inputs, backend=SimBackend())
+        from repro.runtime import get_backend
+
+        real = plan.execute(
+            config(),
+            inputs,
+            backend=get_backend("file", workdir=str(tmp_path)),
+        )
+        assert sim.backend == "sim"
+        assert real.backend == "file"
+        assert sim.output_card == real.output_card == 512

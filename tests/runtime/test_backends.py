@@ -1,0 +1,359 @@
+"""Both execution backends behind the one ExecutionBackend interface.
+
+The less-trodden executor paths — ``TreeFold``, ``UnfoldR`` (plugin and
+generic step), ``HashPartition``, spill behavior — run against *both*
+substrates through a parametrized fixture.  Assertions are the
+invariants the backends share (output cardinalities, byte-counter
+structure); numeric equality between the analytic model and a real
+execution is checked only where the semantics pin it down.
+"""
+
+import math
+
+import pytest
+
+from repro.hierarchy import KB, MB, hdd_ram_hierarchy, ram_ssd_hdd_hierarchy
+from repro.ocal.builders import (
+    app,
+    empty,
+    eq,
+    flat_map,
+    for_,
+    func_pow,
+    hash_partition,
+    lam,
+    if_,
+    mrg,
+    proj,
+    sing,
+    tree_fold,
+    tup,
+    unfold_r,
+    v,
+    zip_,
+)
+from repro.runtime import (
+    ExecutionConfig,
+    ExecutionError,
+    FileBackend,
+    InputSpec,
+    SimBackend,
+    backend_names,
+    get_backend,
+)
+from repro.workloads.specs import set_union_spec
+
+
+@pytest.fixture(params=["sim", "file"])
+def backend(request, tmp_path):
+    if request.param == "file":
+        return get_backend("file", workdir=str(tmp_path), seed=11)
+    return get_backend("sim")
+
+
+def config(hierarchy=None, **kwargs):
+    defaults = dict(
+        hierarchy=hierarchy or hdd_ram_hierarchy(8 * KB),
+        input_locations={"R": "HDD", "S": "HDD", "A": "HDD", "B": "HDD",
+                         "Rs": "HDD"},
+    )
+    defaults.update(kwargs)
+    return ExecutionConfig(**defaults)
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(backend_names()) >= {"sim", "file"}
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            get_backend("punchcards")
+
+    def test_instances_pass_through(self):
+        backend = SimBackend()
+        assert get_backend(backend) is backend
+
+    def test_protocol_names(self):
+        assert SimBackend().name == "sim"
+        assert FileBackend().name == "file"
+
+
+class TestTreeFold:
+    def sort_program(self, arity=4, power=2):
+        return app(
+            tree_fold(
+                arity,
+                empty(),
+                unfold_r(func_pow(power, mrg()), block_in=2**6,
+                         block_out=2**10),
+            ),
+            v("Rs"),
+        )
+
+    def test_external_sort_runs_on_both(self, backend):
+        cfg = config(output_location="HDD")
+        result = backend.run(
+            self.sort_program(),
+            {"Rs": InputSpec(2**12, 8, nested_runs=True)},
+            cfg,
+        )
+        assert result.output_card == 2**12
+        hdd = result.stats.device("HDD")
+        # Every merge level streams the whole data set through the disk.
+        levels = math.ceil(math.log(2**12, 4))
+        assert hdd.bytes_read >= 2**12 * 8 * levels * 0.9
+        assert hdd.bytes_written >= 2**12 * 8 * levels * 0.9
+
+    def test_file_backend_really_sorts(self, tmp_path):
+        backend = get_backend("file", workdir=str(tmp_path), seed=5)
+        cfg = config(output_location="HDD")
+        program = self.sort_program(arity=2, power=1)
+        inputs = {"Rs": InputSpec(500, 8, nested_runs=True)}
+        result = backend.run(program, inputs, cfg)
+        assert result.output_card == 500
+        assert result.wall_seconds is not None
+
+
+class TestUnfoldR:
+    def test_merge_plugin_keeps_everything(self, backend):
+        merge = app(unfold_r(mrg(), block_in=2**6), tup(v("A"), v("B")))
+        cfg = config(output_location="HDD")
+        result = backend.run(
+            merge,
+            {
+                "A": InputSpec(2**10, 8, sorted=True),
+                "B": InputSpec(2**10, 8, sorted=True),
+            },
+            cfg,
+        )
+        assert result.output_card == 2**11
+        assert result.stats.device("HDD").bytes_read >= 2**11 * 8 * 0.9
+
+    def test_generic_step_set_union(self, backend):
+        cfg = config(output_location="HDD")
+        result = backend.run(
+            set_union_spec(),
+            {
+                "A": InputSpec(512, 8, sorted=True, key_domain=8192),
+                "B": InputSpec(512, 8, sorted=True, key_domain=8192),
+            },
+            cfg,
+        )
+        assert 512 <= result.output_card <= 1024
+        assert result.stats.device("HDD").bytes_read >= 1024 * 8 * 0.9
+
+    def test_unbound_block_rejected(self, backend):
+        merge = app(unfold_r(mrg(), block_in="k1"), tup(v("A"), v("B")))
+        with pytest.raises(ExecutionError):
+            backend.run(
+                merge,
+                {
+                    "A": InputSpec(16, 8, sorted=True),
+                    "B": InputSpec(16, 8, sorted=True),
+                },
+                config(),
+            )
+
+
+class TestHashPartition:
+    def grace(self, buckets=16):
+        join_body = lam(
+            "p",
+            for_(
+                "xB",
+                proj(v("p"), 1),
+                for_(
+                    "yB",
+                    proj(v("p"), 2),
+                    for_(
+                        "x",
+                        v("xB"),
+                        for_(
+                            "y",
+                            v("yB"),
+                            if_(
+                                eq(proj(v("x"), 1), proj(v("y"), 1)),
+                                sing(tup(v("x"), v("y"))),
+                                empty(),
+                            ),
+                        ),
+                    ),
+                    block_in=2**4,
+                ),
+                block_in=2**4,
+            ),
+        )
+        return app(
+            lam(
+                ("Rp", "Sp"),
+                app(
+                    flat_map(join_body),
+                    app(
+                        zip_(),
+                        tup(
+                            app(hash_partition(buckets, 1), v("Rp")),
+                            app(hash_partition(buckets, 1), v("Sp")),
+                        ),
+                    ),
+                ),
+            ),
+            tup(v("R"), v("S")),
+        )
+
+    def test_partitions_spill_and_reread(self, backend):
+        cfg = config(
+            hierarchy=hdd_ram_hierarchy(16 * KB),
+            cond_probability=1e-3,
+            output_card_override=64.0,
+        )
+        # A wide key domain keeps the real join output resident, so the
+        # written bytes are the partitions on both substrates.
+        result = backend.run(
+            self.grace(),
+            {
+                "R": InputSpec(2**9, 512, key_domain=2**14),
+                "S": InputSpec(2**7, 512, key_domain=2**14),
+            },
+            cfg,
+        )
+        total = (2**9 + 2**7) * 512
+        hdd = result.stats.device("HDD")
+        # GRACE reads everything twice: once to partition, once to join.
+        assert hdd.bytes_read == pytest.approx(2 * total, rel=0.25)
+        assert hdd.bytes_written == pytest.approx(total, rel=0.25)
+
+    def test_unbound_buckets_rejected(self, backend):
+        program = app(hash_partition("b1", 1), v("R"))
+        with pytest.raises(ExecutionError):
+            backend.run(program, {"R": InputSpec(16, 512)}, config())
+
+
+class TestSpill:
+    def test_oversized_output_spills_to_device(self, backend):
+        # 2^9 × 2^9 product of 512-byte tuples ≫ the 16 KiB root.
+        product = for_(
+            "xB",
+            v("R"),
+            for_(
+                "yB",
+                v("S"),
+                for_(
+                    "x",
+                    v("xB"),
+                    for_("y", v("yB"), sing(tup(v("x"), v("y")))),
+                ),
+                block_in=2**4,
+            ),
+            block_in=2**4,
+        )
+        cfg = config(
+            hierarchy=hdd_ram_hierarchy(16 * KB), output_location="HDD"
+        )
+        result = backend.run(
+            product,
+            {"R": InputSpec(2**8, 512), "S": InputSpec(2**6, 512)},
+            cfg,
+        )
+        out_bytes = 2**8 * 2**6 * 1024
+        assert result.output_card == 2**14
+        assert result.stats.device("HDD").bytes_written >= out_bytes * 0.9
+
+    def test_multilevel_hierarchy_accepted(self, backend):
+        # A ≥3-level preset works with no call-site changes (tentpole).
+        scan = for_(
+            "xB", v("A"), for_("x", v("xB"), sing(v("x"))), block_in=2**6
+        )
+        cfg = ExecutionConfig(
+            hierarchy=ram_ssd_hdd_hierarchy(8 * KB, ssd_size=1 * MB),
+            input_locations={"A": "HDD"},
+        )
+        result = backend.run(scan, {"A": InputSpec(2**10, 8)}, cfg)
+        assert result.output_card == 2**10
+        assert result.stats.device("HDD").bytes_read >= 2**10 * 8 * 0.9
+
+
+class TestPathSummedDeviceCosts:
+    """Device pricing over hierarchy trees (DESIGN.md §8.1).
+
+    Single-edge hierarchies keep the seed's exact numbers; deeper
+    devices now price their whole path to the root, consistently with
+    the estimator — pinned here so the change stays deliberate.
+    """
+
+    def test_two_level_devices_match_raw_edge_costs(self):
+        from repro.hierarchy import HDD_SEEK, HDD_UNIT
+        from repro.runtime import SimClock, build_devices
+
+        devices = build_devices(hdd_ram_hierarchy(8 * KB), SimClock())
+        assert devices["HDD"].read_init == HDD_SEEK
+        assert devices["HDD"].read_unit == HDD_UNIT
+        assert devices["HDD"].write_init == HDD_SEEK
+
+    def test_cache_hierarchy_hdd_includes_both_hops(self):
+        from repro.hierarchy import (
+            CACHE_INIT,
+            HDD_SEEK,
+            hdd_ram_cache_hierarchy,
+        )
+        from repro.runtime import SimClock, build_devices
+
+        devices = build_devices(hdd_ram_cache_hierarchy(8 * KB), SimClock())
+        # Reads climb HDD→RAM (a seek) then RAM→Cache (a line fill).
+        assert devices["HDD"].read_init == pytest.approx(
+            HDD_SEEK + CACHE_INIT
+        )
+        # Writes descend Cache→RAM (free) then RAM→HDD (a seek).
+        assert devices["HDD"].write_init == pytest.approx(HDD_SEEK)
+
+    def test_three_level_chain_sums_transfer_units(self):
+        from repro.hierarchy import HDD_UNIT, SSD_UNIT
+        from repro.runtime import cumulative_edge_costs
+
+        hierarchy = ram_ssd_hdd_hierarchy(8 * KB)
+        costs = cumulative_edge_costs(hierarchy, "HDD")
+        assert costs.read_unit == pytest.approx(HDD_UNIT + SSD_UNIT)
+        assert costs.write_unit == pytest.approx(HDD_UNIT + SSD_UNIT)
+
+
+class TestFileBackendMeasurement:
+    def test_runs_are_reproducible_across_processes(self, tmp_path):
+        scan = for_(
+            "xB", v("A"), for_("x", v("xB"), sing(v("x"))), block_in=2**6
+        )
+        results = []
+        for attempt in range(2):
+            backend = get_backend(
+                "file", workdir=str(tmp_path / str(attempt)), seed=99
+            )
+            results.append(
+                backend.run(scan, {"A": InputSpec(2**10, 8)}, config())
+            )
+        first, second = results
+        assert first.elapsed == second.elapsed
+        assert (
+            first.stats.device("HDD").bytes_read
+            == second.stats.device("HDD").bytes_read
+        )
+        assert first.output_card == second.output_card
+
+    def test_measured_fields_reported(self, tmp_path):
+        backend = get_backend("file", workdir=str(tmp_path), seed=1)
+        agg_scan = for_("x", v("A"), sing(v("x")))
+        result = backend.run(agg_scan, {"A": InputSpec(4096, 8)}, config())
+        assert result.backend == "file"
+        assert result.wall_seconds is not None and result.wall_seconds >= 0
+        assert result.measured_io_seconds is not None
+        assert result.io_seconds > 0
+
+    def test_blocked_scan_prices_below_naive(self, tmp_path):
+        naive = for_("x", v("A"), sing(v("x")))
+        blocked = for_(
+            "xB", v("A"), for_("x", v("xB"), sing(v("x"))), block_in=2**8
+        )
+        backend = get_backend("file", workdir=str(tmp_path), seed=1)
+        spec = {"A": InputSpec(2**13, 8)}
+        slow = backend.run(naive, spec, config())
+        fast = backend.run(blocked, spec, config())
+        # One request per element vs one per block: the per-request
+        # overhead (and any repositioning) must separate them.
+        assert fast.elapsed < slow.elapsed
