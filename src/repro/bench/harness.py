@@ -35,6 +35,7 @@ __all__ = [
     "ExperimentRow",
     "run_experiment",
     "synthesize_experiment",
+    "synthesizer_for",
     "experiment_config",
     "format_table",
 ]
@@ -100,11 +101,14 @@ class ExperimentRow:
         return self.spec_cost / self.opt_cost
 
 
-def synthesize_experiment(
+def synthesizer_for(
     experiment: Experiment, strategy: str | None = None
-) -> SynthesisResult:
-    """The synthesis half of the pipeline, honoring the experiment's
-    rule exclusions and caps (shared by the bench, CLI, and validation).
+) -> Synthesizer:
+    """A synthesizer honoring the experiment's rule exclusions and caps.
+
+    Reusable across strategies: cost memoization on the instance makes
+    running the same experiment under several strategies (the golden
+    regression tests, strategy head-to-heads) pay for estimation once.
     """
     from ..rules.registry import default_rules
 
@@ -113,7 +117,7 @@ def synthesize_experiment(
         for rule in default_rules()
         if rule.name not in experiment.exclude_rules
     ]
-    synthesizer = Synthesizer(
+    return Synthesizer(
         hierarchy=experiment.hierarchy,
         rules=rules,
         max_depth=experiment.max_depth,
@@ -121,6 +125,21 @@ def synthesize_experiment(
         max_treefold_arity=experiment.max_treefold_arity,
         strategy=strategy,
     )
+
+
+def synthesize_experiment(
+    experiment: Experiment,
+    strategy: str | None = None,
+    synthesizer: Synthesizer | None = None,
+) -> SynthesisResult:
+    """The synthesis half of the pipeline (shared by the bench, CLI, and
+    validation).  Pass an explicit ``synthesizer`` (see
+    :func:`synthesizer_for`) to reuse its cost memo across calls.
+    """
+    if synthesizer is None:
+        synthesizer = synthesizer_for(experiment, strategy)
+    elif strategy is not None:
+        synthesizer.strategy = strategy
     return synthesizer.synthesize(
         spec=experiment.spec,
         input_annots=experiment.input_annots,

@@ -8,7 +8,12 @@ Subcommands:
   (``--backend sim|file``, ``--hierarchy <preset>``), printing a
   Table-1-style summary row;
 * ``validate`` — run the predicted-vs-measured validation bench on both
-  backends and write ``BENCH_validation.json``.
+  backends and write ``BENCH_validation.json``; exits non-zero when the
+  synthesized winner is not ranked first on any workload (the CI gate);
+* ``fuzz`` — generative conformance testing: random well-typed OCAL
+  programs differentially executed on the reference interpreter, the
+  analytic simulator, and the real-file backend, over a bounded rewrite
+  closure; counterexamples are shrunk and persisted to the corpus.
 """
 
 from __future__ import annotations
@@ -71,6 +76,47 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument("--seed", type=int, default=7)
     validate.add_argument("--workdir", default=None)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help=(
+            "differentially test random well-typed OCAL programs across "
+            "interpreter, SimBackend, and FileBackend"
+        ),
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="generator seed")
+    fuzz.add_argument(
+        "--count", type=int, default=200, help="number of programs"
+    )
+    fuzz.add_argument(
+        "--max-size", type=int, default=40,
+        help="node-count budget per generated program",
+    )
+    fuzz.add_argument(
+        "--backend", default="both",
+        choices=("both", "sim", "file", "none"),
+        help="which execution backends to check against the interpreter",
+    )
+    fuzz.add_argument(
+        "--depth", type=int, default=1,
+        help="rewrite-closure depth checked per program",
+    )
+    fuzz.add_argument(
+        "--closure-cap", type=int, default=48,
+        help="max programs per rewrite closure",
+    )
+    fuzz.add_argument(
+        "--corpus", default="tests/conformance/corpus",
+        help="directory where shrunk counterexamples are persisted",
+    )
+    fuzz.add_argument(
+        "--no-save", action="store_true",
+        help="do not persist counterexamples to the corpus",
+    )
+    fuzz.add_argument(
+        "--progress-every", type=int, default=50,
+        help="print a progress line every N programs (0 = quiet)",
+    )
     return parser
 
 
@@ -175,13 +221,32 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_validate(args) -> int:
-    from .bench.validation import DEFAULT_WORKLOADS, write_validation_report
+    from .bench.validation import (
+        DEFAULT_WORKLOADS,
+        VALIDATION_WORKLOADS,
+        write_validation_report,
+    )
 
     names = (
-        tuple(name.strip() for name in args.workloads.split(",") if name)
-        if args.workloads
+        tuple(
+            name.strip()
+            for name in args.workloads.split(",")
+            if name.strip()
+        )
+        if args.workloads is not None
         else DEFAULT_WORKLOADS
     )
+    if not names:
+        print("validate: no workloads selected", file=sys.stderr)
+        return 2
+    unknown = sorted(set(names) - set(VALIDATION_WORKLOADS))
+    if unknown:
+        print(
+            f"validate: unknown workload(s) {unknown}; "
+            f"expected one of {sorted(VALIDATION_WORKLOADS)}",
+            file=sys.stderr,
+        )
+        return 2
     report = write_validation_report(
         path=args.out, names=names, seed=args.seed, workdir=args.workdir
     )
@@ -192,7 +257,68 @@ def _cmd_validate(args) -> int:
             f"act/opt: {workload['act_over_opt']:.2f}"
         )
     print(f"report written to {args.out}")
+    if not report["workloads"]:
+        print("validate: empty report", file=sys.stderr)
+        return 2
+    # The exit code *is* the CI gate: non-zero whenever the synthesized
+    # winner is not ranked first under the measured cost on any workload.
     return 0 if report["all_winner_first"] else 1
+
+
+def _cmd_fuzz(args) -> int:
+    from .conformance import (
+        GenConfig,
+        Oracle,
+        OracleConfig,
+        run_conformance,
+        save_counterexample,
+        shrink_counterexample,
+    )
+    from .ocal.printer import pretty
+
+    oracle_config = OracleConfig(
+        closure_depth=max(0, args.depth),
+        closure_cap=max(1, args.closure_cap),
+        check_file=args.backend in ("both", "file"),
+        check_sim=args.backend in ("both", "sim"),
+        check_cost=args.backend in ("both", "sim"),
+    )
+    gen_config = GenConfig(max_size=max(6, args.max_size))
+    shrunk_paths: list[str] = []
+
+    def on_failure(gen, failure) -> None:
+        print(f"COUNTEREXAMPLE (case {gen.index}): {failure.describe()}")
+        oracle = Oracle(oracle_config)
+        small, small_failure = shrink_counterexample(oracle, gen, failure)
+        print(f"  shrunk to: {pretty(small.program)}")
+        for name, inp in small.inputs.items():
+            print(
+                f"    {name}: {inp.kind}@{inp.location}"
+                f"{' sorted' if inp.sorted else ''} = {inp.values!r}"
+            )
+        if not args.no_save:
+            path = save_counterexample(
+                args.corpus, small, small_failure.describe()
+            )
+            shrunk_paths.append(path)
+            print(f"  persisted to {path}")
+
+    def progress(index, report) -> None:
+        if args.progress_every and (index + 1) % args.progress_every == 0:
+            print(f"  ... {index + 1}/{args.count} programs checked")
+
+    batch = run_conformance(
+        seed=args.seed,
+        count=args.count,
+        gen_config=gen_config,
+        oracle_config=oracle_config,
+        on_failure=on_failure,
+        progress=progress,
+    )
+    print(batch.summary())
+    if shrunk_paths:
+        print("replay with: python -m pytest tests/conformance -q")
+    return 0 if batch.ok else 1
 
 
 def main(argv=None) -> int:
@@ -203,4 +329,6 @@ def main(argv=None) -> int:
         return _cmd_run(args)
     if args.command == "validate":
         return _cmd_validate(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,150 @@
+"""JSON persistence of conformance counterexamples.
+
+Every counterexample the fuzzer finds is shrunk and saved under
+``tests/conformance/corpus/`` as a self-contained JSON document: the
+OCAL program (a tagged tree mirroring the AST dataclasses), the concrete
+input relations with their placement, and the failure reason.  The test
+suite replays every corpus file on each run, so a fixed bug stays fixed.
+
+The encoding is generic over the AST: node objects become
+``{"__node__": "For", ...fields...}``, tuples become
+``{"__tuple__": [...]}`` (JSON has no tuple type and lambda patterns /
+input values need real tuples back), everything else must be a JSON
+scalar.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+from ..ocal import ast as ast_module
+from ..ocal.ast import Node
+from .generator import ELEM_KINDS, GeneratedInput, GeneratedProgram
+
+__all__ = [
+    "node_to_json",
+    "node_from_json",
+    "save_counterexample",
+    "load_counterexample",
+    "corpus_files",
+]
+
+
+def _encode(value):
+    if isinstance(value, Node):
+        return node_to_json(value)
+    if isinstance(value, tuple):
+        return {"__tuple__": [_encode(item) for item in value]}
+    if isinstance(value, list):
+        return [_encode(item) for item in value]
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot serialize {value!r} into a corpus file")
+
+
+def _decode(value):
+    if isinstance(value, dict):
+        if "__tuple__" in value:
+            return tuple(_decode(item) for item in value["__tuple__"])
+        return node_from_json(value)
+    if isinstance(value, list):
+        return [_decode(item) for item in value]
+    return value
+
+
+def node_to_json(node: Node) -> dict:
+    """Encode an OCAL expression as a tagged JSON tree."""
+    out: dict = {"__node__": type(node).__name__}
+    for field in dataclasses.fields(node):
+        out[field.name] = _encode(getattr(node, field.name))
+    return out
+
+
+def node_from_json(data: dict) -> Node:
+    """Decode a tagged JSON tree back into an OCAL expression."""
+    name = data.get("__node__")
+    cls = getattr(ast_module, name, None)
+    if cls is None or not (
+        isinstance(cls, type) and issubclass(cls, Node)
+    ):
+        raise ValueError(f"corpus file names unknown AST node {name!r}")
+    kwargs = {
+        key: _decode(value)
+        for key, value in data.items()
+        if key != "__node__"
+    }
+    return cls(**kwargs)
+
+
+# ----------------------------------------------------------------------
+def save_counterexample(
+    directory: str,
+    gen: GeneratedProgram,
+    reason: str,
+    name: str | None = None,
+) -> str:
+    """Persist a (shrunk) counterexample; returns the file path."""
+    os.makedirs(directory, exist_ok=True)
+    if name is None:
+        name = f"seed{gen.seed}-case{gen.index}"
+    path = os.path.join(directory, f"{name}.json")
+    document = {
+        "reason": reason,
+        "seed": gen.seed,
+        "index": gen.index,
+        "card_exact": gen.card_exact,
+        "program": node_to_json(gen.program),
+        "inputs": {
+            iname: {
+                "kind": inp.kind,
+                "values": _encode(inp.values),
+                "location": inp.location,
+                "sorted": inp.sorted,
+            }
+            for iname, inp in gen.inputs.items()
+        },
+    }
+    with open(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_counterexample(path: str) -> tuple[GeneratedProgram, str]:
+    """Load a corpus file back into a runnable generated program."""
+    with open(path) as handle:
+        document = json.load(handle)
+    inputs = {}
+    for iname, spec in document["inputs"].items():
+        if spec["kind"] not in ELEM_KINDS:
+            raise ValueError(f"corpus input kind {spec['kind']!r} unknown")
+        inputs[iname] = GeneratedInput(
+            name=iname,
+            kind=spec["kind"],
+            values=_decode(spec["values"]),
+            location=spec["location"],
+            sorted=spec["sorted"],
+        )
+    program = node_from_json(document["program"])
+    gen = GeneratedProgram(
+        program=program,
+        inputs=inputs,
+        result_type=ELEM_KINDS["int"],  # informational only
+        seed=document.get("seed", 0),
+        index=document.get("index", 0),
+        card_exact=document.get("card_exact", False),
+    )
+    return gen, document.get("reason", "")
+
+
+def corpus_files(directory: str) -> list[str]:
+    """All corpus documents under *directory* (sorted, may be empty)."""
+    if not os.path.isdir(directory):
+        return []
+    return sorted(
+        os.path.join(directory, name)
+        for name in os.listdir(directory)
+        if name.endswith(".json")
+    )

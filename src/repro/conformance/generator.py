@@ -1,0 +1,543 @@
+"""Type-directed random generation of well-typed OCAL programs.
+
+The generator grows terms top-down from a target type, spending a node
+*fuel* budget (DESIGN.md §9).  Every production is chosen so that the
+result is simultaneously
+
+* **well-typed** under :func:`repro.ocal.typecheck.check_program`,
+* **executable by all three substrates** — the reference interpreter,
+  the analytic ``SimBackend`` and the real-file ``FileBackend`` (e.g.
+  ``treeFold`` only appears in its merge-based form, ``foldL`` steps are
+  lambdas or merge folds, conditions never divide by zero), and
+* **cardinality-sound for the analytic backend** — every ``if`` in list
+  position has an empty else-branch, so with ``cond_probability = 1``
+  the simulator's output cardinality is an upper bound on the true one,
+  and *exact* when the program is branch-free (``card_exact``).
+
+Input relations are generated alongside the program: flat ``[Int]``
+lists, ``[⟨Int, Int⟩]`` pair relations (both encodable as fixed-width
+records, so they can live on a simulated device) and ``[[Int]]``
+singleton-run inputs that feed the sort-shaped productions.  Runs inputs
+are deliberately *not* exposed to the generic list productions: the
+analytic backend models them as flat statistics, so only ``treeFold`` /
+fold-of-merge consume them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from ..ocal.ast import Node, free_vars
+from ..ocal.builders import (
+    add,
+    app,
+    empty,
+    eq,
+    fold_l,
+    for_,
+    if_,
+    lam,
+    lit,
+    mrg,
+    mul,
+    sing,
+    sub,
+    tree_fold,
+    tup,
+    unfold_r,
+    v,
+    zip_,
+)
+from ..ocal.builders import (
+    and_,
+    flat_map,
+    ge,
+    gt,
+    hash_partition,
+    le,
+    lt,
+    mod,
+    ne,
+    not_,
+    or_,
+    prim,
+    proj,
+)
+from ..ocal.typecheck import check_program
+from ..ocal.types import INT, ListType, OcalType, TupleType, list_of, tuple_of
+
+__all__ = [
+    "GenConfig",
+    "GeneratedInput",
+    "GeneratedProgram",
+    "ProgramGenerator",
+    "INT_LIST",
+    "PAIR",
+    "PAIR_LIST",
+    "RUNS",
+]
+
+INT_LIST = list_of(INT)
+PAIR = tuple_of(INT, INT)
+PAIR_LIST = list_of(PAIR)
+RUNS = list_of(INT_LIST)
+
+#: elem-kind tags used by the corpus serialization.
+ELEM_KINDS = {"int": INT_LIST, "pair": PAIR_LIST, "runs": RUNS}
+
+
+@dataclass(frozen=True)
+class GenConfig:
+    """Size and shape knobs for one generation run."""
+
+    max_size: int = 40
+    max_inputs: int = 3
+    max_len: int = 8
+    int_lo: int = -8
+    int_hi: int = 16
+    #: probability that an input relation lives on the device (vs root).
+    device_probability: float = 0.75
+    #: probability of generating a scalar (fold) program.
+    scalar_probability: float = 0.15
+
+
+@dataclass
+class GeneratedInput:
+    """One input relation: its type, data, and placement."""
+
+    name: str
+    kind: str  # "int" | "pair" | "runs"
+    values: list
+    location: str  # hierarchy node name
+    sorted: bool = False
+
+    @property
+    def type(self) -> OcalType:
+        return ELEM_KINDS[self.kind]
+
+    @property
+    def nested_runs(self) -> bool:
+        return self.kind == "runs"
+
+    @property
+    def elem_bytes(self) -> int:
+        return 16 if self.kind == "pair" else 8
+
+
+@dataclass
+class GeneratedProgram:
+    """A generated program plus everything needed to execute it."""
+
+    program: Node
+    inputs: dict[str, GeneratedInput]
+    result_type: OcalType
+    seed: int = 0
+    index: int = 0
+    #: True when the analytic backend's output cardinality is exact for
+    #: this program (no data-dependent branching in list position).
+    card_exact: bool = True
+
+    def input_types(self) -> dict[str, OcalType]:
+        return {name: inp.type for name, inp in self.inputs.items()}
+
+    def input_values(self) -> dict[str, list]:
+        return {name: inp.values for name, inp in self.inputs.items()}
+
+    def input_locations(self) -> dict[str, str]:
+        return {name: inp.location for name, inp in self.inputs.items()}
+
+    def pruned(self, program: Node) -> "GeneratedProgram":
+        """A copy with *program* substituted and unused inputs dropped."""
+        used = free_vars(program)
+        inputs = {
+            name: inp for name, inp in self.inputs.items() if name in used
+        }
+        return replace(self, program=program, inputs=inputs)
+
+
+class ProgramGenerator:
+    """Seeded generator of :class:`GeneratedProgram` instances."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        config: GenConfig | None = None,
+        root: str = "RAM",
+        device: str = "HDD",
+    ) -> None:
+        self.seed = seed
+        self.config = config or GenConfig()
+        self.root = root
+        self.device = device
+        self._index = 0
+
+    # ------------------------------------------------------------------
+    def generate(self) -> GeneratedProgram:
+        """The next program in this generator's deterministic stream."""
+        index = self._index
+        self._index += 1
+        return self.generate_at(index)
+
+    def generate_at(self, index: int) -> GeneratedProgram:
+        """The ``index``-th program of the stream (random-access)."""
+        rng = random.Random((self.seed, index, "ocal-gen").__repr__())
+        build = _Builder(rng, self.config, self.root, self.device)
+        gen = build.program()
+        gen.seed = self.seed
+        gen.index = index
+        # The generator's soundness invariant; cheap enough to always on.
+        check_program(gen.program, gen.input_types())
+        return gen
+
+    def stream(self, count: int):
+        """Yield ``count`` successive programs."""
+        for _ in range(count):
+            yield self.generate()
+
+
+# ----------------------------------------------------------------------
+class _Builder:
+    """One program's worth of generation state."""
+
+    def __init__(self, rng, config: GenConfig, root: str, device: str):
+        self.rng = rng
+        self.config = config
+        self.root = root
+        self.device = device
+        self.inputs: dict[str, GeneratedInput] = {}
+        self.card_exact = True
+        self._fresh = 0
+
+    # ------------------------------------------------------------------
+    # Inputs
+    # ------------------------------------------------------------------
+    def _location(self) -> str:
+        if self.rng.random() < self.config.device_probability:
+            return self.device
+        return self.root
+
+    def _int_values(self, n: int) -> list[int]:
+        lo, hi = self.config.int_lo, self.config.int_hi
+        return [self.rng.randint(lo, hi) for _ in range(n)]
+
+    def new_input(self, kind: str, sorted_: bool = False) -> GeneratedInput:
+        name = f"R{len(self.inputs) + 1}"
+        n = self.rng.randint(0, self.config.max_len)
+        if kind == "int":
+            values: list = self._int_values(n)
+            if sorted_:
+                values.sort()
+        elif kind == "pair":
+            values = list(zip(self._int_values(n), self._int_values(n)))
+            if sorted_:
+                values.sort()
+        elif kind == "runs":
+            values = [[x] for x in self._int_values(n)]
+        else:  # pragma: no cover - internal misuse
+            raise ValueError(f"unknown input kind {kind!r}")
+        inp = GeneratedInput(
+            name=name,
+            kind=kind,
+            values=values,
+            location=self._location(),
+            sorted=sorted_,
+        )
+        self.inputs[name] = inp
+        return inp
+
+    def _find_input(self, kind: str, sorted_: bool | None = None):
+        """An existing (non-runs-unless-asked) input of this kind, maybe."""
+        matches = [
+            inp
+            for inp in self.inputs.values()
+            if inp.kind == kind and (sorted_ is None or inp.sorted == sorted_)
+        ]
+        return self.rng.choice(matches) if matches else None
+
+    def get_input(self, kind: str, sorted_: bool = False) -> GeneratedInput:
+        """Reuse an existing matching input or mint a new one.
+
+        ``max_inputs`` is a soft cap: once reached, a matching variant is
+        always reused, but a *missing* kind/sortedness variant is still
+        minted (so the true bound is max_inputs plus the four distinct
+        variants: int, sorted int, pair, runs).
+        """
+        existing = self._find_input(kind, sorted_)
+        if existing is not None and (
+            len(self.inputs) >= self.config.max_inputs
+            or self.rng.random() < 0.6
+        ):
+            return existing
+        return self.new_input(kind, sorted_)
+
+    def fresh_var(self, base: str) -> str:
+        self._fresh += 1
+        return f"{base}{self._fresh}"
+
+    # ------------------------------------------------------------------
+    # Top level
+    # ------------------------------------------------------------------
+    def program(self) -> GeneratedProgram:
+        fuel = self.rng.randint(6, self.config.max_size)
+        if self.rng.random() < self.config.scalar_probability:
+            node = self.gen_scalar_fold({}, fuel)
+            result: OcalType = INT
+        else:
+            elem = PAIR if self.rng.random() < 0.35 else INT
+            node = self.gen_list(elem, {}, fuel)
+            result = ListType(elem)
+        if not free_vars(node) & set(self.inputs):
+            # Degenerate closed program: force at least one scanned input
+            # without changing the result type (an empty-bodied probe loop
+            # for lists, a summing fold for scalars).
+            src = self.get_input("int")
+            if isinstance(result, ListType):
+                x = self.fresh_var("x")
+                node = _concat(node, for_(x, v(src.name), empty()))
+            else:
+                probe = app(
+                    fold_l(lit(0), lam(("za", "ze"), add(v("za"), v("ze")))),
+                    v(src.name),
+                )
+                node = add(node, probe)
+        return GeneratedProgram(
+            program=node,
+            inputs=self.inputs,
+            result_type=result,
+            card_exact=self.card_exact,
+        )
+
+    # ------------------------------------------------------------------
+    # Lists
+    # ------------------------------------------------------------------
+    def gen_list(self, elem: OcalType, env: dict, fuel: int) -> Node:
+        """A list-typed expression ``[elem]`` under *env*."""
+        rng = self.rng
+        if fuel <= 1:
+            return self._list_leaf(elem, env)
+        options = ["for", "for", "flatmap", "sing", "concat", "if"]
+        if elem == INT:
+            options += ["merge", "sort", "insort"]
+        if elem == INT or elem == PAIR:
+            options += ["input", "input", "partition"]
+        if isinstance(elem, TupleType) and len(elem.items) == 2:
+            options += ["zipped"]
+        choice = rng.choice(options)
+        half = max(1, fuel // 2)
+        if choice == "input":
+            return v(self.get_input("int" if elem == INT else "pair").name)
+        if choice == "sing":
+            return sing(self.gen_elem(elem, env, half))
+        if choice == "concat":
+            left = self.gen_list(elem, env, half)
+            right = self.gen_list(elem, env, fuel - half)
+            return left if rng.random() < 0.1 else _concat(left, right)
+        if choice == "if":
+            self.card_exact = False
+            return if_(
+                self.gen_cond(env, max(1, fuel // 3)),
+                self.gen_list(elem, env, fuel - 2),
+                empty(),
+            )
+        if choice == "for":
+            src_elem = self._pick_source_elem(env)
+            source = self.gen_list(src_elem, env, half)
+            x = self.fresh_var("x")
+            inner = dict(env)
+            inner[x] = src_elem
+            body = self.gen_list(elem, inner, fuel - half - 1)
+            return for_(x, source, body)
+        if choice == "flatmap":
+            src_elem = self._pick_source_elem(env)
+            source = self.gen_list(src_elem, env, half)
+            x = self.fresh_var("f")
+            inner = dict(env)
+            inner[x] = src_elem
+            body = self.gen_list(elem, inner, fuel - half - 1)
+            return app(flat_map(lam(x, body)), source)
+        if choice == "merge":
+            left = self.gen_sorted_ints(env, half)
+            right = self.gen_sorted_ints(env, fuel - half)
+            return app(unfold_r(mrg()), tup(left, right))
+        if choice == "sort":
+            runs = self.get_input("runs")
+            return app(tree_fold(2, empty(), unfold_r(mrg())), v(runs.name))
+        if choice == "insort":
+            runs = self.get_input("runs")
+            return app(fold_l(empty(), unfold_r(mrg())), v(runs.name))
+        if choice == "partition":
+            source = self.gen_list(elem, env, fuel - 3)
+            buckets = rng.randint(1, 4)
+            key = 0 if elem == INT else rng.choice([0, 1, 2])
+            b = self.fresh_var("b")
+            return app(
+                flat_map(lam(b, v(b))),
+                app(hash_partition(buckets, key), source),
+            )
+        if choice == "zipped":
+            first = self.gen_list(elem.items[0], env, half)
+            second = self.gen_list(elem.items[1], env, fuel - half)
+            return app(unfold_r(zip_()), tup(first, second))
+        raise AssertionError(choice)  # pragma: no cover
+
+    def _list_leaf(self, elem: OcalType, env: dict) -> Node:
+        candidates = [
+            name for name, t in env.items() if t == ListType(elem)
+        ]
+        roll = self.rng.random()
+        if candidates and roll < 0.5:
+            return v(self.rng.choice(candidates))
+        if elem == INT or elem == PAIR:
+            if roll < 0.8:
+                kind = "int" if elem == INT else "pair"
+                return v(self.get_input(kind).name)
+        if roll < 0.9:
+            return sing(self.gen_elem(elem, env, 1))
+        return empty()
+
+    def _pick_source_elem(self, env: dict) -> OcalType:
+        """Element type for a fresh loop source."""
+        pool: list[OcalType] = [INT, INT, PAIR]
+        for t in env.values():
+            if isinstance(t, ListType) and t.elem in (INT, PAIR):
+                pool.append(t.elem)
+        return self.rng.choice(pool)
+
+    def gen_sorted_ints(self, env: dict, fuel: int) -> Node:
+        """A *sorted* ``[Int]`` expression (merge/sort operands)."""
+        rng = self.rng
+        options = ["input", "input", "empty", "sing"]
+        if fuel > 3:
+            options += ["merge", "sort"]
+        choice = rng.choice(options)
+        if choice == "input":
+            return v(self.get_input("int", sorted_=True).name)
+        if choice == "empty":
+            return empty()
+        if choice == "sing":
+            return sing(self.gen_elem(INT, env, 1))
+        if choice == "merge":
+            half = max(1, fuel // 2)
+            return app(
+                unfold_r(mrg()),
+                tup(
+                    self.gen_sorted_ints(env, half),
+                    self.gen_sorted_ints(env, fuel - half),
+                ),
+            )
+        runs = self.get_input("runs")
+        return app(tree_fold(2, empty(), unfold_r(mrg())), v(runs.name))
+
+    # ------------------------------------------------------------------
+    # Scalars
+    # ------------------------------------------------------------------
+    def gen_scalar_fold(self, env: dict, fuel: int) -> Node:
+        """An ``Int``-valued fold over a generated list."""
+        src_elem = INT if self.rng.random() < 0.6 else PAIR
+        source = self.gen_list(src_elem, env, max(1, fuel - 6))
+        acc = self.fresh_var("acc")
+        e = self.fresh_var("e")
+        inner = dict(env)
+        inner[acc] = INT
+        inner[e] = src_elem
+        body = self.gen_int(inner, max(1, fuel // 4), must_use=(acc, e))
+        init = lit(self.rng.randint(-4, 4))
+        return app(fold_l(init, lam((acc, e), body)), source)
+
+    def gen_elem(self, elem: OcalType, env: dict, fuel: int) -> Node:
+        if elem == INT:
+            return self.gen_int(env, fuel)
+        if isinstance(elem, TupleType):
+            candidates = [n for n, t in env.items() if t == elem]
+            if candidates and self.rng.random() < 0.4:
+                return v(self.rng.choice(candidates))
+            n = len(elem.items)
+            share = max(1, fuel // max(1, n))
+            return tup(*(self.gen_elem(t, env, share) for t in elem.items))
+        raise AssertionError(f"no element generator for {elem}")
+
+    def gen_int(
+        self, env: dict, fuel: int, must_use: tuple[str, ...] = ()
+    ) -> Node:
+        rng = self.rng
+        if must_use:
+            # A fold body referencing both accumulator and element keeps
+            # the fold from degenerating into a constant.
+            parts = [self._int_atom_from(name, env) for name in must_use]
+            combined = parts[0]
+            for part in parts[1:]:
+                combined = rng.choice([add, sub, _min2, _max2])(
+                    combined, part
+                )
+            if fuel > 3 and rng.random() < 0.5:
+                extra = self.gen_int(env, fuel - 3)
+                combined = rng.choice([add, sub])(combined, extra)
+            return combined
+        if fuel <= 1 or rng.random() < 0.35:
+            return self._int_leaf(env)
+        choice = rng.choice(
+            ["add", "sub", "mul", "min", "max", "mod", "if", "hash"]
+        )
+        half = max(1, fuel // 2)
+        if choice == "mod":
+            return mod(self.gen_int(env, fuel - 2), lit(rng.randint(1, 9)))
+        if choice == "if":
+            return if_(
+                self.gen_cond(env, half),
+                self.gen_int(env, half),
+                self.gen_int(env, half),
+            )
+        if choice == "hash":
+            return prim("hash", self.gen_int(env, fuel - 1))
+        op = {"add": add, "sub": sub, "mul": mul, "min": _min2, "max": _max2}[
+            choice
+        ]
+        return op(self.gen_int(env, half), self.gen_int(env, fuel - half))
+
+    def _int_leaf(self, env: dict) -> Node:
+        ints = [n for n, t in env.items() if t == INT]
+        pairs = [n for n, t in env.items() if t == PAIR]
+        roll = self.rng.random()
+        if ints and roll < 0.55:
+            return v(self.rng.choice(ints))
+        if pairs and roll < 0.8:
+            return proj(v(self.rng.choice(pairs)), self.rng.choice([1, 2]))
+        return lit(self.rng.randint(self.config.int_lo, self.config.int_hi))
+
+    def _int_atom_from(self, name: str, env: dict) -> Node:
+        if env.get(name) == PAIR:
+            return proj(v(name), self.rng.choice([1, 2]))
+        return v(name)
+
+    # ------------------------------------------------------------------
+    # Conditions
+    # ------------------------------------------------------------------
+    def gen_cond(self, env: dict, fuel: int) -> Node:
+        rng = self.rng
+        if fuel <= 2 or rng.random() < 0.7:
+            op = rng.choice([eq, ne, lt, le, gt, ge])
+            return op(self.gen_int(env, 2), self.gen_int(env, 2))
+        choice = rng.choice(["and", "or", "not", "lit"])
+        if choice == "lit":
+            return lit(rng.random() < 0.5)
+        if choice == "not":
+            return not_(self.gen_cond(env, fuel - 1))
+        half = max(1, fuel // 2)
+        op2 = and_ if choice == "and" else or_
+        return op2(self.gen_cond(env, half), self.gen_cond(env, fuel - half))
+
+
+# ----------------------------------------------------------------------
+def _concat(left: Node, right: Node) -> Node:
+    from ..ocal.builders import concat
+
+    return concat(left, right)
+
+
+def _min2(a: Node, b: Node) -> Node:
+    return prim("min2", a, b)
+
+
+def _max2(a: Node, b: Node) -> Node:
+    return prim("max2", a, b)

@@ -76,7 +76,7 @@ from .filestore import (
 )
 from .stats import ExecutionStats
 
-__all__ = ["FileBackend"]
+__all__ = ["FileBackend", "materialize_value"]
 
 _READ_CHUNK = 8192  # records per request for untuned bulk scans
 
@@ -85,6 +85,26 @@ def _as_list(value):
     """Normalize a list-like evaluator value for reading."""
     if isinstance(value, ListBuilder):
         return value.finish()
+    return value
+
+
+def materialize_value(value):
+    """Pull an evaluator result back into plain Python data.
+
+    ``MemList``/``FileList`` become lists, ``Rec`` records become the
+    tuples of their fields, and nesting (partition buckets, runs) is
+    materialized recursively — the form the conformance oracle compares
+    against the reference interpreter's output.
+    """
+    value = _as_list(value)
+    if isinstance(value, (MemList, FileList)):
+        return [materialize_value(item) for item in value.materialize()]
+    if isinstance(value, Rec):
+        return tuple(value)
+    if isinstance(value, tuple):
+        return tuple(materialize_value(item) for item in value)
+    if isinstance(value, list):
+        return [materialize_value(item) for item in value]
     return value
 
 
@@ -318,6 +338,8 @@ class _Evaluator:
             return self._exec_builtin(fn.name, arg)
         if isinstance(fn, HashPartition):
             return self._exec_partition(fn, arg)
+        if isinstance(fn, FuncPow):
+            return self._funcpow_callable(fn, env)(arg)
         raise ExecutionError(
             f"cannot execute application of {type(fn).__name__}"
         )
@@ -532,9 +554,7 @@ class _Evaluator:
         if not isinstance(source, (MemList, FileList)):
             raise ExecutionError("treeFold consumes a list")
         if not (isinstance(fn.fn, UnfoldR) and self._is_merge_fn(fn.fn)):
-            raise ExecutionError(
-                "only merge-based treeFolds are executable out of core"
-            )
+            return self._treefold_generic(fn, source, env)
         block_in = fn.fn.block_in
         block_out = fn.fn.block_out
         if isinstance(block_in, str) or isinstance(block_out, str):
@@ -593,6 +613,84 @@ class _Evaluator:
             lst.store, lst.handle, lst.base + start * lst.elem_bytes,
             length, lst.shape, sorted=True,
         )
+
+    def _treefold_generic(self, fn: TreeFold, source, env: dict):
+        """Figure-2 queue semantics for non-merge (associative) steps.
+
+        The ``fldL-to-trfld`` rule converts associative-commutative folds
+        into treeFolds whose step is a plain lambda (found by the
+        conformance fuzzer); those reduce scalar-sized state, so running
+        the queue in memory is faithful as long as the working set fits
+        the modeled root.
+        """
+        if (
+            isinstance(source, FileList)
+            and len(source) * source.elem_bytes > self.budget
+        ):
+            raise ExecutionError(
+                "non-merge treeFold working set exceeds the root"
+            )
+        step = self.eval(fn.fn, env)
+        if isinstance(step, FuncPow):
+            step = self._funcpow_callable(step, env)
+        if isinstance(step, Node):
+            raise ExecutionError(
+                f"cannot execute treeFold step {type(fn.fn).__name__}"
+            )
+        init = self.eval(fn.init, env)
+        queue: list = []
+        for chunk in source.iter_blocks(_READ_CHUNK):
+            queue.extend(chunk)
+        if not queue:
+            return init
+        arity = fn.arity
+        while len(queue) > 1:
+            batch = queue[:arity]
+            queue = queue[arity:]
+            while len(batch) < arity:
+                batch.append(init)
+            self.iterations += 1
+            queue.append(step(tuple(batch)))
+        return queue[0]
+
+    def _funcpow_callable(self, expr: FuncPow, env: dict):
+        """The 2^k-ary callable of ``funcPow[k](f)`` (Figure 2).
+
+        ``inc-branching`` raises treeFold arity by wrapping lambda steps
+        in ``funcPow`` — found unexecutable by the conformance fuzzer.
+        """
+        fn = self.eval(expr.fn, env)
+        if isinstance(fn, Node):
+            raise ExecutionError(
+                f"cannot execute funcPow over {type(expr.fn).__name__}"
+            )
+
+        def pow_value(power: int):
+            if power == 1:
+                return fn
+            half = pow_value(power - 1)
+            width = 2 ** (power - 1)
+
+            def combined(args):
+                if not isinstance(args, tuple) or len(args) != 2 * width:
+                    raise ExecutionError(
+                        f"funcPow[{power}] expects a tuple of arity "
+                        f"{2 * width}"
+                    )
+                return fn((half(args[:width]), half(args[width:])))
+
+            return combined
+
+        outer = pow_value(expr.power)
+
+        def entry(args):
+            if expr.power == 1:
+                return fn(args)
+            if not isinstance(args, tuple):
+                raise ExecutionError("funcPow expects a tuple argument")
+            return outer(args)
+
+        return entry
 
     def _segment_stream(self, lst: FileList, start: int, length: int, block):
         view = FileList(
@@ -669,6 +767,16 @@ class _Evaluator:
         if isinstance(left, ListBuilder):
             left.extend(_as_list(right))
             return left
+        if isinstance(left, FileList):
+            # Found by the conformance fuzzer: ⊔ of two device-resident
+            # inputs in value position reached the non-list error path.
+            builder = self._builder("concat")
+            builder.extend(left)
+            right = _as_list(right)
+            if not isinstance(right, (MemList, FileList)):
+                raise ExecutionError("⊔ of non-lists")
+            builder.extend(right)
+            return builder
         if isinstance(left, MemList):
             if not isinstance(right, (MemList, FileList, ListBuilder)):
                 raise ExecutionError("⊔ of non-lists")
@@ -682,6 +790,10 @@ class _Evaluator:
                 builder.extend(right)
                 return builder
             items = left.materialize()
+            if not left.owned and not left.start:
+                # `materialize` on an unshifted view aliases the backing
+                # list; shared (input) lists must not be extended in place.
+                items = list(items)
             if isinstance(right, MemList):
                 items.extend(right.materialize())
             else:
@@ -747,10 +859,20 @@ class FileBackend:
         workdir: str | None = None,
         seed: int = 0,
         keep_files: bool = False,
+        data: dict[str, list] | None = None,
+        capture_output: bool = False,
     ) -> None:
         self.workdir = workdir
         self.seed = seed
         self.keep_files = keep_files
+        #: concrete per-input values overriding seeded generation — the
+        #: conformance oracle injects the exact lists the reference
+        #: interpreter ran on, so outputs are comparable element-wise.
+        self.data = data
+        #: when set, ``run`` materializes the program's output value into
+        #: ``last_output`` (plain Python data) before any write-out.
+        self.capture_output = capture_output
+        self.last_output = None
 
     # ------------------------------------------------------------------
     def run(
@@ -775,6 +897,8 @@ class FileBackend:
                 store.reset_counters()
             wall_start = time.perf_counter()
             result = _as_list(evaluator.eval(program, env))
+            if self.capture_output:
+                self.last_output = materialize_value(result)
             output_card, output_bytes = self._measure(result)
             out = config.output_location
             if out is not None and not (
@@ -804,11 +928,16 @@ class FileBackend:
         root = config.hierarchy.root.name
         env: dict = {}
         for index, (name, spec) in enumerate(sorted(inputs.items())):
-            rng = random.Random((self.seed, index, name).__repr__())
-            values, shape = self._generate(spec, rng)
+            injected = self.data is not None and name in self.data
+            if injected:
+                values = list(self.data[name])
+                shape = shape_of(values[0]) if values else 8
+            else:
+                rng = random.Random((self.seed, index, name).__repr__())
+                values, shape = self._generate(spec, rng)
             location = config.input_locations.get(name, root)
-            if location == root:
-                env[name] = MemList(values, sorted=spec.sorted)
+            if location == root or (injected and not values):
+                env[name] = MemList(values, sorted=spec.sorted, owned=False)
                 continue
             store = stores[location]
             env[name] = evaluator._write_records(

@@ -242,14 +242,28 @@ class DeviceStore:
 # List values
 # ----------------------------------------------------------------------
 class MemList:
-    """An in-memory list value with an O(1) ``tail`` view."""
+    """An in-memory list value with an O(1) ``tail`` view.
 
-    __slots__ = ("items", "start", "sorted")
+    ``owned`` marks lists whose backing storage belongs exclusively to
+    the evaluator (fresh results, accumulators): only those may be
+    extended destructively by ⊔.  Environment-bound *inputs* are shared
+    — the conformance fuzzer caught ``R ⊔ [x]`` appending into the input
+    relation itself — and must be copied instead.
+    """
 
-    def __init__(self, items: list, start: int = 0, sorted: bool = False):
+    __slots__ = ("items", "start", "sorted", "owned")
+
+    def __init__(
+        self,
+        items: list,
+        start: int = 0,
+        sorted: bool = False,
+        owned: bool = True,
+    ):
         self.items = items
         self.start = start
         self.sorted = sorted
+        self.owned = owned
 
     def __len__(self) -> int:
         return len(self.items) - self.start
@@ -258,7 +272,7 @@ class MemList:
         return self.items[self.start]
 
     def tail(self) -> "MemList":
-        return MemList(self.items, self.start + 1, self.sorted)
+        return MemList(self.items, self.start + 1, self.sorted, self.owned)
 
     def iter_blocks(self, block: int):
         items = self.items

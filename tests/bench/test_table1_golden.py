@@ -1,0 +1,106 @@
+"""Golden regression: the synthesized winner for every Table-1 workload.
+
+Pins the *printed form* of the winning program (and its derivation
+chain) for all 16 Table-1 experiments under each of the three search
+strategies, so search/cost refactors cannot silently change synthesis
+results.  The goldens live in ``goldens/table1_winners.json``.
+
+To regenerate after an *intentional* change::
+
+    PYTHONPATH=src python tests/bench/test_table1_golden.py --regen
+
+One synthesizer per experiment is shared across the three strategies,
+so cost estimation and tuning are memoized (≈30s total, not minutes).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.harness import synthesize_experiment, synthesizer_for
+from repro.bench.table1 import ALL_EXPERIMENTS
+from repro.ocal.printer import pretty
+
+GOLDEN_PATH = os.path.join(
+    os.path.dirname(__file__), "goldens", "table1_winners.json"
+)
+STRATEGIES = ("exhaustive-bfs", "beam", "best-first")
+
+
+def _load_goldens() -> dict:
+    with open(GOLDEN_PATH) as handle:
+        return json.load(handle)
+
+
+def _synthesize_all() -> dict:
+    results: dict = {}
+    for factory in ALL_EXPERIMENTS:
+        experiment = factory()
+        synthesizer = synthesizer_for(experiment)
+        per_strategy = {}
+        for strategy in STRATEGIES:
+            synthesis = synthesize_experiment(
+                experiment, strategy=strategy, synthesizer=synthesizer
+            )
+            per_strategy[strategy] = {
+                "program": pretty(synthesis.best.program),
+                "derivation": list(synthesis.best.derivation),
+            }
+        results[experiment.name] = per_strategy
+    return results
+
+
+@pytest.fixture(scope="module")
+def synthesized():
+    return _synthesize_all()
+
+
+@pytest.fixture(scope="module")
+def goldens():
+    return _load_goldens()
+
+
+def test_golden_file_covers_all_workloads_and_strategies(goldens):
+    names = {factory().name for factory in ALL_EXPERIMENTS}
+    assert set(goldens) == names
+    for name, per_strategy in goldens.items():
+        assert set(per_strategy) == set(STRATEGIES), name
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_winners_match_goldens(synthesized, goldens, strategy):
+    mismatches = []
+    for name, per_strategy in goldens.items():
+        expected = per_strategy[strategy]
+        actual = synthesized[name][strategy]
+        if actual["program"] != expected["program"]:
+            mismatches.append(
+                f"{name} [{strategy}]\n  expected: {expected['program']}"
+                f"\n  actual:   {actual['program']}"
+            )
+        elif actual["derivation"] != expected["derivation"]:
+            mismatches.append(
+                f"{name} [{strategy}] derivation "
+                f"{actual['derivation']} != {expected['derivation']}"
+            )
+    assert not mismatches, (
+        "synthesized winners drifted from goldens (regenerate with "
+        "`python tests/bench/test_table1_golden.py --regen` if the "
+        "change is intentional):\n" + "\n".join(mismatches)
+    )
+
+
+if __name__ == "__main__":
+    import sys
+
+    if "--regen" in sys.argv:
+        data = _synthesize_all()
+        with open(GOLDEN_PATH, "w") as handle:
+            json.dump(
+                data, handle, indent=2, sort_keys=True, ensure_ascii=False
+            )
+            handle.write("\n")
+        print(f"regenerated {GOLDEN_PATH}")
+    else:
+        print(__doc__)

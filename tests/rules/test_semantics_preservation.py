@@ -5,10 +5,17 @@ matches e1 then this part is equivalent to and can be replaced by e2".
 Rules that reorder iteration (swap-iter, hash-part, order-inputs) promise
 *bag* equivalence; the rest preserve results exactly.
 
-Strategy: run the breadth-first rewrite closure to a small depth over a
-corpus of specification programs, execute every program in the closure on
-random inputs with the reference interpreter, and compare against the
-specification's output.
+Strategy: run the breadth-first rewrite closure to depth **3** over a
+corpus of specification programs — including hash-partition- and
+treeFold-*bearing* starting points, so rules are exercised on top of
+each other's output, not only on naive specs — execute every program in
+the closure on random inputs with the reference interpreter, and compare
+against the specification's output.  Closures are computed once per
+corpus program (they do not depend on the data) and reused across
+hypothesis examples.
+
+The generative complement of this fixed corpus lives in
+``tests/conformance`` (`python -m repro fuzz`).
 """
 
 import pytest
@@ -22,8 +29,10 @@ from repro.ocal.builders import (
     app,
     empty,
     eq,
+    flat_map,
     fold_l,
     for_,
+    hash_partition,
     if_,
     lam,
     lit,
@@ -33,14 +42,22 @@ from repro.ocal.builders import (
     tup,
     unfold_r,
     v,
+    zip_,
 )
 from repro.rules import RuleContext, all_rewrites, default_rules
 
 BLOCK_VALUES = {"k": 3}  # every named parameter gets a small block size
 
+_CLOSURE_CACHE: dict = {}
 
-def closure(program, input_locations, depth=2, output=None):
-    """All programs reachable within `depth` rewrite steps."""
+
+def closure(program, input_locations, depth=3, output=None):
+    """All programs reachable within `depth` rewrite steps (memoized —
+    the closure is data-independent, hypothesis examples share it)."""
+    key = (program, tuple(sorted(input_locations.items())), depth, output)
+    cached = _CLOSURE_CACHE.get(key)
+    if cached is not None:
+        return cached
     ctx = RuleContext(
         hierarchy=hdd_ram_hierarchy(32 * MB),
         input_locations=input_locations,
@@ -57,6 +74,7 @@ def closure(program, input_locations, depth=2, output=None):
                     seen.add(rewrite.program)
                     next_frontier.append(rewrite.program)
         frontier = next_frontier
+    _CLOSURE_CACHE[key] = seen
     return seen
 
 
@@ -104,18 +122,61 @@ def naive_join():
     )
 
 
+def partitioned_join(buckets=3):
+    """A hash-part-*bearing* program: the GRACE-join shape with concrete
+    partition nodes, so depth-3 closures apply blocking/reordering rules
+    on top of hash partitioning (a rule interaction the naive corpus
+    missed)."""
+    inner = for_(
+        "x",
+        proj(v("p"), 1),
+        for_(
+            "y",
+            proj(v("p"), 2),
+            if_(
+                eq(proj(v("x"), 1), proj(v("y"), 1)),
+                sing(tup(v("x"), v("y"))),
+                empty(),
+            ),
+        ),
+    )
+    return app(
+        flat_map(lam("p", inner)),
+        app(
+            unfold_r(zip_()),
+            tup(
+                app(hash_partition(buckets, 1), v("R")),
+                app(hash_partition(buckets, 1), v("S")),
+            ),
+        ),
+    )
+
+
+def treefold_sort():
+    """A treeFold-*bearing* program: the external merge-sort shape, so
+    closures exercise inc-branching / apply-block on an existing
+    treeFold rather than only deriving one from the insertion sort."""
+    return app(tree_fold_node(), v("Rs"))
+
+
+def tree_fold_node():
+    from repro.ocal.builders import tree_fold
+
+    return tree_fold(2, empty(), unfold_r(mrg()))
+
+
 tuples = st.tuples(st.integers(0, 6), st.integers(0, 50))
 relations = st.lists(tuples, min_size=0, max_size=7)
 
 
 class TestJoinClosure:
     @given(r=relations, s=relations)
-    @settings(max_examples=25, deadline=None)
-    def test_depth2_closure_preserves_join_bag(self, r, s):
+    @settings(max_examples=20, deadline=None)
+    def test_depth3_closure_preserves_join_bag(self, r, s):
         spec = naive_join()
         expected = normalize_pairs(run_concrete(spec, {"R": r, "S": s}))
-        programs = closure(spec, {"R": "HDD", "S": "HDD"}, depth=2)
-        assert len(programs) > 5
+        programs = closure(spec, {"R": "HDD", "S": "HDD"}, depth=3)
+        assert len(programs) > 40
         for program in programs:
             actual = normalize_pairs(
                 run_concrete(program, {"R": r, "S": s})
@@ -136,10 +197,56 @@ class TestJoinClosure:
         ]
         assert bnl_like, "depth-3 closure should contain a doubly-blocked join"
 
+    def test_closure_contains_hash_partitioned_join(self):
+        from repro.ocal import HashPartition
+        from repro.ocal.ast import walk
+
+        programs = closure(naive_join(), {"R": "HDD", "S": "HDD"}, depth=3)
+        partitioned = [
+            p
+            for p in programs
+            if any(isinstance(n, HashPartition) for n in walk(p))
+        ]
+        assert partitioned, "hash-part should fire inside the join closure"
+
+
+class TestHashPartitionClosure:
+    """Rules applied *on top of* an existing hash-partitioned program."""
+
+    @given(r=relations, s=relations)
+    @settings(max_examples=15, deadline=None)
+    def test_depth3_closure_preserves_partitioned_join_bag(self, r, s):
+        spec = partitioned_join()
+        expected = normalize_pairs(run_concrete(spec, {"R": r, "S": s}))
+        programs = closure(spec, {"R": "HDD", "S": "HDD"}, depth=3)
+        assert len(programs) > 20
+        for program in programs:
+            actual = normalize_pairs(
+                run_concrete(program, {"R": r, "S": s})
+            )
+            assert actual == expected
+
+    def test_closure_blocks_the_partitioned_loops(self):
+        from repro.ocal import For
+        from repro.ocal.ast import walk
+
+        programs = closure(
+            partitioned_join(), {"R": "HDD", "S": "HDD"}, depth=3
+        )
+        blocked = [
+            p
+            for p in programs
+            if any(
+                isinstance(n, For) and isinstance(n.block_in, str)
+                for n in walk(p)
+            )
+        ]
+        assert blocked, "apply-block should fire inside the bucket loops"
+
 
 class TestSortClosure:
     @given(data=st.lists(st.integers(0, 40), min_size=0, max_size=9))
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=20, deadline=None)
     def test_sort_closure_is_still_a_sort(self, data):
         spec = app(fold_l(empty(), unfold_r(mrg())), v("Rs"))
         env = {"Rs": [[x] for x in data]}
@@ -161,14 +268,41 @@ class TestSortClosure:
         assert 2 in arities and 4 in arities
 
 
+class TestTreeFoldClosure:
+    """Rules applied *on top of* an existing treeFold program."""
+
+    @given(data=st.lists(st.integers(0, 40), min_size=0, max_size=9))
+    @settings(max_examples=15, deadline=None)
+    def test_depth3_closure_of_treefold_still_sorts(self, data):
+        spec = treefold_sort()
+        env = {"Rs": [[x] for x in data]}
+        programs = closure(spec, {"Rs": "HDD"}, depth=3)
+        assert len(programs) >= 4
+        for program in programs:
+            assert run_concrete(program, env) == sorted(data)
+
+    def test_closure_raises_treefold_arity(self):
+        from repro.ocal import App, TreeFold
+
+        programs = closure(treefold_sort(), {"Rs": "HDD"}, depth=3)
+        arities = {
+            p.fn.arity
+            for p in programs
+            if isinstance(p, App) and isinstance(p.fn, TreeFold)
+        }
+        assert max(arities) >= 4, (
+            "inc-branching should widen an existing treeFold"
+        )
+
+
 class TestAggregationClosure:
     @given(data=st.lists(st.integers(0, 100), min_size=0, max_size=12))
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=20, deadline=None)
     def test_sum_closure_preserves_value(self, data):
         spec = app(
             fold_l(lit(0), lam(("a", "b"), add(v("a"), v("b")))), v("R")
         )
-        programs = closure(spec, {"R": "HDD"}, depth=2)
+        programs = closure(spec, {"R": "HDD"}, depth=3)
         assert len(programs) >= 3
         for program in programs:
             assert run_concrete(program, {"R": data}) == sum(data)
@@ -179,10 +313,10 @@ class TestMergeClosure:
         a=st.lists(st.integers(0, 30), min_size=0, max_size=8),
         b=st.lists(st.integers(0, 30), min_size=0, max_size=8),
     )
-    @settings(max_examples=25, deadline=None)
+    @settings(max_examples=20, deadline=None)
     def test_union_closure_preserves_merge(self, a, b):
         a, b = sorted(a), sorted(b)
         spec = app(unfold_r(mrg()), tup(v("A"), v("B")))
-        programs = closure(spec, {"A": "HDD", "B": "HDD"}, depth=2)
+        programs = closure(spec, {"A": "HDD", "B": "HDD"}, depth=3)
         for program in programs:
             assert run_concrete(program, {"A": a, "B": b}) == sorted(a + b)

@@ -357,3 +357,96 @@ class TestFileBackendMeasurement:
         # One request per element vs one per block: the per-request
         # overhead (and any repositioning) must separate them.
         assert fast.elapsed < slow.elapsed
+
+
+class TestConformanceRegressions:
+    """Direct repros of FileBackend bugs found by the conformance fuzzer
+    (`python -m repro fuzz`); the shrunk originals live under
+    tests/conformance/corpus/."""
+
+    def _run_captured(self, tmp_path, program, data, locations, specs):
+        backend = FileBackend(
+            workdir=str(tmp_path), data=data, capture_output=True
+        )
+        cfg = config(input_locations=locations)
+        backend.run(program, specs, cfg)
+        return backend.last_output
+
+    def test_concat_of_two_device_inputs(self, tmp_path):
+        from repro.ocal.builders import concat
+
+        out = self._run_captured(
+            tmp_path,
+            concat(v("A"), v("B")),
+            {"A": [-3, 7, 6], "B": [-6]},
+            {"A": "HDD", "B": "HDD"},
+            {"A": InputSpec(3, 8), "B": InputSpec(1, 8)},
+        )
+        assert sorted(out) == [-6, -3, 6, 7]
+
+    def test_concat_must_not_mutate_shared_input(self, tmp_path):
+        from repro.ocal.builders import concat, lit
+
+        # R ⊔ [0] evaluated first, then R read again: the second read
+        # must not see the appended element.
+        program = for_(
+            "x",
+            concat(v("A"), sing(lit(99))),
+            for_("y", v("A"), sing(v("y"))),
+        )
+        out = self._run_captured(
+            tmp_path,
+            program,
+            {"A": [1, 2]},
+            {"A": "RAM"},
+            {"A": InputSpec(2, 8)},
+        )
+        # 3 outer iterations × the 2 original elements of A.
+        assert sorted(out) == [1, 1, 1, 2, 2, 2]
+
+    def test_lambda_step_treefold_executes(self, tmp_path):
+        from repro.ocal.builders import add, lit
+
+        program = app(
+            tree_fold(2, lit(0), lam(("a", "b"), add(v("a"), v("b")))),
+            v("A"),
+        )
+        out = self._run_captured(
+            tmp_path,
+            program,
+            {"A": [1, 2, 4]},
+            {"A": "HDD"},
+            {"A": InputSpec(3, 8)},
+        )
+        assert out == 7
+
+    def test_funcpow_raised_treefold_executes(self, tmp_path):
+        from repro.ocal.builders import add, lit
+
+        program = app(
+            tree_fold(
+                4,
+                lit(0),
+                func_pow(2, lam(("a", "b"), add(v("a"), v("b")))),
+            ),
+            v("A"),
+        )
+        out = self._run_captured(
+            tmp_path,
+            program,
+            {"A": [1, 2, 4, 8, 16]},
+            {"A": "HDD"},
+            {"A": InputSpec(5, 8)},
+        )
+        assert out == 31
+
+    def test_injected_data_overrides_generated(self, tmp_path):
+        scan = for_("x", v("A"), sing(v("x")))
+        out = self._run_captured(
+            tmp_path,
+            scan,
+            {"A": [5, 5, 5]},
+            {"A": "HDD"},
+            {"A": InputSpec(3, 8)},
+        )
+        assert out == [5, 5, 5]
