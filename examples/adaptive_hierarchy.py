@@ -11,24 +11,31 @@ while the machine changes under it:
   the inner relation stops fitting;
 * a CPU cache level appears — watch the plan grow a tiling level.
 
+It also shows the Session API's ad-hoc path: you are not limited to the
+registry — ``session.synthesize`` accepts a hand-built ``Experiment``
+(your own spec, annotations, and hierarchy).
+
 Run:  python examples/adaptive_hierarchy.py
 """
 
+from repro.api import Session
+from repro.bench.harness import Experiment
 from repro.bench.table1 import JOIN_TUPLE
 from repro.cost import atom, list_annot, tuple_annot
 from repro.hierarchy import MB, hdd_ram_cache_hierarchy, hdd_ram_hierarchy
 from repro.ocal import pretty
-from repro.search import Synthesizer
 from repro.symbolic import var
 from repro.workloads import naive_join_spec
 
 
-def synthesize(hierarchy, x, y, **options):
+def join_experiment(hierarchy, x, y, **options) -> Experiment:
+    """An ad-hoc Experiment: the naive join on a custom machine."""
     defaults = dict(max_depth=5, max_programs=500)
     defaults.update(options)
-    synthesizer = Synthesizer(hierarchy=hierarchy, **defaults)
-    return synthesizer.synthesize(
+    return Experiment(
+        name="adaptive-join",
         spec=naive_join_spec(),
+        hierarchy=hierarchy,
         input_annots={
             "R": list_annot(
                 tuple_annot(atom(8), atom(JOIN_TUPLE - 8)), var("x")
@@ -39,40 +46,47 @@ def synthesize(hierarchy, x, y, **options):
         },
         input_locations={"R": "HDD", "S": "HDD"},
         stats={"x": float(x), "y": float(y)},
+        inputs={},
+        **defaults,
     )
 
 
 def main() -> None:
+    session = Session()
     x = (256 * MB) // JOIN_TUPLE
     y = (16 * MB) // JOIN_TUPLE
 
     print("=== shrinking buffer pool ===")
     for ram_mb in (64, 8, 1):
-        result = synthesize(hdd_ram_hierarchy(ram_mb * MB), x, y)
+        job = session.synthesize(
+            join_experiment(hdd_ram_hierarchy(ram_mb * MB), x, y)
+        )
         algorithm = (
             "GRACE hash join"
-            if "hash-part" in result.best.derivation
+            if "hash-part" in job.derivation
             else "Block Nested Loops"
         )
         print(
             f"RAM {ram_mb:>3} MiB → {algorithm:<22} "
-            f"est. {result.opt_cost:9.2f}s   "
-            f"params {result.best.tuned.values}"
+            f"est. {job.opt_cost:9.2f}s   "
+            f"params {job.plan.parameter_values}"
         )
 
     print("\n=== adding a CPU cache level ===")
-    flat = synthesize(hdd_ram_hierarchy(8 * MB), x, y)
-    cached = synthesize(
-        hdd_ram_cache_hierarchy(8 * MB),
-        x,
-        y,
-        max_depth=6,
-        max_programs=1200,
+    flat = session.synthesize(join_experiment(hdd_ram_hierarchy(8 * MB), x, y))
+    cached = session.synthesize(
+        join_experiment(
+            hdd_ram_cache_hierarchy(8 * MB),
+            x,
+            y,
+            max_depth=6,
+            max_programs=1200,
+        )
     )
-    print(f"2-level winner: {pretty(flat.best.program)[:100]}…")
-    print(f"3-level winner: {pretty(cached.best.program)[:100]}…")
-    depth_flat = len(flat.best.derivation)
-    depth_cached = len(cached.best.derivation)
+    print(f"2-level winner: {pretty(flat.winner)[:100]}…")
+    print(f"3-level winner: {pretty(cached.winner)[:100]}…")
+    depth_flat = len(flat.derivation)
+    depth_cached = len(cached.derivation)
     print(
         f"\nderivation length grew {depth_flat} → {depth_cached}: the "
         "extra steps are the cache-tiling loops the new level calls for."

@@ -15,61 +15,48 @@ non-linear optimizer from the seek-time/bandwidth ratio of the disk.
 Run:  python examples/external_sort_derivation.py
 """
 
-from repro.cost import atom, list_annot
-from repro.hierarchy import MB, hdd_ram_hierarchy
+from repro.api import Session
 from repro.ocal import App, TreeFold, evaluate, pretty
-from repro.search import Synthesizer
-from repro.symbolic import var
-from repro.workloads import insertion_sort_spec, make_singleton_runs
+from repro.workloads import make_singleton_runs
 
 
 def main() -> None:
-    spec = insertion_sort_spec()
-    print(f"specification: {pretty(spec)}")
+    session = Session()
+    job = session.synthesize("external-sort", scale="table1")
+    print(f"specification: {pretty(job.spec)}")
+    print(f"\nderivation: {' → '.join(job.derivation)}")
 
-    runs = (512 * MB) // 8  # 2^26 eight-byte records
-    synthesizer = Synthesizer(
-        hierarchy=hdd_ram_hierarchy(8 * MB),
-        max_depth=6,
-        max_programs=300,
-        max_treefold_arity=32,
-    )
-    result = synthesizer.synthesize(
-        spec=spec,
-        input_annots={"Rs": list_annot(list_annot(atom(8), 1), var("x"))},
-        input_locations={"Rs": "HDD"},
-        stats={"x": float(runs)},
-        output_location="HDD",
-    )
-
-    print(f"\nderivation: {' → '.join(result.best.derivation)}")
-    program = result.best.program
+    program = job.program
     assert isinstance(program, App) and isinstance(program.fn, TreeFold)
-    print(f"winner: {pretty(program)}")
+    print(f"winner: {pretty(job.winner)}")
     print(f"fan-in: {program.fn.arity}-way merge")
-    print(f"tuned buffers: {result.best.tuned.values}")
+    print(f"tuned buffers: {job.plan.parameter_values}")
     print(
-        f"\nestimated cost: insertion sort {result.spec_cost:.3g}s → "
-        f"merge-sort {result.opt_cost:.3g}s "
-        f"({result.speedup:.3g}× better)"
+        f"\nestimated cost: insertion sort {job.spec_cost:.3g}s → "
+        f"merge-sort {job.opt_cost:.3g}s "
+        f"({job.speedup:.3g}× better)"
     )
 
     # Show the runner actually sorts.
     data = make_singleton_runs(50, 1000, seed=7)
-    out = evaluate(result.best.executable(), {"Rs": data})
+    out = evaluate(program, {"Rs": data})
     assert out == sorted(x for [x] in data)
     print(f"\nsanity: 50 random records sort correctly → {out[:10]}…")
 
     # The paper's analysis: fewer, wider merge levels trade transfers
-    # against seeks.  Show the estimated cost per fan-in.
+    # against seeks.  Show the estimated cost per fan-in — the chosen
+    # winner first, then the dominated candidates the job kept.
     print("\ncost by fan-in (same buffers budget):")
-    for candidate in result.top:
-        prog = candidate.program
+    ranked = [(job.winner, job.opt_cost, job.derivation)] + [
+        (alt.program, alt.cost, alt.derivation)
+        for alt in job.alternatives
+    ]
+    for prog, cost, derivation in ranked:
         if isinstance(prog, App) and isinstance(prog.fn, TreeFold):
             print(
                 f"  treeFold[{prog.fn.arity:>2}]  "
-                f"estimated {candidate.cost:,.0f}s  "
-                f"(steps: {', '.join(candidate.derivation)})"
+                f"estimated {cost:,.0f}s  "
+                f"(steps: {', '.join(derivation)})"
             )
 
 

@@ -12,42 +12,41 @@ ordering:
 because write-back interferes with sequential reading, while flash pays
 erases instead of seeks and streams at 120 MB/s.
 
+The three workloads are one ``Session.synthesize_all`` batch over the
+registry (deterministic ordering, shared cost memos).
+
 Run:  python examples/join_on_flash.py
 """
 
-from repro.bench.harness import format_table, run_experiment
-from repro.bench.table1 import (
-    bnl_writeout_flash,
-    bnl_writeout_other_hdd,
-    bnl_writeout_same_hdd,
+from repro.api import Session, format_results
+
+WORKLOADS = (
+    "product-writeout-hdd",
+    "product-writeout-hdd2",
+    "product-writeout-flash",
 )
 
 
 def main() -> None:
-    rows = []
-    for factory in (
-        bnl_writeout_same_hdd,
-        bnl_writeout_other_hdd,
-        bnl_writeout_flash,
-    ):
-        experiment = factory()
-        print(f"synthesizing for: {experiment.name} …", flush=True)
-        rows.append(run_experiment(experiment))
+    session = Session()
+    print(f"synthesizing {len(WORKLOADS)} write-out variants ...", flush=True)
+    jobs = session.synthesize_all(WORKLOADS, scale="table1")
+    results = [job.run() for job in jobs]
 
     print()
-    print(format_table(rows))
+    print(format_results(results))
     print()
 
-    same, other, flash = rows
+    same, other, flash = results
     print(
         f"second disk vs same disk: estimated "
-        f"{same.opt_cost / other.opt_cost:.2f}× faster, measured "
-        f"{same.actual / other.actual:.2f}× faster"
+        f"{same.job.opt_cost / other.job.opt_cost:.2f}x faster, measured "
+        f"{same.elapsed / other.elapsed:.2f}x faster"
     )
     print(
         f"flash vs second disk:     estimated "
-        f"{other.opt_cost / flash.opt_cost:.2f}× faster, measured "
-        f"{other.actual / flash.actual:.2f}× faster"
+        f"{other.job.opt_cost / flash.job.opt_cost:.2f}x faster, measured "
+        f"{other.elapsed / flash.elapsed:.2f}x faster"
     )
     print(
         "\nNote the erase accounting: on flash, InitCom events are not "

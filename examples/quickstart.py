@@ -1,91 +1,70 @@
 #!/usr/bin/env python3
-"""Quickstart: synthesize a Block Nested Loops Join from a naive spec.
+"""Quickstart: the declarative front door, end to end.
 
-This is Example 1 of the paper end to end:
+This is Example 1 of the paper through the Session/Job API:
 
-1. write the memory-hierarchy-oblivious join (two nested for-loops);
-2. describe the hardware (a hard disk under 8 MiB of buffers);
-3. let OCAS search the rewrite space, cost every candidate and tune the
-   block sizes;
-4. inspect the winner, run it on the simulated machine, and emit C code.
+1. pick the naive join workload from the central registry (or bring
+   your own spec — see ``adaptive_hierarchy.py``);
+2. ``session.synthesize`` searches the rewrite space, costs every
+   candidate, and tunes the block sizes — returning a lazy ``Job``;
+3. inspect the derivation, run the winner on the simulated machine;
+4. save the tuned plan as JSON, reload it, and re-execute — no second
+   search — then emit C code for the same program.
 
 Run:  python examples/quickstart.py
 """
 
+import os
+import tempfile
+
+from repro.api import Job, Session
 from repro.bench.table1 import JOIN_TUPLE
-from repro.codegen import compile_candidate, generate_c
-from repro.cost import atom, list_annot, tuple_annot
-from repro.hierarchy import MB, hdd_ram_hierarchy
+from repro.codegen import generate_c
 from repro.ocal import evaluate, pretty_block
-from repro.runtime import ExecutionConfig, InputSpec
-from repro.rules import default_rules
-from repro.search import Synthesizer
-from repro.symbolic import var
-from repro.workloads import naive_join_spec
 
 
 def main() -> None:
-    # 1. The naive specification: for (x ← R) for (y ← S) if … then [⟨x,y⟩]
-    spec = naive_join_spec()
+    # 1. One front door.  The registry knows the workload's naive spec,
+    #    input schema, hierarchy, and scales ("table1" = the paper's
+    #    1 GiB ⋈ 32 MiB join under 8 MiB of buffers).
+    session = Session()
+    workload = session.registry.get("bnl-join")
+    print(f"workload: {workload.name} — {workload.description}")
+    spec = workload.experiment("table1").spec
     print("specification:")
     print(pretty_block(spec), "\n")
 
-    # 2. The machine: 1 TB hard disk (15 ms seeks, 30 MB/s) under 8 MiB
-    #    of main-memory buffers (Figure 7's parameters).
-    hierarchy = hdd_ram_hierarchy(8 * MB)
+    # 2. Synthesize.  Search + costing + tuning happen here; nothing
+    #    executes until job.run().
+    job = session.synthesize("bnl-join", scale="table1")
+    print(job.explain(), "\n")
 
-    # 3. Synthesize.  R is 1 GiB, S is 32 MiB, 512-byte tuples.
-    x = (1024 * MB) // JOIN_TUPLE
-    y = (32 * MB) // JOIN_TUPLE
-    synthesizer = Synthesizer(
-        hierarchy=hierarchy,
-        rules=[r for r in default_rules() if r.name != "hash-part"],
-        max_depth=5,
-        max_programs=600,
-    )
-    result = synthesizer.synthesize(
-        spec=spec,
-        input_annots={
-            "R": list_annot(tuple_annot(atom(8), atom(JOIN_TUPLE - 8)), var("x")),
-            "S": list_annot(tuple_annot(atom(8), atom(JOIN_TUPLE - 8)), var("y")),
-        },
-        input_locations={"R": "HDD", "S": "HDD"},
-        stats={"x": float(x), "y": float(y)},
-    )
-    print(f"search space: {result.search_space} programs, "
-          f"{result.runtime:.1f}s of synthesis")
-    print(f"estimated cost: naive {result.spec_cost:.3g}s → "
-          f"synthesized {result.opt_cost:.3g}s "
-          f"({result.speedup:.2g}× better)")
-    print(f"derivation: {' → '.join(result.best.derivation)}")
-    print(f"tuned parameters: {result.best.tuned.values}\n")
-    print("synthesized program (a Block Nested Loops Join):")
-    print(pretty_block(result.best.program), "\n")
-
-    # 4a. Sanity: the winner computes the same join on concrete data.
+    # 3a. Sanity: the winner computes the same join on concrete data.
     R = [(i % 4, i) for i in range(8)]
     S = [(i % 4, -i) for i in range(6)]
-    sample = evaluate(result.best.executable(), {"R": R, "S": S})
-    print(f"sample run on 8×6 tuples: {len(sample)} matches\n")
+    sample = evaluate(job.program, {"R": R, "S": S})
+    print(f"sample run on 8x6 tuples: {len(sample)} matches\n")
 
-    # 4b. Simulated "actual" execution at full scale.
-    plan = compile_candidate(result.best)
-    config = ExecutionConfig(
-        hierarchy=hierarchy,
-        input_locations={"R": "HDD", "S": "HDD"},
-        cond_probability=1.0 / x,
-        output_card_override=float(y),
-    )
-    measured = plan.execute(
-        config,
-        {"R": InputSpec(x, JOIN_TUPLE), "S": InputSpec(y, JOIN_TUPLE)},
-    )
-    print(f"simulated execution: {measured.summary()}")
-    print(measured.stats.report(), "\n")
+    # 3b. Simulated "actual" execution at full scale.
+    result = job.run()  # the session's default backend: the simulator
+    print(f"simulated execution: {result.execution.summary()}")
+    print(result.execution.stats.report(), "\n")
 
-    # 4c. Generated C (the artifact the paper inspects by hand).
+    # 4a. Ship the plan: serialize, reload, re-execute — the loaded job
+    #     carries zero search statistics because nothing is re-searched.
+    with tempfile.TemporaryDirectory() as tmp:
+        path = job.save(os.path.join(tmp, "bnl-join.plan.json"))
+        loaded = Job.load(path)
+        replay = loaded.run()
+        print(
+            f"replayed from {os.path.basename(path)}: "
+            f"elapsed={replay.execution.elapsed:.4g}s "
+            f"(search space recorded: {loaded.search.space})\n"
+        )
+
+    # 4b. Generated C (the artifact the paper inspects by hand).
     code = generate_c(
-        result.best.executable(),
+        job.program,
         inputs=["R", "S"],
         elem_bytes={"R": JOIN_TUPLE, "S": JOIN_TUPLE},
     )

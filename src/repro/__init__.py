@@ -4,17 +4,16 @@ Reproduction of Klonatos, Nötzli, Spielmann, Koch, Kuncak:
 *Automatic Synthesis of Out-of-Core Algorithms*, SIGMOD 2013.
 
 The package synthesizes memory-hierarchy-aware algorithms from naive
-specifications written in the OCAL DSL:
+specifications written in the OCAL DSL.  The supported front door is
+the declarative Session/Job API:
 
->>> from repro import synthesize, hdd_ram_hierarchy
->>> from repro.workloads import naive_join_spec
->>> result = synthesize(naive_join_spec(), hdd_ram_hierarchy(),
-...                     input_sizes={"R": 2**20, "S": 2**15})
->>> result.best.program            # doctest: +SKIP
-... # a Block Nested Loops Join
+>>> from repro import Session
+>>> job = Session().synthesize("bnl-join")     # doctest: +SKIP
+>>> job.run(backend="file").summary()          # doctest: +SKIP
 
 Subpackages
 -----------
+``repro.api``        the Session/Job/Workload front door (start here)
 ``repro.ocal``       the OCAL language (types, AST, interpreter, definitions)
 ``repro.symbolic``   symbolic arithmetic used by the cost estimator
 ``repro.hierarchy``  memory & storage hierarchy descriptions (Section 4)
@@ -35,14 +34,48 @@ __all__ = ["__version__"]
 
 def __getattr__(name):
     """Lazily expose the high-level API to avoid import cycles at startup."""
+    if name in {
+        "Session",
+        "Job",
+        "JobResult",
+        "Workload",
+        "WorkloadRegistry",
+        "default_registry",
+    }:
+        from . import api
+
+        return getattr(api, name)
     if name == "synthesize":
         from .search import synthesize
 
         return synthesize
+    # Deprecation shims: the exploded pre-api surfaces stay importable
+    # (and warn) so downstream scripts keep working while they migrate.
     if name == "Synthesizer":
+        import warnings
+
         from .search import Synthesizer
 
+        warnings.warn(
+            "repro.Synthesizer is deprecated; use repro.api.Session "
+            "(see DESIGN.md §10 for the migration table)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return Synthesizer
+    if name == "compile_candidate":
+        import warnings
+
+        from .codegen.plan import compile_candidate
+
+        warnings.warn(
+            "repro.compile_candidate is deprecated; "
+            "repro.api.Session.synthesize already returns a compiled, "
+            "runnable Job (see DESIGN.md §10)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return compile_candidate
     if name in {
         "hdd_ram_hierarchy",
         "hdd_ram_cache_hierarchy",

@@ -1,0 +1,314 @@
+"""The default workload catalog — every evaluation task, registered once.
+
+This module is the *single source of truth* for workload names.  Each
+entry couples the full-size Table-1 experiment (from
+:mod:`repro.bench.table1`) with its scaled-down validation twin (defined
+here — small enough that the real-file backend finishes in seconds),
+under one canonical kebab-case name.
+
+Sixteen workloads carry a ``table1`` scale — exactly the sixteen rows of
+the paper's Table 1 (pinned by ``tests/api/test_registry.py``).  One
+more (``aggregation-ram-ssd-hdd``) exists only at validation scale: it
+exercises the three-level hierarchy path, which the paper's table does
+not cover.
+
+Consumers — the CLI, ``bench.validation``, the golden harness, the
+conformance oracle — call :func:`default_registry` instead of keeping
+their own name → factory dicts.
+"""
+
+from __future__ import annotations
+
+from ..bench import table1
+from ..bench.harness import Experiment
+from ..cost.annotated import atom, list_annot, tuple_annot
+from ..hierarchy import (
+    KB,
+    hdd_flash_hierarchy,
+    hdd_ram_hierarchy,
+    ram_ssd_hdd_hierarchy,
+    two_hdd_hierarchy,
+)
+from ..runtime.accounting import InputSpec
+from ..symbolic import var
+from ..workloads.specs import (
+    aggregation_spec,
+    column_store_read_spec,
+    duplicate_removal_spec,
+    insertion_sort_spec,
+    multiset_union_sorted_spec,
+    naive_join_spec,
+    naive_product_spec,
+    set_union_spec,
+)
+from .workload import Workload, WorkloadRegistry
+
+__all__ = ["default_registry", "validation_scale_names"]
+
+_JOIN_ELEM = 512
+_SCAN_ELEM = 8
+
+
+# ----------------------------------------------------------------------
+# Scaled-down validation experiments (runnable on the file backend)
+# ----------------------------------------------------------------------
+def _join_annots():
+    return {
+        "R": list_annot(tuple_annot(atom(8), atom(_JOIN_ELEM - 8)), var("x")),
+        "S": list_annot(tuple_annot(atom(8), atom(_JOIN_ELEM - 8)), var("y")),
+    }
+
+
+def _bnl_join() -> Experiment:
+    x, y = 1024, 256
+    sel = 1.0 / x
+    return Experiment(
+        name="bnl-join",
+        spec=naive_join_spec(),
+        hierarchy=hdd_ram_hierarchy(64 * KB),
+        input_annots=_join_annots(),
+        input_locations={"R": "HDD", "S": "HDD"},
+        stats={"x": float(x), "y": float(y)},
+        inputs={
+            "R": InputSpec(x, _JOIN_ELEM, key_domain=x),
+            "S": InputSpec(y, _JOIN_ELEM, key_domain=x),
+        },
+        cond_probability=sel,
+        output_card_override=x * y * sel,
+        max_depth=5,
+        max_programs=400,
+        exclude_rules=("hash-part",),
+    )
+
+
+def _grace_join() -> Experiment:
+    base = _bnl_join()
+    base.name = "grace-join"
+    base.exclude_rules = ()
+    base.max_programs = 600
+    return base
+
+
+def _product(name, hierarchy, output) -> Experiment:
+    x = y = 256
+    return Experiment(
+        name=name,
+        spec=naive_product_spec(),
+        hierarchy=hierarchy,
+        input_annots=_join_annots(),
+        input_locations={"R": "HDD", "S": "HDD"},
+        stats={"x": float(x), "y": float(y)},
+        inputs={
+            "R": InputSpec(x, _JOIN_ELEM, key_domain=x),
+            "S": InputSpec(y, _JOIN_ELEM, key_domain=x),
+        },
+        output_location=output,
+        cond_probability=1.0,
+        max_depth=4,
+        max_programs=300,
+    )
+
+
+def _product_same_hdd() -> Experiment:
+    return _product("product-writeout-hdd", hdd_ram_hierarchy(16 * KB), "HDD")
+
+
+def _product_other_hdd() -> Experiment:
+    return _product(
+        "product-writeout-hdd2", two_hdd_hierarchy(16 * KB), "HDD2"
+    )
+
+
+def _product_flash() -> Experiment:
+    return _product(
+        "product-writeout-flash", hdd_flash_hierarchy(16 * KB), "SSD"
+    )
+
+
+def _external_sort() -> Experiment:
+    runs = 2048
+    return Experiment(
+        name="external-sort",
+        spec=insertion_sort_spec(),
+        hierarchy=hdd_ram_hierarchy(4 * KB),
+        input_annots={
+            "Rs": list_annot(list_annot(atom(_SCAN_ELEM), 1), var("x")),
+        },
+        input_locations={"Rs": "HDD"},
+        stats={"x": float(runs)},
+        inputs={"Rs": InputSpec(runs, _SCAN_ELEM, nested_runs=True)},
+        output_location="HDD",
+        max_depth=6,
+        max_programs=300,
+        max_treefold_arity=16,
+    )
+
+
+def _set_union() -> Experiment:
+    cards = 4096
+    return Experiment(
+        name="set-union",
+        spec=set_union_spec(),
+        hierarchy=hdd_ram_hierarchy(8 * KB),
+        input_annots={
+            "A": list_annot(atom(_SCAN_ELEM), var("x")),
+            "B": list_annot(atom(_SCAN_ELEM), var("y")),
+        },
+        input_locations={"A": "HDD", "B": "HDD"},
+        stats={"x": float(cards), "y": float(cards)},
+        inputs={
+            "A": InputSpec(cards, _SCAN_ELEM, sorted=True,
+                           key_domain=8 * cards),
+            "B": InputSpec(cards, _SCAN_ELEM, sorted=True,
+                           key_domain=8 * cards),
+        },
+        output_location="HDD",
+        cond_probability=1.0,
+        output_card_override=2.0 * cards,
+        max_depth=3,
+        max_programs=60,
+    )
+
+
+def _multiset_union() -> Experiment:
+    base = _set_union()
+    base.name = "multiset-union"
+    base.spec = multiset_union_sorted_spec()
+    return base
+
+
+def _dup_removal() -> Experiment:
+    rows = 16384
+    return Experiment(
+        name="dup-removal",
+        spec=duplicate_removal_spec(),
+        hierarchy=hdd_ram_hierarchy(8 * KB),
+        input_annots={"A": list_annot(atom(_SCAN_ELEM), var("x"))},
+        input_locations={"A": "HDD"},
+        stats={"x": float(rows)},
+        inputs={
+            "A": InputSpec(rows, _SCAN_ELEM, sorted=True,
+                           key_domain=int(rows * 0.7)),
+        },
+        output_location="HDD",
+        cond_probability=0.7,
+        output_card_override=rows * 0.7,
+        max_depth=3,
+        max_programs=40,
+    )
+
+
+def _aggregation() -> Experiment:
+    rows = 32768
+    return Experiment(
+        name="aggregation",
+        spec=aggregation_spec(),
+        hierarchy=hdd_ram_hierarchy(8 * KB),
+        input_annots={"A": list_annot(atom(_SCAN_ELEM), var("x"))},
+        input_locations={"A": "HDD"},
+        stats={"x": float(rows)},
+        inputs={"A": InputSpec(rows, _SCAN_ELEM)},
+        max_depth=3,
+        max_programs=40,
+    )
+
+
+def _aggregation_deep() -> Experiment:
+    """Aggregation over a three-level RAM→SSD→HDD chain — exercises the
+    arbitrary-tree path of estimator and backends end to end."""
+    base = _aggregation()
+    base.name = "aggregation-ram-ssd-hdd"
+    base.hierarchy = ram_ssd_hdd_hierarchy(8 * KB, ssd_size=64 * KB)
+    return base
+
+
+def _column_store() -> Experiment:
+    rows = 16384
+    columns = 5
+    names = [f"C{i + 1}" for i in range(columns)]
+    return Experiment(
+        name="column-store-5",
+        spec=column_store_read_spec(columns),
+        hierarchy=hdd_ram_hierarchy(8 * KB),
+        input_annots={
+            name: list_annot(atom(_SCAN_ELEM), var("x")) for name in names
+        },
+        input_locations={name: "HDD" for name in names},
+        stats={"x": float(rows)},
+        inputs={name: InputSpec(rows, _SCAN_ELEM) for name in names},
+        max_depth=3,
+        max_programs=40,
+    )
+
+
+# ----------------------------------------------------------------------
+# Registry assembly
+# ----------------------------------------------------------------------
+#: (name, validation factory | None, table1 factory | None, tags, blurb)
+_CATALOG = (
+    ("bnl-join", _bnl_join, table1.bnl_no_writeout,
+     ("join",), "block nested-loops join, no write-out"),
+    ("bnl-with-cache", None, table1.bnl_with_cache,
+     ("join", "cache"), "the same join under a CPU-cache level"),
+    ("grace-join", _grace_join, table1.grace_hash_join,
+     ("join", "hash"), "GRACE hash join (hash-part enabled)"),
+    ("product-writeout-hdd", _product_same_hdd, table1.bnl_writeout_same_hdd,
+     ("join", "writeout"), "product written back to the input disk"),
+    ("product-writeout-hdd2", _product_other_hdd,
+     table1.bnl_writeout_other_hdd,
+     ("join", "writeout"), "product written to a second disk"),
+    ("product-writeout-flash", _product_flash, table1.bnl_writeout_flash,
+     ("join", "writeout", "flash"), "product written to flash"),
+    ("external-sort", _external_sort, table1.external_sorting,
+     ("sort",), "insertion sort → 2^k-way external merge-sort"),
+    ("set-union", _set_union, table1.set_union,
+     ("set-op",), "union of sorted unique lists"),
+    ("multiset-union", _multiset_union, table1.multiset_union_sorted,
+     ("set-op",), "multiset union of sorted lists (plain merge)"),
+    ("multiset-union-mult", None, table1.multiset_union_multiplicity,
+     ("set-op", "multiplicity"), "union of ⟨value, multiplicity⟩ lists"),
+    ("multiset-diff", None, table1.multiset_diff_sorted,
+     ("set-op",), "multiset difference of sorted lists"),
+    ("multiset-diff-mult", None, table1.multiset_diff_multiplicity,
+     ("set-op", "multiplicity"), "difference of ⟨value, mult.⟩ lists"),
+    ("column-store-5", _column_store, table1.column_store_read_5,
+     ("scan",), "reassemble five column files into rows"),
+    ("column-store-10", None, table1.column_store_read_10,
+     ("scan",), "reassemble ten column files into rows"),
+    ("dup-removal", _dup_removal, table1.duplicate_removal,
+     ("scan",), "dedup of a sorted list (30% duplicates)"),
+    ("aggregation", _aggregation, table1.aggregation,
+     ("scan",), "sum of a column"),
+    ("aggregation-ram-ssd-hdd", _aggregation_deep, None,
+     ("scan", "multi-level"), "aggregation over a RAM→SSD→HDD chain"),
+)
+
+_DEFAULT: WorkloadRegistry | None = None
+
+
+def default_registry() -> WorkloadRegistry:
+    """The shared catalog instance (built once, import-cycle free)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        registry = WorkloadRegistry()
+        for name, validation, t1, tags, blurb in _CATALOG:
+            scales = {}
+            if validation is not None:
+                scales["validation"] = validation
+            if t1 is not None:
+                scales["table1"] = t1
+            registry.register(
+                Workload(
+                    name=name,
+                    scales=scales,
+                    tags=tags,
+                    description=blurb,
+                )
+            )
+        _DEFAULT = registry
+    return _DEFAULT
+
+
+def validation_scale_names() -> tuple[str, ...]:
+    """Names runnable at validation scale (the CLI's default set)."""
+    return default_registry().names(scale="validation")

@@ -1,0 +1,136 @@
+"""First-class workloads and the central registry.
+
+A :class:`Workload` names one evaluation task (a naive OCAL spec plus
+its input schema) at one or more *scales*:
+
+* ``"table1"`` — the paper-sized experiment (gigabyte relations,
+  simulated execution; what the Table-1 bench and goldens run);
+* ``"validation"`` — the scaled-down twin small enough to execute on the
+  real-file backend (what ``python -m repro run``/``validate`` use).
+
+The :class:`WorkloadRegistry` is the single source of truth for
+workload names.  The CLI, the bench harness, the validation bench, the
+Table-1 golden harness, and the conformance oracle all consume one
+registry (:func:`repro.api.catalog.default_registry`) instead of
+keeping their own name → factory dicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator
+
+from ..bench.harness import Experiment
+
+__all__ = ["Workload", "WorkloadRegistry", "WorkloadError"]
+
+#: the recognized scales, in preference order for defaulting.
+SCALES = ("validation", "table1")
+
+
+class WorkloadError(ValueError):
+    """Raised for unknown workload names or unsupported scales."""
+
+
+@dataclass(frozen=True)
+class Workload:
+    """One named evaluation task with per-scale experiment factories."""
+
+    name: str
+    #: scale name → zero-argument factory producing a fresh Experiment.
+    scales: dict[str, Callable[[], Experiment]]
+    #: free-form annotations ("join", "sort", "set-op", …) for filtering.
+    tags: tuple[str, ...] = ()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.scales:
+            raise WorkloadError(
+                f"workload {self.name!r} declares no scales"
+            )
+        unknown = sorted(set(self.scales) - set(SCALES))
+        if unknown:
+            raise WorkloadError(
+                f"workload {self.name!r} has unknown scale(s) {unknown}; "
+                f"expected a subset of {list(SCALES)}"
+            )
+
+    @property
+    def default_scale(self) -> str:
+        """``validation`` when available (runnable on real files), else
+        the full-size ``table1``."""
+        for scale in SCALES:
+            if scale in self.scales:
+                return scale
+        raise AssertionError("unreachable: scales validated nonempty")
+
+    def experiment(self, scale: str | None = None) -> Experiment:
+        """A fresh :class:`Experiment` at the requested (or default) scale."""
+        if scale is None:
+            scale = self.default_scale
+        try:
+            factory = self.scales[scale]
+        except KeyError:
+            raise WorkloadError(
+                f"workload {self.name!r} has no {scale!r} scale; "
+                f"available: {sorted(self.scales)}"
+            ) from None
+        return factory()
+
+
+@dataclass
+class WorkloadRegistry:
+    """Ordered name → :class:`Workload` mapping with scale-aware lookup."""
+
+    _workloads: dict[str, Workload] = field(default_factory=dict)
+
+    def register(self, workload: Workload) -> Workload:
+        """Add a workload; duplicate names are an error (single source
+        of truth means exactly one definition per name)."""
+        if workload.name in self._workloads:
+            raise WorkloadError(
+                f"workload {workload.name!r} is already registered"
+            )
+        self._workloads[workload.name] = workload
+        return workload
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> Workload:
+        """Look up a workload; unknown names list the registered ones."""
+        try:
+            return self._workloads[name]
+        except KeyError:
+            raise WorkloadError(
+                f"unknown workload {name!r}; "
+                f"expected one of {sorted(self._workloads)}"
+            ) from None
+
+    def experiment(
+        self, name: str, scale: str | None = None
+    ) -> Experiment:
+        """Instantiate one workload's experiment by name."""
+        return self.get(name).experiment(scale)
+
+    def names(self, scale: str | None = None) -> tuple[str, ...]:
+        """Registered names, optionally restricted to one scale."""
+        return tuple(
+            name
+            for name, workload in self._workloads.items()
+            if scale is None or scale in workload.scales
+        )
+
+    def with_tag(self, tag: str) -> tuple[Workload, ...]:
+        """All workloads carrying a tag."""
+        return tuple(
+            w for w in self._workloads.values() if tag in w.tags
+        )
+
+    # ------------------------------------------------------------------
+    def __iter__(self) -> Iterator[Workload]:
+        return iter(self._workloads.values())
+
+    def __len__(self) -> int:
+        return len(self._workloads)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._workloads

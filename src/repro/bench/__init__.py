@@ -10,11 +10,20 @@ from .figure8 import (
 from .harness import Experiment, ExperimentRow, format_table, run_experiment
 from .table1 import ALL_EXPERIMENTS
 from .validation import (
-    VALIDATION_WORKLOADS,
     run_validation,
     validation_experiment,
     write_validation_report,
 )
+
+
+def __getattr__(name: str):
+    # VALIDATION_WORKLOADS is itself a lazy registry view; re-exporting
+    # it eagerly here would cycle through repro.api during import.
+    if name == "VALIDATION_WORKLOADS":
+        from . import validation
+
+        return validation.VALIDATION_WORKLOADS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "Experiment",

@@ -10,6 +10,12 @@ pipeline —
 and returns a :class:`ExperimentRow` with the Spec/Opt/Act columns plus
 search statistics, ready for ``format_table``.
 
+Experiments are named and cataloged by the central registry
+(:func:`repro.api.default_registry`); the supported front door for
+synthesize-and-run is :class:`repro.api.Session`, which builds directly
+on :func:`synthesizer_for` / :func:`synthesize_experiment` /
+:func:`experiment_config` below.
+
 Absolute numbers are *not* expected to match the paper (our substrate is
 a simulator and our inputs are rescaled); the reproduced claims are the
 relationships: Spec ≫ Opt, Act tracking Opt, hash join beating BNL,

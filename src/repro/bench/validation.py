@@ -3,9 +3,11 @@
 The paper validates the estimator by compiling synthesized programs to C
 and measuring them on physical disks.  This bench closes the same loop
 with the pluggable backends: every workload is a scaled-down Table-1 row
-that is synthesized once, then its plans — the naive specification, the
-synthesized winner, and (when meaningfully distinct) a runner-up — are
-executed on *both* substrates:
+(the ``validation`` scale of the central
+:mod:`repro.api.catalog` registry) that is synthesized once — via
+:class:`repro.api.Session`, optionally in parallel — then its plans —
+the naive specification, the synthesized winner, and (when meaningfully
+distinct) a runner-up — are executed on *both* substrates:
 
 * ``sim`` — the analytic simulator (the prediction's operational twin);
 * ``file`` — real block-sized I/O against temp files.
@@ -31,248 +33,19 @@ from __future__ import annotations
 
 import json
 import math
-import time
 
-from ..hierarchy import (
-    KB,
-    hdd_flash_hierarchy,
-    hdd_ram_hierarchy,
-    ram_ssd_hdd_hierarchy,
-    two_hdd_hierarchy,
-)
-from ..codegen.plan import ExecutablePlan, compile_candidate
-from ..cost.annotated import atom, list_annot, tuple_annot
+from ..codegen.plan import ExecutablePlan
 from ..ocal.interp import substitute_blocks
-from ..runtime.accounting import InputSpec
 from ..runtime.backend import get_backend
-from ..symbolic import var
-from ..workloads.specs import (
-    aggregation_spec,
-    column_store_read_spec,
-    duplicate_removal_spec,
-    insertion_sort_spec,
-    multiset_union_sorted_spec,
-    naive_join_spec,
-    naive_product_spec,
-    set_union_spec,
-)
 from .harness import Experiment
 
 __all__ = [
     "VALIDATION_WORKLOADS",
+    "DEFAULT_WORKLOADS",
     "validation_experiment",
     "run_validation",
     "write_validation_report",
 ]
-
-_JOIN_ELEM = 512
-_SCAN_ELEM = 8
-
-
-def _join_annots():
-    return {
-        "R": list_annot(tuple_annot(atom(8), atom(_JOIN_ELEM - 8)), var("x")),
-        "S": list_annot(tuple_annot(atom(8), atom(_JOIN_ELEM - 8)), var("y")),
-    }
-
-
-def _bnl_join() -> Experiment:
-    x, y = 1024, 256
-    sel = 1.0 / x
-    return Experiment(
-        name="bnl-join",
-        spec=naive_join_spec(),
-        hierarchy=hdd_ram_hierarchy(64 * KB),
-        input_annots=_join_annots(),
-        input_locations={"R": "HDD", "S": "HDD"},
-        stats={"x": float(x), "y": float(y)},
-        inputs={
-            "R": InputSpec(x, _JOIN_ELEM, key_domain=x),
-            "S": InputSpec(y, _JOIN_ELEM, key_domain=x),
-        },
-        cond_probability=sel,
-        output_card_override=x * y * sel,
-        max_depth=5,
-        max_programs=400,
-        exclude_rules=("hash-part",),
-    )
-
-
-def _grace_join() -> Experiment:
-    base = _bnl_join()
-    base.name = "grace-join"
-    base.exclude_rules = ()
-    base.max_programs = 600
-    return base
-
-
-def _product(name, hierarchy, output) -> Experiment:
-    x = y = 256
-    return Experiment(
-        name=name,
-        spec=naive_product_spec(),
-        hierarchy=hierarchy,
-        input_annots=_join_annots(),
-        input_locations={"R": "HDD", "S": "HDD"},
-        stats={"x": float(x), "y": float(y)},
-        inputs={
-            "R": InputSpec(x, _JOIN_ELEM, key_domain=x),
-            "S": InputSpec(y, _JOIN_ELEM, key_domain=x),
-        },
-        output_location=output,
-        cond_probability=1.0,
-        max_depth=4,
-        max_programs=300,
-    )
-
-
-def _product_same_hdd() -> Experiment:
-    return _product("product-writeout-hdd", hdd_ram_hierarchy(16 * KB), "HDD")
-
-
-def _product_other_hdd() -> Experiment:
-    return _product(
-        "product-writeout-hdd2", two_hdd_hierarchy(16 * KB), "HDD2"
-    )
-
-
-def _product_flash() -> Experiment:
-    return _product(
-        "product-writeout-flash", hdd_flash_hierarchy(16 * KB), "SSD"
-    )
-
-
-def _external_sort() -> Experiment:
-    runs = 2048
-    return Experiment(
-        name="external-sort",
-        spec=insertion_sort_spec(),
-        hierarchy=hdd_ram_hierarchy(4 * KB),
-        input_annots={
-            "Rs": list_annot(list_annot(atom(_SCAN_ELEM), 1), var("x")),
-        },
-        input_locations={"Rs": "HDD"},
-        stats={"x": float(runs)},
-        inputs={"Rs": InputSpec(runs, _SCAN_ELEM, nested_runs=True)},
-        output_location="HDD",
-        max_depth=6,
-        max_programs=300,
-        max_treefold_arity=16,
-    )
-
-
-def _set_union() -> Experiment:
-    cards = 4096
-    return Experiment(
-        name="set-union",
-        spec=set_union_spec(),
-        hierarchy=hdd_ram_hierarchy(8 * KB),
-        input_annots={
-            "A": list_annot(atom(_SCAN_ELEM), var("x")),
-            "B": list_annot(atom(_SCAN_ELEM), var("y")),
-        },
-        input_locations={"A": "HDD", "B": "HDD"},
-        stats={"x": float(cards), "y": float(cards)},
-        inputs={
-            "A": InputSpec(cards, _SCAN_ELEM, sorted=True,
-                           key_domain=8 * cards),
-            "B": InputSpec(cards, _SCAN_ELEM, sorted=True,
-                           key_domain=8 * cards),
-        },
-        output_location="HDD",
-        cond_probability=1.0,
-        output_card_override=2.0 * cards,
-        max_depth=3,
-        max_programs=60,
-    )
-
-
-def _multiset_union() -> Experiment:
-    base = _set_union()
-    base.name = "multiset-union"
-    base.spec = multiset_union_sorted_spec()
-    return base
-
-
-def _dup_removal() -> Experiment:
-    rows = 16384
-    return Experiment(
-        name="dup-removal",
-        spec=duplicate_removal_spec(),
-        hierarchy=hdd_ram_hierarchy(8 * KB),
-        input_annots={"A": list_annot(atom(_SCAN_ELEM), var("x"))},
-        input_locations={"A": "HDD"},
-        stats={"x": float(rows)},
-        inputs={
-            "A": InputSpec(rows, _SCAN_ELEM, sorted=True,
-                           key_domain=int(rows * 0.7)),
-        },
-        output_location="HDD",
-        cond_probability=0.7,
-        output_card_override=rows * 0.7,
-        max_depth=3,
-        max_programs=40,
-    )
-
-
-def _aggregation() -> Experiment:
-    rows = 32768
-    return Experiment(
-        name="aggregation",
-        spec=aggregation_spec(),
-        hierarchy=hdd_ram_hierarchy(8 * KB),
-        input_annots={"A": list_annot(atom(_SCAN_ELEM), var("x"))},
-        input_locations={"A": "HDD"},
-        stats={"x": float(rows)},
-        inputs={"A": InputSpec(rows, _SCAN_ELEM)},
-        max_depth=3,
-        max_programs=40,
-    )
-
-
-def _aggregation_deep() -> Experiment:
-    """Aggregation over a three-level RAM→SSD→HDD chain — exercises the
-    arbitrary-tree path of estimator and backends end to end."""
-    base = _aggregation()
-    base.name = "aggregation-ram-ssd-hdd"
-    base.hierarchy = ram_ssd_hdd_hierarchy(8 * KB, ssd_size=64 * KB)
-    return base
-
-
-def _column_store() -> Experiment:
-    rows = 16384
-    columns = 5
-    names = [f"C{i + 1}" for i in range(columns)]
-    return Experiment(
-        name="column-store-5",
-        spec=column_store_read_spec(columns),
-        hierarchy=hdd_ram_hierarchy(8 * KB),
-        input_annots={
-            name: list_annot(atom(_SCAN_ELEM), var("x")) for name in names
-        },
-        input_locations={name: "HDD" for name in names},
-        stats={"x": float(rows)},
-        inputs={name: InputSpec(rows, _SCAN_ELEM) for name in names},
-        max_depth=3,
-        max_programs=40,
-    )
-
-
-#: name → factory for every scaled-down validation workload.
-VALIDATION_WORKLOADS = {
-    "bnl-join": _bnl_join,
-    "grace-join": _grace_join,
-    "product-writeout-hdd": _product_same_hdd,
-    "product-writeout-hdd2": _product_other_hdd,
-    "product-writeout-flash": _product_flash,
-    "external-sort": _external_sort,
-    "set-union": _set_union,
-    "multiset-union": _multiset_union,
-    "dup-removal": _dup_removal,
-    "aggregation": _aggregation,
-    "aggregation-ram-ssd-hdd": _aggregation_deep,
-    "column-store-5": _column_store,
-}
 
 #: the default validation set (≥ 6 scaled-down Table-1 workloads).
 DEFAULT_WORKLOADS = (
@@ -289,40 +62,58 @@ DEFAULT_WORKLOADS = (
 )
 
 
+_VALIDATION_VIEW: dict | None = None
+
+
+def __getattr__(name: str):
+    # A registry view, not another dict copy: name → experiment factory
+    # for every workload with a validation scale.  Kept as a lazy module
+    # attribute so importing the bench never eagerly builds the catalog;
+    # cached so repeated accesses return the same object.
+    global _VALIDATION_VIEW
+    if name == "VALIDATION_WORKLOADS":
+        if _VALIDATION_VIEW is None:
+            import functools
+
+            from ..api.catalog import default_registry
+
+            registry = default_registry()
+            _VALIDATION_VIEW = {
+                workload_name: functools.partial(
+                    registry.experiment, workload_name, "validation"
+                )
+                for workload_name in registry.names(scale="validation")
+            }
+        return _VALIDATION_VIEW
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 def validation_experiment(name: str) -> Experiment:
     """Instantiate one scaled-down validation workload by name."""
+    from ..api.catalog import default_registry
+    from ..api.workload import WorkloadError
+
+    registry = default_registry()
     try:
-        return VALIDATION_WORKLOADS[name]()
-    except KeyError:
+        workload = registry.get(name)
+        if "validation" not in workload.scales:
+            raise WorkloadError(
+                f"workload {name!r} has no validation scale"
+            )
+    except WorkloadError:
         raise ValueError(
             f"unknown validation workload {name!r}; "
-            f"expected one of {sorted(VALIDATION_WORKLOADS)}"
+            f"expected one of {sorted(registry.names(scale='validation'))}"
         ) from None
+    return workload.experiment("validation")
 
 
 # ----------------------------------------------------------------------
-def _spec_plan(experiment: Experiment) -> ExecutablePlan:
+def _spec_plan(spec) -> ExecutablePlan:
     return ExecutablePlan(
-        program=substitute_blocks(experiment.spec, {}),
+        program=substitute_blocks(spec, {}),
         parameter_values={},
     )
-
-
-def _runner_up(synthesis):
-    """A clearly-dominated alternative candidate, if the search kept one.
-
-    The threshold is deliberately coarse (2× the winner's predicted
-    cost): near-ties are exactly where the estimator's known blind spots
-    (CPU, request overhead, seek interference — §7.3) can legitimately
-    flip a real measurement, as the paper's own Act column shows.
-    """
-    best = synthesis.best
-    for candidate in synthesis.top:
-        if candidate.program is best.program or not candidate.derivation:
-            continue
-        if candidate.cost >= best.cost * 2.0:
-            return candidate
-    return None
 
 
 def _measured_cost(result) -> float:
@@ -340,33 +131,37 @@ def run_validation(
     seed: int = 7,
     workdir: str | None = None,
     strategy: str | None = "best-first",
+    parallel: int | None = None,
 ) -> dict:
-    """Run every named workload on both backends; return the report."""
-    from .harness import experiment_config, synthesize_experiment
+    """Run every named workload on both backends; return the report.
 
+    Synthesis goes through one :class:`repro.api.Session` (shared cost
+    memos; ``parallel`` > 1 fans it out over a process pool with
+    deterministic ordering); execution then compares each plan on the
+    simulator and the real-file backend.
+    """
+    from ..api.session import Session
+
+    session = Session(strategy=strategy or "best-first")
+    jobs = session.synthesize_all(
+        names, scale="validation", parallel=parallel
+    )
     sim = get_backend("sim")
     report: dict = {"seed": seed, "workloads": []}
-    for name in names:
-        experiment = validation_experiment(name)
-        started = time.perf_counter()
-        synthesis = synthesize_experiment(experiment, strategy=strategy)
-        synth_seconds = time.perf_counter() - started
-        config = experiment_config(experiment)
+    for name, job in zip(names, jobs):
         plans = [
-            ("winner", compile_candidate(synthesis.best), synthesis.opt_cost),
-            ("spec", _spec_plan(experiment), synthesis.spec_cost),
+            ("winner", job.plan, job.opt_cost),
+            ("spec", _spec_plan(job.spec), job.spec_cost),
         ]
-        runner = _runner_up(synthesis)
+        runner = job.runner_up()
         if runner is not None:
-            plans.append(
-                ("runner-up", compile_candidate(runner), runner.cost)
-            )
+            plans.append(("runner-up", runner.plan(), runner.cost))
         rows = []
         for plan_name, plan, predicted in plans:
             file_backend = get_backend("file", seed=seed, workdir=workdir)
-            sim_result = plan.execute(config, experiment.inputs, backend=sim)
+            sim_result = plan.execute(job.config, job.inputs, backend=sim)
             file_result = plan.execute(
-                config, experiment.inputs, backend=file_backend
+                job.config, job.inputs, backend=file_backend
             )
             devices = {
                 dev: {
@@ -417,8 +212,8 @@ def run_validation(
         report["workloads"].append(
             {
                 "workload": name,
-                "synth_seconds": synth_seconds,
-                "derivation": list(synthesis.best.derivation),
+                "synth_seconds": job.synth_seconds,
+                "derivation": list(job.derivation),
                 "plans": rows,
                 "predicted_ranking": predicted_ranking,
                 "measured_ranking": measured_ranking,
@@ -438,9 +233,12 @@ def write_validation_report(
     names=DEFAULT_WORKLOADS,
     seed: int = 7,
     workdir: str | None = None,
+    parallel: int | None = None,
 ) -> dict:
     """Run the validation and persist the JSON report."""
-    report = run_validation(names=names, seed=seed, workdir=workdir)
+    report = run_validation(
+        names=names, seed=seed, workdir=workdir, parallel=parallel
+    )
     with open(path, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -1,15 +1,27 @@
 """``python -m repro`` — synthesize and execute workloads from the shell.
 
+Every subcommand is a thin wrapper over the declarative front door
+(:mod:`repro.api`): one :class:`~repro.api.Session`, one
+:class:`~repro.api.Job`, one :class:`~repro.api.JobResult`.
+
 Subcommands:
 
-* ``list`` — available workloads, hierarchy presets, and backends;
-* ``run <workload>`` — synthesize a named (scaled-down Table-1) workload
-  and execute the winner on a chosen backend
-  (``--backend sim|file``, ``--hierarchy <preset>``), printing a
-  Table-1-style summary row;
+* ``list`` — available workloads (with scales), hierarchy presets, and
+  backends;
+* ``run <workload>`` — synthesize a named workload and execute the
+  winner on a chosen backend (``--backend sim|file``, ``--hierarchy
+  <preset>``), printing a Table-1-style summary row; ``--json`` emits
+  the machine-readable :meth:`~repro.api.JobResult.to_json` record
+  instead, ``--save-plan`` also persists the tuned plan;
+* ``synth <workload>`` — synthesis only: search, tune, print the
+  derivation, and (with ``--save-plan``) write the serialized plan so
+  it can be shipped and re-executed without re-searching;
+* ``exec --plan <file>`` — load a saved plan and execute it; the
+  synthesizer is never invoked (the emitted search counters are zero);
 * ``validate`` — run the predicted-vs-measured validation bench on both
-  backends and write ``BENCH_validation.json``; exits non-zero when the
-  synthesized winner is not ranked first on any workload (the CI gate);
+  backends (optionally ``--parallel N``) and write
+  ``BENCH_validation.json``; exits non-zero when the synthesized winner
+  is not ranked first on any workload (the CI gate);
 * ``fuzz`` — generative conformance testing: random well-typed OCAL
   programs differentially executed on the reference interpreter, the
   analytic simulator, and the real-file backend, over a bounded rewrite
@@ -19,8 +31,8 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import json
 import sys
-import time
 
 __all__ = ["main"]
 
@@ -37,30 +49,72 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list workloads, presets, and backends")
 
+    def add_synth_args(cmd, with_execution: bool) -> None:
+        cmd.add_argument("workload", help="workload name (see `list`)")
+        cmd.add_argument(
+            "--scale", default=None, choices=("validation", "table1"),
+            help="experiment scale (default: the workload's own default)",
+        )
+        cmd.add_argument(
+            "--strategy", default="best-first",
+            help="search strategy: exhaustive-bfs | beam | best-first",
+        )
+        cmd.add_argument(
+            "--save-plan", default=None, metavar="PATH",
+            help="write the tuned plan as a JSON document",
+        )
+        cmd.add_argument(
+            "--json", action="store_true",
+            help="emit a machine-readable JSON record instead of text",
+        )
+        if with_execution:
+            cmd.add_argument(
+                "--backend", default="sim",
+                help="execution backend: sim | file",
+            )
+            cmd.add_argument(
+                "--hierarchy", default=None,
+                help="hierarchy preset overriding the workload default",
+            )
+            cmd.add_argument(
+                "--ram-size", type=int, default=None,
+                help="root (buffer pool) size in bytes for --hierarchy",
+            )
+            cmd.add_argument(
+                "--seed", type=int, default=7, help="data seed (file)"
+            )
+            cmd.add_argument(
+                "--workdir", default=None,
+                help="directory for the file backend's temp files",
+            )
+
     run = sub.add_parser(
         "run", help="synthesize one workload and execute the winner"
     )
-    run.add_argument("workload", help="workload name (see `list`)")
-    run.add_argument(
+    add_synth_args(run, with_execution=True)
+
+    synth = sub.add_parser(
+        "synth", help="synthesize only; optionally save the tuned plan"
+    )
+    add_synth_args(synth, with_execution=False)
+
+    exec_ = sub.add_parser(
+        "exec", help="execute a saved plan without re-searching"
+    )
+    exec_.add_argument(
+        "--plan", required=True, help="plan document written by --save-plan"
+    )
+    exec_.add_argument(
         "--backend", default="sim", help="execution backend: sim | file"
     )
-    run.add_argument(
-        "--hierarchy",
-        default=None,
-        help="hierarchy preset overriding the workload default",
-    )
-    run.add_argument(
-        "--ram-size", type=int, default=None,
-        help="root (buffer pool) size in bytes for --hierarchy",
-    )
-    run.add_argument(
-        "--strategy", default="best-first",
-        help="search strategy: exhaustive-bfs | beam | best-first",
-    )
-    run.add_argument("--seed", type=int, default=7, help="data seed (file)")
-    run.add_argument(
+    exec_.add_argument("--seed", type=int, default=7, help="data seed (file)")
+    exec_.add_argument(
         "--workdir", default=None,
         help="directory for the file backend's temp files",
+    )
+    exec_.add_argument(
+        "--json", action="store_true",
+        help="emit a machine-readable JSON record instead of text",
     )
 
     validate = sub.add_parser(
@@ -76,6 +130,10 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     validate.add_argument("--seed", type=int, default=7)
     validate.add_argument("--workdir", default=None)
+    validate.add_argument(
+        "--parallel", type=int, default=None, metavar="N",
+        help="synthesize the workloads over N worker processes",
+    )
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -121,13 +179,15 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_list() -> int:
-    from .bench.validation import VALIDATION_WORKLOADS
+    from .api import default_registry
     from .hierarchy import HIERARCHY_PRESETS
     from .runtime import backend_names
 
+    registry = default_registry()
     print("workloads:")
-    for name in VALIDATION_WORKLOADS:
-        print(f"  {name}")
+    for workload in registry:
+        scales = ",".join(sorted(workload.scales))
+        print(f"  {workload.name:<26} [{scales}] {workload.description}")
     print("hierarchy presets:")
     for name in HIERARCHY_PRESETS:
         print(f"  {name}")
@@ -137,24 +197,24 @@ def _cmd_list() -> int:
     return 0
 
 
-def _cmd_run(args) -> int:
-    from .bench.harness import experiment_config, synthesize_experiment
-    from .bench.validation import validation_experiment
-    from .codegen.plan import compile_candidate
+def _synthesize_job(args, session):
+    """Shared synthesis step of ``run`` and ``synth`` (None on error)."""
+    from .api import WorkloadError
     from .hierarchy import hierarchy_preset
-    from .runtime import get_backend
 
     try:
-        experiment = validation_experiment(args.workload)
-    except ValueError as error:
+        workload = session.registry.get(args.workload)
+        experiment = workload.experiment(args.scale)
+        scale = args.scale or workload.default_scale
+    except WorkloadError as error:
         print(error, file=sys.stderr)
-        return 2
-    if args.hierarchy is not None:
+        return None
+    if getattr(args, "hierarchy", None) is not None:
         try:
             hierarchy = hierarchy_preset(args.hierarchy, args.ram_size)
         except ValueError as error:
             print(error, file=sys.stderr)
-            return 2
+            return None
         # The preset must provide every node the workload names.
         needed = set(experiment.input_locations.values())
         if experiment.output_location is not None:
@@ -167,65 +227,126 @@ def _cmd_run(args) -> int:
                 f"(preset nodes: {sorted(hierarchy.nodes)})",
                 file=sys.stderr,
             )
-            return 2
+            return None
         experiment.hierarchy = hierarchy
-    try:
-        backend = get_backend(
-            args.backend,
-            **(
-                {"seed": args.seed, "workdir": args.workdir}
-                if args.backend == "file"
-                else {}
-            ),
-        )
-    except ValueError as error:
-        print(error, file=sys.stderr)
-        return 2
+    job = session.synthesize(
+        experiment, scale=scale, strategy=args.strategy
+    )
+    return job
 
-    started = time.perf_counter()
-    synthesis = synthesize_experiment(experiment, strategy=args.strategy)
-    synth_seconds = time.perf_counter() - started
-    plan = compile_candidate(synthesis.best)
-    config = experiment_config(experiment)
-    result = plan.execute(config, experiment.inputs, backend=backend)
 
-    header = (
-        f"{'Experiment':<26} {'Spec[s]':>12} {'Opt[s]':>10} {'Act[s]':>10} "
-        f"{'Act/Opt':>8} {'Space':>6} {'Steps':>5} {'Synth[s]':>8}"
-    )
-    ratio = (
-        result.elapsed / synthesis.opt_cost
-        if synthesis.opt_cost > 0
-        else float("inf")
-    )
-    print(header)
-    print("-" * len(header))
-    print(
-        f"{experiment.name:<26} {synthesis.spec_cost:>12.5g} "
-        f"{synthesis.opt_cost:>10.4g} {result.elapsed:>10.4g} "
-        f"{ratio:>8.2f} {synthesis.search_space:>6} "
-        f"{synthesis.steps:>5} {synth_seconds:>8.2f}"
-    )
-    print(f"backend: {result.backend}  ({result.summary()})")
-    print(f"derivation: {' -> '.join(synthesis.best.derivation) or '(spec)'}")
-    if plan.parameter_values:
+def _print_run_row(job, result) -> None:
+    from .api import format_results
+
+    execution = result.execution
+    print(format_results([result]))
+    print(f"backend: {execution.backend}  ({execution.summary()})")
+    print(f"derivation: {' -> '.join(job.derivation) or '(spec)'}")
+    if job.plan.parameter_values:
         tuned = ", ".join(
             f"{name}={value}"
-            for name, value in sorted(plan.parameter_values.items())
+            for name, value in sorted(job.plan.parameter_values.items())
         )
         print(f"tuned parameters: {tuned}")
-    report = result.stats.report()
+    report = execution.stats.report()
     if report:
         print(report)
+
+
+def _resolve_backend(args):
+    """Fail fast on a bad backend name *before* paying for synthesis."""
+    from .runtime import get_backend
+
+    options = (
+        {"seed": args.seed, "workdir": args.workdir}
+        if args.backend == "file"
+        else {}
+    )
+    try:
+        return get_backend(args.backend, **options)
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return None
+
+
+def _cmd_run(args) -> int:
+    from .api import Session
+    from .codegen.plan import PlanError
+
+    backend = _resolve_backend(args)
+    if backend is None:
+        return 2
+    session = Session(strategy=args.strategy)
+    job = _synthesize_job(args, session)
+    if job is None:
+        return 2
+    try:
+        result = job.run(backend=backend)
+    except PlanError as error:
+        print(error, file=sys.stderr)
+        return 2
+    if args.save_plan:
+        job.save(args.save_plan)
+        if not args.json:
+            print(f"plan written to {args.save_plan}", file=sys.stderr)
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+    else:
+        _print_run_row(job, result)
+    return 0
+
+
+def _cmd_synth(args) -> int:
+    from .api import Session
+
+    session = Session(strategy=args.strategy)
+    job = _synthesize_job(args, session)
+    if job is None:
+        return 2
+    if args.save_plan:
+        job.save(args.save_plan)
+    if args.json:
+        record = job.to_json()
+        record["search"] = job.search.to_json()
+        record["synth_seconds"] = job.synth_seconds
+        print(json.dumps(record, indent=2, sort_keys=True))
+    else:
+        print(job.explain())
+        if args.save_plan:
+            print(f"plan written to {args.save_plan}")
+    return 0
+
+
+def _cmd_exec(args) -> int:
+    from .api import Job
+    from .codegen.plan import PlanError
+
+    backend = _resolve_backend(args)
+    if backend is None:
+        return 2
+    try:
+        job = Job.load(args.plan)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"cannot load plan {args.plan!r}: {error}", file=sys.stderr)
+        return 2
+    try:
+        result = job.run(backend=backend)
+    except PlanError as error:
+        print(error, file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(result.to_json(), indent=2, sort_keys=True))
+    else:
+        print(result.summary())
+        report = result.execution.stats.report()
+        if report:
+            print(report)
     return 0
 
 
 def _cmd_validate(args) -> int:
-    from .bench.validation import (
-        DEFAULT_WORKLOADS,
-        VALIDATION_WORKLOADS,
-        write_validation_report,
-    )
+    from .api import validation_scale_names
+    from .bench.validation import DEFAULT_WORKLOADS, write_validation_report
 
     names = (
         tuple(
@@ -239,17 +360,21 @@ def _cmd_validate(args) -> int:
     if not names:
         print("validate: no workloads selected", file=sys.stderr)
         return 2
-    unknown = sorted(set(names) - set(VALIDATION_WORKLOADS))
+    known = validation_scale_names()
+    unknown = sorted(set(names) - set(known))
     if unknown:
         print(
             f"validate: unknown workload(s) {unknown}; "
-            f"expected one of {sorted(VALIDATION_WORKLOADS)}",
+            f"expected one of {sorted(known)}",
             file=sys.stderr,
         )
         return 2
-    report = write_validation_report(
+    kwargs = dict(
         path=args.out, names=names, seed=args.seed, workdir=args.workdir
     )
+    if args.parallel:
+        kwargs["parallel"] = args.parallel
+    report = write_validation_report(**kwargs)
     for workload in report["workloads"]:
         status = "ok" if workload["winner_first"] else "DISAGREES"
         print(
@@ -327,6 +452,10 @@ def main(argv=None) -> int:
         return _cmd_list()
     if args.command == "run":
         return _cmd_run(args)
+    if args.command == "synth":
+        return _cmd_synth(args)
+    if args.command == "exec":
+        return _cmd_exec(args)
     if args.command == "validate":
         return _cmd_validate(args)
     if args.command == "fuzz":

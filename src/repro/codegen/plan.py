@@ -48,10 +48,18 @@ class ExecutablePlan:
         config: ExecutionConfig,
         inputs: dict[str, InputSpec],
         backend: "str | ExecutionBackend" = "sim",
+        **backend_options,
     ) -> ExecutionResult:
-        """Run the plan on the selected substrate (``"sim"``/``"file"``)."""
+        """Run the plan on the selected substrate (``"sim"``/``"file"``).
+
+        ``backend_options`` are forwarded to the backend constructor when
+        ``backend`` is a name (e.g. ``seed=``/``workdir=`` for the file
+        backend).  An unknown backend name, or options the backend
+        rejects, raise :class:`PlanError` listing the registered
+        backends — never a bare ``KeyError``/``TypeError``.
+        """
         try:
-            resolved = get_backend(backend)
+            resolved = get_backend(backend, **backend_options)
         except ValueError as exc:
             raise PlanError(str(exc)) from None
         return resolved.run(self.program, inputs, config)

@@ -15,7 +15,11 @@ against.  This package checks it against programs nobody hand-wrote:
 * :mod:`repro.conformance.shrink` — a counterexample minimizer that
   reduces any failing program to a small reproducible term;
 * :mod:`repro.conformance.corpus` — JSON (de)serialization of minimized
-  counterexamples under ``tests/conformance/corpus/``.
+  counterexamples under ``tests/conformance/corpus/``;
+* :mod:`repro.conformance.workloads` — the same oracle pointed at the
+  *actual* workload specs of the central registry
+  (:func:`repro.api.default_registry`), with concrete inputs derived
+  from each workload's own input schema.
 
 Entry point: ``python -m repro fuzz --seed 0 --count 200``.
 """
@@ -24,8 +28,11 @@ from .generator import GenConfig, GeneratedInput, GeneratedProgram, ProgramGener
 from .oracle import BatchResult, ConformanceFailure, Oracle, OracleConfig, run_conformance
 from .shrink import shrink_counterexample
 from .corpus import load_counterexample, save_counterexample
+from .workloads import check_workload_spec, workload_program
 
 __all__ = [
+    "check_workload_spec",
+    "workload_program",
     "GenConfig",
     "GeneratedInput",
     "GeneratedProgram",

@@ -6,21 +6,25 @@ OCAL program (a tagged tree mirroring the AST dataclasses), the concrete
 input relations with their placement, and the failure reason.  The test
 suite replays every corpus file on each run, so a fixed bug stays fixed.
 
-The encoding is generic over the AST: node objects become
-``{"__node__": "For", ...fields...}``, tuples become
-``{"__tuple__": [...]}`` (JSON has no tuple type and lambda patterns /
-input values need real tuples back), everything else must be a JSON
-scalar.
+The encoding is the shared tagged-tree codec of
+:mod:`repro.ocal.serialize` (also used by the api layer's plan
+documents): node objects become ``{"__node__": "For", ...fields...}``,
+tuples become ``{"__tuple__": [...]}`` (JSON has no tuple type and
+lambda patterns / input values need real tuples back), everything else
+must be a JSON scalar.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import json
 import os
 
-from ..ocal import ast as ast_module
-from ..ocal.ast import Node
+from ..ocal.serialize import (
+    decode_value as _decode,
+    encode_value as _encode,
+    node_from_json,
+    node_to_json,
+)
 from .generator import ELEM_KINDS, GeneratedInput, GeneratedProgram
 
 __all__ = [
@@ -30,52 +34,6 @@ __all__ = [
     "load_counterexample",
     "corpus_files",
 ]
-
-
-def _encode(value):
-    if isinstance(value, Node):
-        return node_to_json(value)
-    if isinstance(value, tuple):
-        return {"__tuple__": [_encode(item) for item in value]}
-    if isinstance(value, list):
-        return [_encode(item) for item in value]
-    if value is None or isinstance(value, (bool, int, float, str)):
-        return value
-    raise TypeError(f"cannot serialize {value!r} into a corpus file")
-
-
-def _decode(value):
-    if isinstance(value, dict):
-        if "__tuple__" in value:
-            return tuple(_decode(item) for item in value["__tuple__"])
-        return node_from_json(value)
-    if isinstance(value, list):
-        return [_decode(item) for item in value]
-    return value
-
-
-def node_to_json(node: Node) -> dict:
-    """Encode an OCAL expression as a tagged JSON tree."""
-    out: dict = {"__node__": type(node).__name__}
-    for field in dataclasses.fields(node):
-        out[field.name] = _encode(getattr(node, field.name))
-    return out
-
-
-def node_from_json(data: dict) -> Node:
-    """Decode a tagged JSON tree back into an OCAL expression."""
-    name = data.get("__node__")
-    cls = getattr(ast_module, name, None)
-    if cls is None or not (
-        isinstance(cls, type) and issubclass(cls, Node)
-    ):
-        raise ValueError(f"corpus file names unknown AST node {name!r}")
-    kwargs = {
-        key: _decode(value)
-        for key, value in data.items()
-        if key != "__node__"
-    }
-    return cls(**kwargs)
 
 
 # ----------------------------------------------------------------------

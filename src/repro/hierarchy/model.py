@@ -188,6 +188,56 @@ class MemoryHierarchy:
         return [n for name, n in self.nodes.items() if name not in parents]
 
     # ------------------------------------------------------------------
+    # Serialization (plan documents of the api layer)
+    # ------------------------------------------------------------------
+    def to_json(self) -> dict:
+        """A JSON-able description: nodes, parent links, edge costs."""
+        return {
+            "nodes": [
+                {
+                    "name": node.name,
+                    "size": node.size,
+                    "pagesize": node.pagesize,
+                    "max_seq_read": node.max_seq_read,
+                    "max_seq_write": node.max_seq_write,
+                }
+                for node in self.nodes.values()
+            ],
+            "parents": dict(self.parents),
+            "edges": [
+                {"src": src, "dst": dst, "init": cost.init, "unit": cost.unit}
+                for (src, dst), cost in self.edges.items()
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "MemoryHierarchy":
+        """Rebuild a hierarchy from :meth:`to_json` output (validated)."""
+        try:
+            nodes = {
+                spec["name"]: MemoryNode(
+                    name=spec["name"],
+                    size=spec["size"],
+                    pagesize=spec.get("pagesize", 1),
+                    max_seq_read=spec.get("max_seq_read"),
+                    max_seq_write=spec.get("max_seq_write"),
+                )
+                for spec in data["nodes"]
+            }
+            edges = {
+                (spec["src"], spec["dst"]): EdgeCost(
+                    init=spec.get("init", 0.0), unit=spec.get("unit", 0.0)
+                )
+                for spec in data["edges"]
+            }
+            parents = dict(data["parents"])
+        except (KeyError, TypeError) as error:
+            raise HierarchyError(
+                f"malformed hierarchy document: {error}"
+            ) from None
+        return cls(nodes=nodes, parents=parents, edges=edges)
+
+    # ------------------------------------------------------------------
     # Validation
     # ------------------------------------------------------------------
     def _validate(self) -> None:

@@ -94,6 +94,11 @@ def get_backend(backend: "str | ExecutionBackend", **options) -> ExecutionBacken
     ``get_backend("file", workdir=..., seed=7)``.
     """
     if not isinstance(backend, str):
+        if options:
+            raise ValueError(
+                f"backend options {sorted(options)} cannot be applied to "
+                f"an already-constructed backend instance"
+            )
         return backend
     _ensure_file_backend()
     try:
@@ -103,4 +108,13 @@ def get_backend(backend: "str | ExecutionBackend", **options) -> ExecutionBacken
             f"unknown execution backend {backend!r}; "
             f"expected one of {sorted(_REGISTRY)}"
         ) from None
-    return factory(**options)
+    if not options:
+        # No caller kwargs to misattribute: let real constructor bugs
+        # surface with their own traceback.
+        return factory()
+    try:
+        return factory(**options)
+    except TypeError as error:
+        raise ValueError(
+            f"backend {backend!r} rejected options {sorted(options)}: {error}"
+        ) from None

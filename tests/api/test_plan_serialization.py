@@ -1,0 +1,138 @@
+"""Plan documents: ship a synthesized algorithm, re-execute it bit-identically.
+
+The acceptance loop: ``Job.to_json()`` → ``Job.from_json()`` →
+``job.run()`` reproduces the original execution exactly — on the
+analytic simulator *and* on the real-file backend (same seed, same
+counters) — for several Table-1 workloads, without ever invoking the
+synthesizer again (search-stat counters stay zero and the Synthesizer
+class is fenced off during replay).
+"""
+
+import json
+
+import pytest
+
+from repro.api import PLAN_FORMAT, Job, Session
+from repro.codegen.plan import PlanError
+
+WORKLOADS = ("aggregation", "multiset-union", "dup-removal")
+
+
+@pytest.fixture(scope="module")
+def jobs():
+    session = Session()
+    return session.synthesize_all(WORKLOADS)
+
+
+def _device_counters(result):
+    return {
+        name: (
+            stats.reads,
+            stats.writes,
+            stats.bytes_read,
+            stats.bytes_written,
+            stats.seeks,
+            stats.erases,
+        )
+        for name, stats in result.execution.stats.devices.items()
+    }
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+class TestRoundTrip:
+    def _round_trip(self, jobs, workload) -> tuple[Job, Job]:
+        job = next(j for j in jobs if j.workload == workload)
+        # Through an actual JSON byte string, like a file on the wire.
+        blob = json.dumps(job.to_json(), sort_keys=True)
+        return job, Job.from_json(json.loads(blob))
+
+    def test_sim_execution_is_bit_identical(self, jobs, workload):
+        job, loaded = self._round_trip(jobs, workload)
+        original = job.run(backend="sim")
+        replayed = loaded.run(backend="sim")
+        assert replayed.execution.elapsed == original.execution.elapsed
+        assert replayed.execution.output_card == original.execution.output_card
+        assert _device_counters(replayed) == _device_counters(original)
+
+    def test_file_execution_is_bit_identical(self, jobs, workload, tmp_path):
+        job, loaded = self._round_trip(jobs, workload)
+        original = job.run(
+            backend="file", seed=7, workdir=str(tmp_path / "a")
+        )
+        replayed = loaded.run(
+            backend="file", seed=7, workdir=str(tmp_path / "b")
+        )
+        # The priced cost and every measured counter must match; only
+        # wall-clock (real time) may differ between the two runs.
+        assert replayed.execution.elapsed == original.execution.elapsed
+        assert replayed.execution.output_card == original.execution.output_card
+        assert _device_counters(replayed) == _device_counters(original)
+
+    def test_loaded_job_never_searches(self, jobs, workload, monkeypatch):
+        from repro.search.synthesizer import Synthesizer
+
+        job, loaded = self._round_trip(jobs, workload)
+
+        def forbidden(self, *args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("plan replay must not invoke the synthesizer")
+
+        monkeypatch.setattr(Synthesizer, "synthesize", forbidden)
+        result = loaded.run(backend="sim")
+        assert result.elapsed > 0
+        # Search-stat counters of a loaded plan stay zero.
+        assert loaded.search.space == 0
+        assert loaded.search.costed == 0
+        assert result.to_json()["search"]["space"] == 0
+
+
+class TestDocuments:
+    def test_format_mismatch_rejected(self, jobs):
+        document = jobs[0].to_json()
+        document["format"] = "repro-plan/999"
+        with pytest.raises(PlanError, match="repro-plan/999"):
+            Job.from_json(document)
+        document.pop("format")
+        with pytest.raises(PlanError, match="unsupported plan document"):
+            Job.from_json(document)
+
+    def test_malformed_node_tree_raises_value_error_not_key_error(self, jobs):
+        # The codec's error contract: a truncated/hand-edited program
+        # tree surfaces as ValueError, never a bare KeyError.
+        document = jobs[0].to_json()
+        document["program"] = {}
+        with pytest.raises(ValueError, match="unknown"):
+            Job.from_json(document)
+
+    def test_non_object_document_rejected_cleanly(self):
+        with pytest.raises(PlanError, match="must be a JSON object"):
+            Job.from_json([])
+        with pytest.raises(PlanError, match="must be a JSON object"):
+            Job.from_json("repro-plan/1")
+
+    def test_version_drift_warns_but_loads(self, jobs):
+        document = jobs[0].to_json()
+        document["repro_version"] = "0.0.0-other"
+        with pytest.warns(UserWarning, match="0.0.0-other"):
+            Job.from_json(document)
+
+    def test_document_is_self_contained(self, jobs):
+        document = jobs[0].to_json()
+        assert document["format"] == PLAN_FORMAT
+        assert document["workload"] == jobs[0].workload
+        assert document["config"]["hierarchy"]["nodes"]
+        assert document["inputs"]
+        assert document["parameter_values"] == jobs[0].plan.parameter_values
+
+    def test_save_and_load_file(self, jobs, tmp_path):
+        path = jobs[0].save(str(tmp_path / "plan.json"))
+        loaded = Job.load(path)
+        assert loaded.workload == jobs[0].workload
+        assert loaded.derivation == jobs[0].derivation
+        assert loaded.plan.parameter_values == jobs[0].plan.parameter_values
+
+    def test_session_load_plan_applies_backend_defaults(self, jobs, tmp_path):
+        path = jobs[0].save(str(tmp_path / "plan.json"))
+        session = Session(backend="sim")
+        loaded = session.load_plan(path)
+        assert loaded.backend == "sim"
+        assert loaded.run().elapsed > 0

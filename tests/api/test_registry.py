@@ -1,0 +1,104 @@
+"""The central workload registry: the single source of name → spec truth."""
+
+import pytest
+
+from repro.api import Workload, WorkloadError, WorkloadRegistry, default_registry
+from repro.bench.table1 import ALL_EXPERIMENTS
+from repro.bench.validation import VALIDATION_WORKLOADS, validation_experiment
+
+
+class TestDefaultCatalog:
+    def test_covers_all_16_table1_workloads_exactly_once(self):
+        # The acceptance invariant: every Table-1 row is reachable from
+        # the registry under exactly one canonical name.
+        registry = default_registry()
+        table1_titles = [
+            workload.experiment("table1").name
+            for workload in registry
+            if "table1" in workload.scales
+        ]
+        expected = [factory().name for factory in ALL_EXPERIMENTS]
+        assert len(table1_titles) == 16
+        assert sorted(table1_titles) == sorted(expected)
+        assert len(set(table1_titles)) == 16  # no title claimed twice
+
+    def test_validation_names_match_the_legacy_catalog(self):
+        registry = default_registry()
+        assert set(registry.names(scale="validation")) == {
+            "bnl-join",
+            "grace-join",
+            "product-writeout-hdd",
+            "product-writeout-hdd2",
+            "product-writeout-flash",
+            "external-sort",
+            "set-union",
+            "multiset-union",
+            "column-store-5",
+            "dup-removal",
+            "aggregation",
+            "aggregation-ram-ssd-hdd",
+        }
+
+    def test_every_workload_instantiates_at_every_declared_scale(self):
+        for workload in default_registry():
+            for scale in workload.scales:
+                experiment = workload.experiment(scale)
+                assert experiment.spec is not None
+                assert experiment.input_annots
+
+    def test_validation_scale_experiments_keep_registry_names(self):
+        # CLI output and validation reports key on the registry name.
+        registry = default_registry()
+        for name in registry.names(scale="validation"):
+            assert registry.experiment(name, "validation").name == name
+
+    def test_default_scale_prefers_validation(self):
+        registry = default_registry()
+        assert registry.get("aggregation").default_scale == "validation"
+        assert registry.get("bnl-with-cache").default_scale == "table1"
+
+    def test_tags_select_workload_families(self):
+        registry = default_registry()
+        joins = {w.name for w in registry.with_tag("join")}
+        assert "bnl-join" in joins and "grace-join" in joins
+        assert "aggregation" not in joins
+
+
+class TestRegistryBehavior:
+    def test_unknown_name_lists_registered_ones(self):
+        with pytest.raises(WorkloadError, match="tape-robot.*aggregation"):
+            default_registry().get("tape-robot")
+
+    def test_missing_scale_is_an_error(self):
+        with pytest.raises(WorkloadError, match="no 'validation' scale"):
+            default_registry().experiment("bnl-with-cache", "validation")
+
+    def test_duplicate_registration_rejected(self):
+        registry = WorkloadRegistry()
+        workload = default_registry().get("aggregation")
+        registry.register(workload)
+        with pytest.raises(WorkloadError, match="already registered"):
+            registry.register(workload)
+
+    def test_workload_requires_known_scales(self):
+        with pytest.raises(WorkloadError, match="unknown scale"):
+            Workload(name="w", scales={"jumbo": lambda: None})
+        with pytest.raises(WorkloadError, match="no scales"):
+            Workload(name="w", scales={})
+
+
+class TestLegacyViews:
+    """The bench-module views are projections of the registry, not copies."""
+
+    def test_validation_workloads_view_matches_registry(self):
+        assert set(VALIDATION_WORKLOADS) == set(
+            default_registry().names(scale="validation")
+        )
+        experiment = VALIDATION_WORKLOADS["aggregation"]()
+        assert experiment.name == "aggregation"
+
+    def test_validation_experiment_still_raises_value_error(self):
+        with pytest.raises(ValueError, match="unknown validation workload"):
+            validation_experiment("tape-robot")
+        with pytest.raises(ValueError, match="unknown validation workload"):
+            validation_experiment("bnl-with-cache")  # table1-only

@@ -5,12 +5,16 @@ chain) for all 16 Table-1 experiments under each of the three search
 strategies, so search/cost refactors cannot silently change synthesis
 results.  The goldens live in ``goldens/table1_winners.json``.
 
+The harness runs through the declarative front door:
+``Session.synthesize_all`` over the central registry's ``table1``-scale
+workloads — one session shared across the three strategies, so its
+per-hierarchy synthesizers (and their cost memos) amortize estimation
+and tuning (≈30s total, not minutes).  This doubles as the acceptance
+check that batch synthesis returns exactly the golden winners.
+
 To regenerate after an *intentional* change::
 
     PYTHONPATH=src python tests/bench/test_table1_golden.py --regen
-
-One synthesizer per experiment is shared across the three strategies,
-so cost estimation and tuning are memoized (≈30s total, not minutes).
 """
 
 import json
@@ -18,8 +22,7 @@ import os
 
 import pytest
 
-from repro.bench.harness import synthesize_experiment, synthesizer_for
-from repro.bench.table1 import ALL_EXPERIMENTS
+from repro.api import Session, default_registry
 from repro.ocal.printer import pretty
 
 GOLDEN_PATH = os.path.join(
@@ -34,20 +37,16 @@ def _load_goldens() -> dict:
 
 
 def _synthesize_all() -> dict:
+    session = Session()
+    names = session.workloads(scale="table1")
     results: dict = {}
-    for factory in ALL_EXPERIMENTS:
-        experiment = factory()
-        synthesizer = synthesizer_for(experiment)
-        per_strategy = {}
-        for strategy in STRATEGIES:
-            synthesis = synthesize_experiment(
-                experiment, strategy=strategy, synthesizer=synthesizer
-            )
-            per_strategy[strategy] = {
-                "program": pretty(synthesis.best.program),
-                "derivation": list(synthesis.best.derivation),
+    for strategy in STRATEGIES:
+        jobs = session.synthesize_all(names, scale="table1", strategy=strategy)
+        for job in jobs:
+            results.setdefault(job.workload, {})[strategy] = {
+                "program": pretty(job.winner),
+                "derivation": list(job.derivation),
             }
-        results[experiment.name] = per_strategy
     return results
 
 
@@ -62,7 +61,11 @@ def goldens():
 
 
 def test_golden_file_covers_all_workloads_and_strategies(goldens):
-    names = {factory().name for factory in ALL_EXPERIMENTS}
+    names = {
+        workload.experiment("table1").name
+        for workload in default_registry()
+        if "table1" in workload.scales
+    }
     assert set(goldens) == names
     for name, per_strategy in goldens.items():
         assert set(per_strategy) == set(STRATEGIES), name

@@ -42,6 +42,29 @@ class TestPlanErrors:
         with pytest.raises(PlanError, match="unknown execution backend"):
             plan.execute(config(), {"A": InputSpec(16, 8)}, backend="gpu")
 
+    def test_unknown_backend_error_lists_registered_backends(self):
+        # The error must name the valid choices, and surface as a
+        # PlanError — never a bare KeyError from the registry dict.
+        plan = ExecutablePlan(program=scan(64), parameter_values={"k1": 64})
+        with pytest.raises(PlanError, match=r"'file', 'sim'"):
+            plan.execute(config(), {"A": InputSpec(16, 8)}, backend="gpu")
+
+    def test_rejected_backend_options_surface_as_plan_error(self):
+        # The sim backend takes no options; the TypeError must not leak.
+        plan = ExecutablePlan(program=scan(64), parameter_values={"k1": 64})
+        with pytest.raises(PlanError, match="rejected options.*seed"):
+            plan.execute(
+                config(), {"A": InputSpec(16, 8)}, backend="sim", seed=3
+            )
+
+    def test_options_on_backend_instance_rejected(self):
+        plan = ExecutablePlan(program=scan(64), parameter_values={"k1": 64})
+        with pytest.raises(PlanError, match="already-constructed"):
+            plan.execute(
+                config(), {"A": InputSpec(16, 8)},
+                backend=SimBackend(), seed=3,
+            )
+
     def test_partial_binding_still_rejected(self):
         program = for_(
             "xB",

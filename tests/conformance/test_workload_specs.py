@@ -1,0 +1,57 @@
+"""Registry-driven conformance: every catalog spec passes the oracle.
+
+The central registry is the single source of workload truth, so the
+differential oracle consumes it directly: each workload's *naive spec*
+runs — together with a bounded rewrite closure — through the reference
+interpreter, the analytic SimBackend, and the real-file FileBackend on
+small concrete inputs derived from the workload's own input schema.
+
+A workload added to the catalog is covered here automatically; no
+second name → spec table exists to fall out of sync.
+"""
+
+import pytest
+
+from repro.api import default_registry
+from repro.conformance import OracleConfig, check_workload_spec
+from repro.conformance.workloads import workload_input_kinds, workload_program
+
+REGISTRY = default_registry()
+CONFIG = OracleConfig(closure_depth=1, closure_cap=12)
+
+
+@pytest.mark.parametrize(
+    "name", [workload.name for workload in REGISTRY]
+)
+def test_catalog_spec_passes_the_differential_oracle(name):
+    report = check_workload_spec(REGISTRY.get(name), config=CONFIG)
+    assert report.ok, report.failures[0].describe()
+    assert report.closure_size >= 1
+
+
+def test_input_kinds_derive_from_the_workload_schema():
+    kinds = workload_input_kinds(
+        REGISTRY.get("bnl-join").experiment("validation")
+    )
+    assert kinds == {"R": "pair", "S": "pair"}
+    kinds = workload_input_kinds(
+        REGISTRY.get("external-sort").experiment("validation")
+    )
+    assert kinds == {"Rs": "runs"}
+    kinds = workload_input_kinds(
+        REGISTRY.get("multiset-union-mult").experiment("table1")
+    )
+    assert kinds == {"A": "pair", "B": "pair"}
+
+
+def test_generated_inputs_respect_sortedness():
+    gen = workload_program(REGISTRY.get("dup-removal"))
+    (inp,) = gen.inputs.values()
+    assert inp.sorted
+    assert inp.values == sorted(inp.values)
+    gen = workload_program(REGISTRY.get("multiset-union-mult"))
+    for inp in gen.inputs.values():
+        firsts = [pair[0] for pair in inp.values]
+        assert firsts == sorted(firsts)
+        assert len(set(firsts)) == len(firsts)  # unique multiset values
+        assert all(mult >= 1 for _, mult in inp.values)
