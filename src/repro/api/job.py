@@ -64,6 +64,14 @@ class SearchStats:
     cache_hits: int = 0
     cache_misses: int = 0
     strategy: str = ""
+    #: incremental re-estimation counters (DESIGN.md §11).
+    subtree_hits: int = 0
+    subtree_misses: int = 0
+    #: entries resident in the shared CostMemo after this job
+    #: (estimates, tunings, subtrees) — cumulative across the session.
+    memo_estimates: int = 0
+    memo_tunings: int = 0
+    memo_subtrees: int = 0
 
     def to_json(self) -> dict:
         return {f.name: getattr(self, f.name) for f in fields(self)}
@@ -243,6 +251,11 @@ class Job:
                 f"({self.search.strategy or self.strategy}), "
                 f"{len(self.derivation)} steps, "
                 f"{self.synth_seconds:.2f}s"
+            )
+            lines.append(
+                f"cost memo: {self.search.memo_estimates} estimates, "
+                f"{self.search.memo_tunings} tunings, "
+                f"{self.search.memo_subtrees} subtrees"
             )
         else:
             lines.append("search: none (plan loaded, not synthesized)")

@@ -285,6 +285,11 @@ class Session:
                 cache_hits=synthesis.cache.hits,
                 cache_misses=synthesis.cache.lookups - synthesis.cache.hits,
                 strategy=synthesis.strategy,
+                subtree_hits=synthesis.cache.subtree_hits,
+                subtree_misses=synthesis.cache.subtree_misses,
+                memo_estimates=synthesis.memo_sizes[0],
+                memo_tunings=synthesis.memo_sizes[1],
+                memo_subtrees=synthesis.memo_sizes[2],
             ),
             alternatives=tuple(alternatives),
             backend=self.backend,

@@ -1,4 +1,4 @@
-"""Keyed memoization for the costing pipeline (DESIGN.md §6.3).
+"""Keyed memoization for the costing pipeline (DESIGN.md §6.3, §11).
 
 Costing a candidate is two-phase: the Section-5 **estimator** walks the
 program and produces a symbolic cost with constraints, then the penalty
@@ -11,14 +11,29 @@ routes them through a :class:`CostMemo`:
   synthesize calls over the same model, and any strategy that re-visits
   a program, reuse the full symbolic estimate;
 * **tunings** are keyed by the *optimization problem* — the cost
-  expression, constraints, parameter set and statistics.  Distinct
-  programs frequently induce the identical problem (block-parameter
-  names are canonicalized to ``k1, k2, …``, so e.g. variants that move
-  an annotation without changing the transfer structure collide), and
-  the pattern search is run once per problem, not once per candidate.
+  expression, constraints, parameter set and statistics.  The estimator
+  interns these expressions (:func:`repro.symbolic.intern_expr`), so the
+  key hashes are cached on shared instances and equality probes
+  short-circuit on pointer identity.  Distinct programs frequently
+  induce the identical problem (block-parameter names are canonicalized
+  to ``k1, k2, …``, so e.g. variants that move an annotation without
+  changing the transfer structure collide), and the pattern search is
+  run once per problem, not once per candidate;
+* **subtrees** back incremental re-estimation: per ``(subtree,
+  context-bindings)`` visit results plus a replayable side-effect
+  journal, so a rewrite-derived candidate only re-walks the spine from
+  its rewritten position to the root (see
+  :class:`~repro.cost.estimator.CostEstimator`).
 
 Hit/miss counters are exposed as :class:`CacheStats` and surfaced on
 ``SynthesisResult`` so benchmarks can report cache effectiveness.
+
+**Bounded growth.**  A long ``Session.synthesize_all`` batch funnels
+every candidate of every workload through shared memos; each table is
+therefore capped at ``maxsize`` entries and cleared wholesale when the
+cap is hit.  Eviction only ever costs recomputation — the tables cache
+pure functions — and wholesale clearing is deliberate: these are
+monotone-growth caches with no recency structure worth tracking.
 
 A ``CostMemo`` must only be shared between runs that cost against the
 same :class:`~repro.cost.estimator.CostModel`; the synthesizer keeps one
@@ -27,7 +42,7 @@ memo per model fingerprint.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from ..ocal.ast import Node
@@ -39,15 +54,23 @@ __all__ = ["CacheStats", "CostMemo"]
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters for one memoization scope."""
+    """Hit/miss counters for one memoization scope.
+
+    ``estimate``/``tune`` count whole-candidate lookups; ``subtree``
+    counts the estimator's incremental re-estimation cache (one lookup
+    per cacheable subtree visit, so the magnitudes differ).
+    """
 
     estimate_hits: int = 0
     estimate_misses: int = 0
     tune_hits: int = 0
     tune_misses: int = 0
+    subtree_hits: int = 0
+    subtree_misses: int = 0
 
     @property
     def lookups(self) -> int:
+        """Whole-candidate lookups (estimates + tunings)."""
         return (
             self.estimate_hits
             + self.estimate_misses
@@ -65,12 +88,20 @@ class CacheStats:
         lookups = self.lookups
         return self.hits / lookups if lookups else 0.0
 
+    @property
+    def subtree_hit_rate(self) -> float:
+        """Fraction of subtree visits served from cache (0.0 when unused)."""
+        lookups = self.subtree_hits + self.subtree_misses
+        return self.subtree_hits / lookups if lookups else 0.0
+
     def snapshot(self) -> "CacheStats":
         return CacheStats(
             self.estimate_hits,
             self.estimate_misses,
             self.tune_hits,
             self.tune_misses,
+            self.subtree_hits,
+            self.subtree_misses,
         )
 
     def since(self, earlier: "CacheStats") -> "CacheStats":
@@ -80,6 +111,8 @@ class CacheStats:
             self.estimate_misses - earlier.estimate_misses,
             self.tune_hits - earlier.tune_hits,
             self.tune_misses - earlier.tune_misses,
+            self.subtree_hits - earlier.subtree_hits,
+            self.subtree_misses - earlier.subtree_misses,
         )
 
 
@@ -89,11 +122,20 @@ _FAILED = object()
 
 
 class CostMemo:
-    """Memoization tables for estimates and parameter tunings."""
+    """Memoization tables for estimates, parameter tunings and subtrees.
 
-    def __init__(self) -> None:
+    ``maxsize`` caps each table individually; a table past the cap is
+    cleared wholesale before the next insert (recomputation, never
+    wrong answers — see the module docstring).
+    """
+
+    def __init__(self, maxsize: int = 1 << 17) -> None:
+        self.maxsize = maxsize
         self._estimates: dict[Node, object] = {}
         self._tunings: dict[object, OptimizationResult] = {}
+        #: (subtree, context) -> (Located, CostEvents, journal); read and
+        #: written by CostEstimator._visit.
+        self.subtrees: dict = {}
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
@@ -112,6 +154,8 @@ class CostMemo:
                 raise EstimatorError("memoized estimation failure")
             return cached  # type: ignore[return-value]
         self.stats.estimate_misses += 1
+        if len(self._estimates) >= self.maxsize:
+            self._estimates.clear()
         try:
             estimate = compute()
         except EstimatorError:
@@ -127,7 +171,12 @@ class CostMemo:
         stats: dict[str, float],
         penalty_rounds: int = 2,
     ) -> OptimizationResult:
-        """Tune the parameters of *estimate*, memoized by problem identity."""
+        """Tune the parameters of *estimate*, memoized by problem identity.
+
+        The estimator hands over interned expressions, so hashing the
+        key reuses cached hashes and equality hits the pointer fast
+        path.
+        """
         key = (
             estimate.total,
             tuple(estimate.constraints),
@@ -140,6 +189,8 @@ class CostMemo:
             self.stats.tune_hits += 1
             return cached
         self.stats.tune_misses += 1
+        if len(self._tunings) >= self.maxsize:
+            self._tunings.clear()
         tuned = ParameterOptimizer(
             cost=estimate.total,
             constraints=estimate.constraints,
@@ -151,10 +202,18 @@ class CostMemo:
         return tuned
 
     # ------------------------------------------------------------------
-    def sizes(self) -> tuple[int, int]:
-        """(cached estimates, cached tunings) — introspection for tests."""
-        return len(self._estimates), len(self._tunings)
+    def store_subtree(self, key, value) -> None:
+        """Insert one incremental-estimation entry, respecting maxsize."""
+        if len(self.subtrees) >= self.maxsize:
+            self.subtrees.clear()
+        self.subtrees[key] = value
+
+    # ------------------------------------------------------------------
+    def sizes(self) -> tuple[int, int, int]:
+        """(estimates, tunings, subtrees) cached — introspection."""
+        return len(self._estimates), len(self._tunings), len(self.subtrees)
 
     def clear(self) -> None:
         self._estimates.clear()
         self._tunings.clear()
+        self.subtrees.clear()

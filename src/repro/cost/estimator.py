@@ -32,6 +32,21 @@ documented in DESIGN.md §4):
 
 The estimator deliberately charges **no CPU cost** — exactly the
 simplification the paper makes and measures the consequences of in §7.3.
+
+**Incremental re-estimation (DESIGN.md §11).**  Search candidates are
+rewrite-derived: each child program edits one subtree of its parent, so
+most subtrees reappear verbatim across hundreds of candidates.  When a
+:class:`~repro.cost.cache.CostMemo` is supplied, ``_visit`` results are
+cached per ``(subtree, context-bindings)`` key together with a journal
+of the side effects the visit performed (constraints emitted, parameters
+registered, capacity terms recorded); a later candidate re-walks only
+the spine from its rewritten position to the root and replays the
+journal for everything else.  Subtrees that allocate fresh spill-buffer
+names (``bout1, bout2, …`` — a global counter) are not cached, since
+their results depend on allocation order.  The cache is gated by the
+``REPRO_COMPILED_COST`` escape hatch along with the rest of the costing
+fast lane, and replay is order-preserving, so cached and uncached
+estimation produce identical estimates.
 """
 
 from __future__ import annotations
@@ -72,6 +87,9 @@ from ..symbolic import (
     as_expr,
     ceil,
     ceil_log2,
+    compile_expr,
+    compiled_cost_enabled,
+    intern_expr,
     simplify,
     smax,
     smin,
@@ -165,6 +183,10 @@ class CostEstimate:
 #: shapes) by at most ~6%; ``BestFirst.margin`` absorbs that slack.
 _OPTIMISM_LADDER = tuple(2.0 ** e for e in range(0, 41))
 
+#: Deliberately broader than the optimizer's domain-error set: the
+#: admissible-bound relaxation probes terms under partial environments,
+#: where an unbound variable just means "no usable bound" (``inf``),
+#: not a malformed problem.
 _EVAL_ERRORS = (KeyError, ValueError, ZeroDivisionError, OverflowError)
 
 
@@ -209,9 +231,12 @@ def _term_minimum(
     """
     import itertools
 
+    evaluate = (
+        compile_expr(term).fn if compiled_cost_enabled() else term.evaluate
+    )
     if not params:
         try:
-            return term.evaluate(dict(stats))
+            return evaluate(dict(stats))
         except _EVAL_ERRORS:
             return math.inf
     if len(params) <= 2:
@@ -225,11 +250,11 @@ def _term_minimum(
             for rank in range(width)
         )
     best = math.inf
+    env = dict(stats)
     for assignment in assignments:
-        env = dict(stats)
         env.update(zip(params, assignment))
         try:
-            best = min(best, term.evaluate(env))
+            best = min(best, evaluate(env))
         except _EVAL_ERRORS:
             continue
     return best
@@ -268,10 +293,56 @@ def optimistic_cost(estimate: CostEstimate, stats: dict[str, float]) -> float:
     return bound
 
 
-class CostEstimator:
-    """Costs OCAL programs against a :class:`CostModel`."""
+@dataclass
+class _Frame:
+    """Side effects of one in-flight subtree visit (the journal)."""
 
-    def __init__(self, model: CostModel) -> None:
+    ops: list = field(default_factory=list)
+    #: True when the subtree allocated a fresh ``boutN`` name — its
+    #: result depends on global allocation order and must not be cached.
+    volatile: bool = False
+
+
+#: Node types whose visits are worth caching: composite expressions that
+#: trigger annotation work and transfer charging.  Leaves and bare
+#: function values (costed as zero until applied) are cheaper to re-walk
+#: than to key.
+_CACHED_NODE_TYPES = (App, Concat, For, If, Prim, Proj, Sing, SizeAnnot, Tup)
+
+
+#: Binder-aware free variables per (hash-consed) OCAL node, memoized —
+#: subtree cache keys restrict the context to them.  Delegates to the
+#: one binder-aware implementation (:func:`repro.ocal.ast.free_vars`)
+#: so the cache key can never drift from the language's scoping rules.
+#: Bounded like the other fast-lane memos: cleared wholesale past the
+#: cap.
+_NODE_FREE_VARS: dict[Node, frozenset[str]] = {}
+_NODE_FREE_VARS_MAX = 1 << 18
+
+
+def _node_free_vars(node: Node) -> frozenset[str]:
+    cached = _NODE_FREE_VARS.get(node)
+    if cached is not None:
+        return cached
+    from ..ocal.ast import free_vars as node_free_vars
+
+    out = node_free_vars(node)
+    if len(_NODE_FREE_VARS) >= _NODE_FREE_VARS_MAX:
+        _NODE_FREE_VARS.clear()
+    _NODE_FREE_VARS[node] = out
+    return out
+
+
+class CostEstimator:
+    """Costs OCAL programs against a :class:`CostModel`.
+
+    ``memo`` (optional, duck-typed as :class:`~repro.cost.cache.CostMemo`)
+    supplies the cross-candidate subtree cache for incremental
+    re-estimation; it is honored only while the costing fast lane is
+    enabled (``REPRO_COMPILED_COST`` ≠ ``0``).
+    """
+
+    def __init__(self, model: CostModel, memo=None) -> None:
         self.model = model
         self.hierarchy = model.hierarchy
         self.root = model.hierarchy.root.name
@@ -279,6 +350,8 @@ class CostEstimator:
         self.parameters: set[str] = set()
         self._bout_counter = 0
         self._capacity: dict[str, list[Expr]] = {}
+        self._memo = memo if compiled_cost_enabled() else None
+        self._frames: list[_Frame] = []
 
     # ------------------------------------------------------------------
     # Public API
@@ -289,6 +362,7 @@ class CostEstimator:
         self.parameters = set()
         self._bout_counter = 0
         self._capacity = {}
+        self._frames = []
         ctx = self._initial_context()
         located, events = self._visit(program, ctx)
         out = self.model.output_location
@@ -296,13 +370,103 @@ class CostEstimator:
             self._charge_writeout(located.annot, out, events, program)
         self._emit_capacity_constraints()
         total = events.total_cost(self.hierarchy)
+        # Intern the tuning problem's expressions: memo keys built over
+        # them become pointer-comparable and their compiled evaluators
+        # are shared across candidates (DESIGN.md §11).
         return CostEstimate(
             events=events,
             result=located,
-            total=total,
-            constraints=list(self.constraints),
+            total=intern_expr(total),
+            constraints=[
+                Constraint(
+                    intern_expr(c.lhs), intern_expr(c.rhs), c.reason
+                )
+                for c in self.constraints
+            ],
             parameters=frozenset(self.parameters),
         )
+
+    # ------------------------------------------------------------------
+    # Side-effect journal and the subtree cache
+    # ------------------------------------------------------------------
+    def _constraint(self, constraint: Constraint) -> None:
+        self.constraints.append(constraint)
+        if self._frames:
+            self._frames[-1].ops.append(("constraint", constraint))
+
+    def _parameter(self, name: str) -> None:
+        self.parameters.add(name)
+        if self._frames:
+            self._frames[-1].ops.append(("parameter", name))
+
+    def _capacity_term(self, node: str, term: Expr) -> None:
+        self._capacity.setdefault(node, []).append(term)
+        if self._frames:
+            self._frames[-1].ops.append(("capacity", node, term))
+
+    def _replay(self, ops: tuple) -> None:
+        """Re-apply a cached subtree's journal, in recorded order."""
+        for op in ops:
+            kind = op[0]
+            if kind == "constraint":
+                self.constraints.append(op[1])
+            elif kind == "parameter":
+                self.parameters.add(op[1])
+            else:
+                self._capacity.setdefault(op[1], []).append(op[2])
+        if self._frames:
+            self._frames[-1].ops.extend(ops)
+
+    def _subtree_key(self, expr: Node, ctx: dict[str, Located]):
+        """Cache key: the subtree plus the context it can observe."""
+        bindings = tuple(
+            (name, ctx[name])
+            for name in sorted(_node_free_vars(expr))
+            if name in ctx
+        )
+        return (expr, bindings)
+
+    def _visit(
+        self, expr: Node, ctx: dict[str, Located]
+    ) -> tuple[Located, CostEvents]:
+        memo = self._memo
+        if memo is None or not isinstance(expr, _CACHED_NODE_TYPES):
+            return self._visit_inner(expr, ctx)
+        key = self._subtree_key(expr, ctx)
+        try:
+            hit = memo.subtrees.get(key)
+        except TypeError:  # an unhashable annotation — skip caching
+            return self._visit_inner(expr, ctx)
+        if hit is not None:
+            memo.stats.subtree_hits += 1
+            located, events, ops = hit
+            self._replay(ops)
+            # The caller mutates the returned record; hand out a copy.
+            return located, CostEvents(
+                init=dict(events.init), unit=dict(events.unit)
+            )
+        memo.stats.subtree_misses += 1
+        frame = _Frame()
+        self._frames.append(frame)
+        try:
+            located, events = self._visit_inner(expr, ctx)
+        finally:
+            self._frames.pop()
+            if self._frames:
+                self._frames[-1].ops.extend(frame.ops)
+                self._frames[-1].volatile |= frame.volatile
+        if not frame.volatile:
+            memo.store_subtree(
+                key,
+                (
+                    located,
+                    CostEvents(
+                        init=dict(events.init), unit=dict(events.unit)
+                    ),
+                    tuple(frame.ops),
+                ),
+            )
+        return located, events
 
     # ------------------------------------------------------------------
     # Context handling
@@ -320,7 +484,7 @@ class CostEstimator:
     # ------------------------------------------------------------------
     # Dispatcher
     # ------------------------------------------------------------------
-    def _visit(
+    def _visit_inner(
         self, expr: Node, ctx: dict[str, Located]
     ) -> tuple[Located, CostEvents]:
         if isinstance(expr, Var):
@@ -988,8 +1152,8 @@ class CostEstimator:
         ms = source.loc if isinstance(source.loc, str) else self.root
         buckets = self._block_expr(fn.buckets)
         if isinstance(fn.buckets, str):
-            self.parameters.add(fn.buckets)
-            self.constraints.append(
+            self._parameter(fn.buckets)
+            self._constraint(
                 Constraint(ONE, buckets, reason="at least one partition")
             )
         if ms != self.root:
@@ -1187,7 +1351,7 @@ class CostEstimator:
     # ------------------------------------------------------------------
     def _block_expr(self, block) -> Expr:
         if isinstance(block, str):
-            self.parameters.add(block)
+            self._parameter(block)
             return SymVar(block)
         return as_expr(block)
 
@@ -1202,25 +1366,23 @@ class CostEstimator:
         """Capacity and maxSeq constraints for one block parameter."""
         if not isinstance(block, str):
             return
-        self.parameters.add(block)
+        self._parameter(block)
         k = SymVar(block)
         node = self.hierarchy.node(staging)
-        self.constraints.append(
+        self._constraint(
             Constraint(ONE, k, reason=f"{block} ≥ 1")
         )
-        self.constraints.append(
+        self._constraint(
             Constraint(
                 simplify(k * elem_bytes * copies),
                 as_expr(node.size),
                 reason=f"{block} block(s) fit in {staging}",
             )
         )
-        self._capacity.setdefault(staging, []).append(
-            simplify(k * elem_bytes * copies)
-        )
+        self._capacity_term(staging, simplify(k * elem_bytes * copies))
         src = self.hierarchy.node(source_node)
         if src.max_seq_read is not None:
-            self.constraints.append(
+            self._constraint(
                 Constraint(
                     simplify(k * elem_bytes),
                     as_expr(src.max_seq_read),
@@ -1245,7 +1407,7 @@ class CostEstimator:
             total: Expr = ZERO
             for term in unique:
                 total = total + term
-            self.constraints.append(
+            self._constraint(
                 Constraint(
                     simplify(total),
                     as_expr(self.hierarchy.node(node_name).size),
@@ -1254,7 +1416,7 @@ class CostEstimator:
             )
 
     def _require_fits_root(self, elem_bytes: Expr, what: str) -> None:
-        self.constraints.append(
+        self._constraint(
             Constraint(
                 elem_bytes,
                 as_expr(self.hierarchy.root.size),
@@ -1263,26 +1425,32 @@ class CostEstimator:
         )
 
     def _fresh_bout(self, device: str) -> Expr:
-        """A synthesized output-buffer parameter, denominated in bytes."""
+        """A synthesized output-buffer parameter, denominated in bytes.
+
+        Names come from a per-estimate counter, so any subtree visit
+        that allocates one is excluded from the cross-candidate cache.
+        """
         self._bout_counter += 1
+        if self._frames:
+            self._frames[-1].volatile = True
         name = f"bout{self._bout_counter}"
         self._register_byte_buffer(name)
         return SymVar(name)
 
     def _register_byte_buffer(self, name: str) -> None:
-        self.parameters.add(name)
+        self._parameter(name)
         node = self.hierarchy.root
-        self.constraints.append(
+        self._constraint(
             Constraint(ONE, SymVar(name), reason=f"{name} ≥ 1")
         )
-        self.constraints.append(
+        self._constraint(
             Constraint(
                 SymVar(name),
                 as_expr(node.size),
                 reason=f"{name} output buffer fits at the root",
             )
         )
-        self._capacity.setdefault(self.root, []).append(SymVar(name))
+        self._capacity_term(self.root, SymVar(name))
 
     # ------------------------------------------------------------------
     # Placement helpers

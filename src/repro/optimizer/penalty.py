@@ -17,6 +17,17 @@ For the common single-loop case the result coincides with the paper's
 heuristic — "both k1 and k2 should be as big as possible, subject to the
 aforementioned restrictions" — while competing loops (``k1 + k2 ≤ M``)
 get genuinely balanced.
+
+**The costing fast lane (DESIGN.md §11).**  Probe evaluation is the
+synthesis hot path: one tune runs thousands of probes, each evaluating
+the objective and every constraint.  When ``REPRO_COMPILED_COST`` is not
+``0`` the optimizer pre-compiles the whole problem once per tune
+(:func:`repro.symbolic.compile.compile_problem`) and scores each
+pattern-search neighborhood in batch through the compiled bundle.
+Compiled evaluation is bit-identical to the interpreted reference path
+(same operations, same order), so both lanes produce the same tuned
+values, costs, feasibility and evaluation counts — pinned by the
+differential tests.
 """
 
 from __future__ import annotations
@@ -25,7 +36,8 @@ import math
 from dataclasses import dataclass, field
 
 from ..cost.events import Constraint
-from ..symbolic import Expr
+from ..symbolic import Expr, compile_expr, compile_problem, compiled_cost_enabled
+from ..symbolic.compile import DOMAIN_ERRORS, CompiledProblem
 
 __all__ = [
     "ParameterOptimizer",
@@ -34,7 +46,14 @@ __all__ = [
     "single_param_upper_bound",
 ]
 
-_EVAL_ERRORS = (KeyError, ValueError, ZeroDivisionError, OverflowError)
+#: Errors a *structurally valid* expression may raise during numeric
+#: probing — the shared tuple the compiled lane's guards are generated
+#: from, so the two lanes cannot drift.
+_DOMAIN_ERRORS = DOMAIN_ERRORS
+
+#: Additionally tolerated while screening constraints whose variable
+#: coverage is only discovered by evaluating them.
+_EVAL_ERRORS = (KeyError,) + _DOMAIN_ERRORS
 
 
 def single_param_upper_bound(
@@ -54,6 +73,7 @@ def single_param_upper_bound(
     """
     bound = max_value
     known = set(stats)
+    fast = compiled_cost_enabled()
     for constraint in constraints:
         lhs_vars = constraint.lhs.free_vars()
         rhs_vars = constraint.rhs.free_vars()
@@ -62,8 +82,12 @@ def single_param_upper_bound(
         env = dict(stats)
         env[name] = 1.0
         try:
-            slope = constraint.lhs.evaluate(env)
-            rhs = constraint.rhs.evaluate(env)
+            if fast:
+                slope = compile_expr(constraint.lhs)(env)
+                rhs = compile_expr(constraint.rhs)(env)
+            else:
+                slope = constraint.lhs.evaluate(env)
+                rhs = constraint.rhs.evaluate(env)
         except _EVAL_ERRORS:
             continue
         if slope > 0 and rhs >= slope:
@@ -100,13 +124,22 @@ class ParameterOptimizer:
     penalty_growth: float = 100.0
     penalty_rounds: int = 4
     _evaluations: int = field(default=0, init=False)
+    _compiled: CompiledProblem | None = field(
+        default=None, init=False, repr=False
+    )
 
     def run(self) -> OptimizationResult:
         """Minimize the cost expression over the named parameters."""
         params = sorted(self.parameters)
         if not params:
+            self._evaluations += 1
             cost = self._safe_eval(self.cost, self._env({}))
             return OptimizationResult({}, cost, True, self._evaluations)
+        if compiled_cost_enabled():
+            self._compiled = compile_problem(
+                self.cost,
+                [(c.lhs, c.rhs) for c in self.constraints],
+            )
 
         bounds = {name: self._upper_bound(name) for name in params}
         # Start at the geometric middle of each parameter's range.
@@ -122,6 +155,7 @@ class ParameterOptimizer:
 
         values = self._round_feasible(point, bounds)
         env = self._env({k: float(v) for k, v in values.items()})
+        self._evaluations += 1
         cost = self._safe_eval(self.cost, env)
         feasible = self._violation(
             {k: float(v) for k, v in values.items()}
@@ -131,6 +165,50 @@ class ParameterOptimizer:
     # ------------------------------------------------------------------
     # Search
     # ------------------------------------------------------------------
+    def _sweep_moves(
+        self, names: list[str], step: float
+    ) -> list[tuple[str, str, str, float]]:
+        """One sweep's move descriptors, in the greedy visit order.
+
+        Single-coordinate multiplicative moves first, then the
+        sum-preserving exchange moves that shift budget between two
+        parameters without leaving a shared-capacity boundary
+        (``k1 + k2 ≤ M`` stays tight while the split rebalances).
+        """
+        moves: list[tuple[str, str, str, float]] = []
+        for name in names:
+            for factor in (step, 1.0 / step):
+                moves.append(("coord", name, name, factor))
+        for giver in names:
+            for taker in names:
+                if giver != taker:
+                    moves.append(("exch", giver, taker, step))
+        return moves
+
+    @staticmethod
+    def _apply_move(
+        move: tuple[str, str, str, float],
+        best: dict[str, float],
+        bounds: dict[str, float],
+    ) -> dict[str, float] | None:
+        """The probe point one move produces from *best* (None = no-op)."""
+        kind, giver, taker, factor = move
+        if kind == "coord":
+            candidate = dict(best)
+            candidate[giver] = min(
+                max(1.0, candidate[giver] * factor), bounds[giver]
+            )
+            if candidate[giver] == best[giver]:
+                return None
+            return candidate
+        delta = best[giver] * (factor - 1.0)
+        candidate = dict(best)
+        candidate[giver] = max(1.0, best[giver] - delta)
+        candidate[taker] = min(bounds[taker], best[taker] + delta)
+        if candidate == best:
+            return None
+        return candidate
+
     def _pattern_search(
         self,
         point: dict[str, float],
@@ -139,57 +217,106 @@ class ParameterOptimizer:
     ) -> dict[str, float]:
         step = 4.0  # multiplicative step in log space
         best = dict(point)
+        self._count_probe()
         best_value = self._penalized(best, penalty)
         names = sorted(best)
         sweeps = 0
         while step > 1.0009 and sweeps < 120:
             sweeps += 1
             threshold = max(1e-12, 1e-9 * abs(best_value))
+            moves = self._sweep_moves(names, step)
             improved = False
-            # Single-coordinate multiplicative moves.
-            for name in names:
-                for factor in (step, 1.0 / step):
-                    candidate = dict(best)
-                    candidate[name] = min(
-                        max(1.0, candidate[name] * factor), bounds[name]
-                    )
-                    if candidate[name] == best[name]:
-                        continue
-                    value = self._penalized(candidate, penalty)
+            # Greedy first-improvement scan: the probe at position i is
+            # built from the best point *after* every accept before i.
+            # The compiled lane speculatively scores a chunk of the
+            # remaining neighborhood in one batched pass; an accept
+            # invalidates the chunk's tail, which is rebuilt from the
+            # new best — probe points and accept decisions are identical
+            # to the sequential scan.  The chunk starts small after an
+            # accept (accepts cluster early, when speculation would be
+            # wasted) and doubles while the scan keeps rejecting, so a
+            # converged sweep is scored whole in one pass.
+            position = 0
+            chunk = 2
+            while position < len(moves):
+                batch: list[dict[str, float]] = []
+                positions: list[int] = []
+                index = position
+                while index < len(moves) and len(batch) < chunk:
+                    candidate = self._apply_move(moves[index], best, bounds)
+                    if candidate is not None:
+                        batch.append(candidate)
+                        positions.append(index)
+                    index += 1
+                if not batch:
+                    break
+                if self._compiled is not None:
+                    try:
+                        values = self._compiled.score_points(
+                            self.stats, batch, penalty
+                        )
+                    except KeyError as error:
+                        raise self._unbound(error) from None
+                else:
+                    values = None
+                accepted = False
+                for offset, candidate in enumerate(batch):
+                    self._count_probe()
+                    if values is not None:
+                        value = values[offset]
+                    else:
+                        value = self._penalized(candidate, penalty)
                     if value < best_value - threshold:
                         best, best_value = candidate, value
                         improved = True
-            # Sum-preserving exchange moves: shift budget between two
-            # parameters without leaving a shared-capacity boundary
-            # (k1 + k2 ≤ M stays tight while the split rebalances).
-            for giver in names:
-                for taker in names:
-                    if giver == taker:
-                        continue
-                    delta = best[giver] * (step - 1.0)
-                    candidate = dict(best)
-                    candidate[giver] = max(1.0, best[giver] - delta)
-                    candidate[taker] = min(
-                        bounds[taker], best[taker] + delta
-                    )
-                    if candidate == best:
-                        continue
-                    value = self._penalized(candidate, penalty)
-                    if value < best_value - threshold:
-                        best, best_value = candidate, value
-                        improved = True
+                        accepted = True
+                        position = positions[offset] + 1
+                        break
+                if accepted:
+                    chunk = 2
+                else:
+                    position = index
+                    chunk = min(2 * chunk, 512)
             if not improved:
                 step = math.sqrt(step)
         return best
 
+    def _count_probe(self) -> None:
+        """Account one probe: the objective plus every constraint side."""
+        self._evaluations += 1 + 2 * len(self.constraints)
+
+    @staticmethod
+    def _unbound(error: KeyError) -> KeyError:
+        """Re-dress a raw compiled-lane KeyError as the interpreter's.
+
+        Both lanes surface a malformed problem (a variable bound by
+        neither ``stats`` nor the tuned parameters) as a ``KeyError``
+        with the same message — :meth:`Expr.evaluate`'s contract.
+        """
+        return KeyError(f"unbound symbolic variable {error.args[0]!r}")
+
     def _penalized(self, point: dict[str, float], penalty: float) -> float:
         env = self._env(point)
+        if self._compiled is not None:
+            try:
+                return self._compiled.penalized(env, penalty)
+            except KeyError as error:
+                raise self._unbound(error) from None
         base = self._safe_eval(self.cost, env)
-        violation = self._violation(point)
+        violation = self._violation_in(env)
         return base + penalty * violation * (1.0 + abs(base))
 
     def _violation(self, point: dict[str, float]) -> float:
         env = self._env(point)
+        self._evaluations += 2 * len(self.constraints)
+        if self._compiled is not None:
+            try:
+                return self._compiled.violation(env)
+            except KeyError as error:
+                raise self._unbound(error) from None
+        return self._violation_in(env)
+
+    def _violation_in(self, env: dict[str, float]) -> float:
         total = 0.0
         for constraint in self.constraints:
             lhs = self._safe_eval(constraint.lhs, env)
@@ -244,10 +371,15 @@ class ParameterOptimizer:
         return env
 
     def _safe_eval(self, expr: Expr, env: dict[str, float]) -> float:
-        self._evaluations += 1
+        """Interpreted-lane probe evaluation; domain errors become ``inf``.
+
+        Deliberately narrow: a ``KeyError`` (unbound variable) means the
+        optimization problem itself is malformed and must surface, not
+        silently score as infinitely bad.
+        """
         try:
             return expr.evaluate(env)
-        except (KeyError, ValueError, ZeroDivisionError, OverflowError):
+        except _DOMAIN_ERRORS:
             return math.inf
 
 

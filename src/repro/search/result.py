@@ -65,8 +65,11 @@ class SynthesisResult:
     expanded: int = 0
     #: candidates whose tuning the lower bound proved unnecessary.
     pruned: int = 0
-    #: cost-cache counters for this run (estimates + tunings).
+    #: cost-cache counters for this run (estimates + tunings + subtrees).
     cache: CacheStats = field(default_factory=CacheStats)
+    #: (estimates, tunings, subtrees) resident in the cost memo after
+    #: the run — the memo outlives the run, so this is cumulative.
+    memo_sizes: tuple[int, int, int] = (0, 0, 0)
 
     @property
     def opt_cost(self) -> float:

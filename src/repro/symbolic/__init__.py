@@ -6,9 +6,21 @@ Public surface:
 * constructor helpers (:func:`var`, :func:`const`, :func:`smax`,
   :func:`smin`, :func:`ceil`, :func:`floor`, :func:`log2`,
   :func:`ceil_div`, :func:`ceil_log2`, :func:`summation`);
-* :func:`~repro.symbolic.simplify.simplify` with closed-form sums.
+* :func:`~repro.symbolic.simplify.simplify` with closed-form sums;
+* the costing fast lane (DESIGN.md §11): :func:`intern_expr`
+  hash-consing and :mod:`repro.symbolic.compile`'s
+  :func:`~repro.symbolic.compile.compile_expr` /
+  :func:`~repro.symbolic.compile.compile_problem`, gated by
+  ``REPRO_COMPILED_COST`` (:func:`compiled_cost_enabled`).
 """
 
+from .compile import (
+    CompiledExpr,
+    CompiledProblem,
+    compile_expr,
+    compile_problem,
+    compiled_cost_enabled,
+)
 from .expr import (
     ONE,
     ZERO,
@@ -29,8 +41,11 @@ from .expr import (
     ceil,
     ceil_div,
     ceil_log2,
+    clear_expr_intern_pool,
     const,
+    expr_intern_pool_size,
     floor,
+    intern_expr,
     log2,
     smax,
     smin,
@@ -69,6 +84,14 @@ __all__ = [
     "is_nonneg",
     "expr_key",
     "to_str",
+    "intern_expr",
+    "expr_intern_pool_size",
+    "clear_expr_intern_pool",
+    "CompiledExpr",
+    "CompiledProblem",
+    "compile_expr",
+    "compile_problem",
+    "compiled_cost_enabled",
     "ZERO",
     "ONE",
 ]

@@ -12,6 +12,17 @@ lives in :mod:`repro.symbolic.simplify`.
 All nodes are immutable and hashable, so expressions can be used as
 dictionary keys and shared freely.  Python operators are overloaded: if
 ``x = Var("x")`` then ``x * 2 + 1`` builds the obvious tree.
+
+Two performance refinements mirror :mod:`repro.ocal.ast` (DESIGN.md §11):
+
+* **cached structural hashes and free-variable sets** — the first
+  ``hash(expr)`` / ``expr.free_vars()`` walks the tree once and memoizes
+  the result on the instance, so memo-table lookups keyed on expressions
+  stop re-walking whole trees on every probe;
+* **hash-consing** — :func:`intern_expr` returns one canonical instance
+  per structure, making structurally equal cost expressions
+  pointer-equal (equality short-circuits on identity, and identity can
+  key compiled-evaluator caches; see :mod:`repro.symbolic.compile`).
 """
 
 from __future__ import annotations
@@ -49,15 +60,24 @@ __all__ = [
     "ceil_div",
     "ceil_log2",
     "summation",
+    "intern_expr",
+    "expr_intern_pool_size",
+    "clear_expr_intern_pool",
     "ZERO",
     "ONE",
 ]
 
 
 class Expr:
-    """Base class for symbolic arithmetic expressions."""
+    """Base class for symbolic arithmetic expressions.
 
-    __slots__ = ()
+    The two base slots back the lazy per-instance caches (structural
+    hash, free-variable set); subclasses add their field slots on top.
+    Both are written via ``object.__setattr__`` because every node class
+    is frozen.
+    """
+
+    __slots__ = ("_hash", "_free")
 
     # ------------------------------------------------------------------
     # Operator overloading
@@ -108,12 +128,26 @@ class Expr:
             yield from child.walk()
 
     def free_vars(self) -> frozenset[str]:
-        """Names of all variables occurring in the expression."""
-        names = set()
-        for node in self.walk():
-            if isinstance(node, Var):
-                names.add(node.name)
-        return frozenset(names)
+        """Names of all variables occurring in the expression.
+
+        Memoized on the instance: shared (interned) subtrees contribute
+        their cached sets, so the first call on a tree is O(nodes) and
+        every later call — every memo-key construction, parameter-box
+        probe, or fits-in-root check — is O(1).
+        """
+        try:
+            return self._free
+        except AttributeError:
+            pass
+        if isinstance(self, Var):
+            names = frozenset((self.name,))
+        else:
+            collected: set[str] = set()
+            for child in self.children():
+                collected |= child.free_vars()
+            names = frozenset(collected)
+        object.__setattr__(self, "_free", names)
+        return names
 
     # ------------------------------------------------------------------
     # Evaluation and substitution
@@ -280,6 +314,109 @@ class Sum(Expr):
 
     def children(self) -> tuple[Expr, ...]:
         return (self.lower, self.upper, self.body)
+
+
+# ----------------------------------------------------------------------
+# Cached structural hashing and hash-consing (mirrors repro.ocal.ast)
+# ----------------------------------------------------------------------
+_EXPR_CLASSES: tuple[type, ...] = (
+    Const, Var, Add, Mul, Div, Pow, Max, Min, Ceil, Floor, Log2, Sum,
+)
+
+
+def _install_hash_cache(cls: type) -> None:
+    """Wrap the dataclass-generated ``__hash__`` with a per-instance cache.
+
+    The structural hash of an expression tree is computed once, on first
+    use, and stored in the ``_hash`` slot; every later ``hash()`` — every
+    memo-table probe, dict lookup, or dedup key — is O(1).
+    """
+    structural = cls.__hash__
+
+    def __hash__(self, _structural=structural):
+        try:
+            return self._hash
+        except AttributeError:
+            value = _structural(self)
+            object.__setattr__(self, "_hash", value)
+            return value
+
+    cls.__hash__ = __hash__
+
+
+for _cls in _EXPR_CLASSES:
+    _install_hash_cache(_cls)
+del _cls
+
+
+#: Bounded like the other fast-lane caches: past the cap the pool is
+#: cleared wholesale.  Interning is purely an optimization — a fresh
+#: canonical instance after a clear only costs cache misses downstream
+#: (callers that kept pre-clear instances still hold valid objects).
+_EXPR_INTERN_POOL: dict["Expr", "Expr"] = {}
+_EXPR_INTERN_POOL_MAX = 1 << 18
+
+
+def _with_children(expr: "Expr", rebuild) -> "Expr":
+    """Rebuild *expr* with each child passed through *rebuild*."""
+    if isinstance(expr, (Const, Var)):
+        return expr
+    if isinstance(expr, Add):
+        return Add(tuple(rebuild(t) for t in expr.terms))
+    if isinstance(expr, Mul):
+        return Mul(tuple(rebuild(f) for f in expr.factors))
+    if isinstance(expr, Div):
+        return Div(rebuild(expr.numerator), rebuild(expr.denominator))
+    if isinstance(expr, Pow):
+        return Pow(rebuild(expr.base), expr.exponent)
+    if isinstance(expr, Max):
+        return Max(tuple(rebuild(op) for op in expr.operands))
+    if isinstance(expr, Min):
+        return Min(tuple(rebuild(op) for op in expr.operands))
+    if isinstance(expr, Ceil):
+        return Ceil(rebuild(expr.operand))
+    if isinstance(expr, Floor):
+        return Floor(rebuild(expr.operand))
+    if isinstance(expr, Log2):
+        return Log2(rebuild(expr.operand))
+    if isinstance(expr, Sum):
+        return Sum(
+            expr.var,
+            rebuild(expr.lower),
+            rebuild(expr.upper),
+            rebuild(expr.body),
+        )
+    raise TypeError(f"cannot rebuild {expr!r}")
+
+
+def intern_expr(expr: "Expr") -> "Expr":
+    """Hash-cons *expr*: return the canonical instance for its structure.
+
+    Children are interned bottom-up, so structurally identical cost
+    subexpressions across candidates become the *same* object.  Identity
+    then makes hashing (cached once on the shared instance) and equality
+    (identity fast path) cheap, and lets the compiled-evaluator cache in
+    :mod:`repro.symbolic.compile` key on ``id()``.
+    """
+    pool = _EXPR_INTERN_POOL
+    existing = pool.get(expr)
+    if existing is not None:
+        return existing
+    canonical = _with_children(expr, intern_expr)
+    if len(pool) >= _EXPR_INTERN_POOL_MAX:
+        pool.clear()
+    pool[canonical] = canonical
+    return canonical
+
+
+def expr_intern_pool_size() -> int:
+    """Number of distinct expressions currently hash-consed."""
+    return len(_EXPR_INTERN_POOL)
+
+
+def clear_expr_intern_pool() -> None:
+    """Drop all interned expressions (tests; long-lived processes)."""
+    _EXPR_INTERN_POOL.clear()
 
 
 ZERO = Const(0)

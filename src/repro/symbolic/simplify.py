@@ -51,14 +51,44 @@ Polynomial = dict[Monomial, Fraction]
 _EMPTY_MONOMIAL: Monomial = ()
 
 
+#: Memo tables for :func:`simplify` and :func:`expr_key`, keyed on the
+#: (cached-hash) expression.  Simplification is a pure function, so the
+#: memo is transparent: both the compiled and the interpreted cost paths
+#: share it and see bit-identical results.  Bounded: the tables are
+#: cleared wholesale when they exceed ``_MEMO_MAX`` entries — eviction
+#: only costs recomputation, never correctness.
+_SIMPLIFY_MEMO: dict[Expr, Expr] = {}
+_EXPR_KEY_MEMO: dict[Expr, str] = {}
+_MEMO_MAX = 1 << 18
+
+
 def simplify(expr: Expr) -> Expr:
-    """Return an equivalent expression in collected, folded form."""
-    return _from_poly(_to_poly(expr))
+    """Return an equivalent expression in collected, folded form.
+
+    Memoized by structural identity: the estimator re-simplifies the
+    same transfer-count subexpressions across thousands of candidates,
+    and the first computation serves them all.
+    """
+    cached = _SIMPLIFY_MEMO.get(expr)
+    if cached is not None:
+        return cached
+    result = _from_poly(_to_poly(expr))
+    if len(_SIMPLIFY_MEMO) >= _MEMO_MAX:
+        _SIMPLIFY_MEMO.clear()
+    _SIMPLIFY_MEMO[expr] = result
+    return result
 
 
 def expr_key(expr: Expr) -> str:
     """A canonical string for structural comparison of simplified forms."""
-    return str(simplify(expr))
+    cached = _EXPR_KEY_MEMO.get(expr)
+    if cached is not None:
+        return cached
+    result = str(simplify(expr))
+    if len(_EXPR_KEY_MEMO) >= _MEMO_MAX:
+        _EXPR_KEY_MEMO.clear()
+    _EXPR_KEY_MEMO[expr] = result
+    return result
 
 
 # ----------------------------------------------------------------------

@@ -122,10 +122,10 @@ class TestTuneMemo:
             program, lambda: CostEstimator(model).estimate(program)
         )
         memo.tune(estimate, JOIN_STATS)
-        estimates, tunings = memo.sizes()
+        estimates, tunings, _subtrees = memo.sizes()
         assert estimates == 1 and tunings == 1
         memo.clear()
-        assert memo.sizes() == (0, 0)
+        assert memo.sizes() == (0, 0, 0)
 
 
 class TestSynthesizerIntegration:
@@ -188,3 +188,57 @@ class TestSynthesizerIntegration:
         # optimization problems; the optimizer runs once per problem.
         assert result.cache.tune_hits > 0
         assert result.cache.tune_misses < result.candidates_costed
+
+
+class TestSubtreeCache:
+    """Incremental re-estimation: cached subtrees replay exactly (ISSUE 5)."""
+
+    def _estimate(self, program, memo):
+        model = join_model()
+        return CostEstimator(model, memo=memo).estimate(program)
+
+    def test_sibling_candidates_share_subtrees(self):
+        from repro.ocal.builders import for_, sing, tup, v
+
+        # R and S have identical element annotations, so the loop body
+        # is visited under a bit-identical context in both programs.
+        body = sing(tup(v("xB"), v("xB")))
+        a = for_("xB", v("R"), body)
+        b = for_("xB", v("S"), body)
+        memo = CostMemo()
+        self._estimate(a, memo)
+        before = memo.stats.subtree_hits
+        self._estimate(b, memo)
+        # The shared loop body (same subtree, same context) hits.
+        assert memo.stats.subtree_hits > before
+
+    def test_cached_estimate_identical_to_fresh_walk(self):
+        from repro.ocal.builders import for_, sing, tup, v
+
+        inner = for_("yB", v("S"), sing(tup(v("xB"), v("yB"))), block_in="k2")
+        warm_with = for_("xB", v("R"), inner, block_in="k1")
+        target = for_("xB", v("R"), inner, block_in="k3")
+        memo = CostMemo()
+        self._estimate(warm_with, memo)  # seeds subtree entries
+        via_cache = self._estimate(target, memo)
+        fresh = CostEstimator(join_model()).estimate(target)
+        assert via_cache.total == fresh.total
+        assert via_cache.constraints == fresh.constraints
+        assert via_cache.parameters == fresh.parameters
+        assert via_cache.events.init == fresh.events.init
+        assert via_cache.events.unit == fresh.events.unit
+
+    def test_maxsize_bounds_the_tables(self):
+        from repro.ocal.builders import for_, sing, v
+
+        memo = CostMemo(maxsize=2)
+        for name in ("R", "S"):
+            program = for_("a", v(name), sing(v("a")))
+            memo.estimate(
+                program,
+                lambda p=program: CostEstimator(
+                    join_model(), memo=memo
+                ).estimate(p),
+            )
+        assert len(memo._estimates) <= 2
+        assert len(memo.subtrees) <= 2

@@ -1,0 +1,100 @@
+"""Differential pin: the costing fast lane is bit-identical (ISSUE 5).
+
+``REPRO_COMPILED_COST=0`` swaps every fast-lane component (compiled
+expression evaluation, the compiled tuning bundle, incremental
+re-estimation) for the interpreted reference path.  This suite runs the
+costing pipeline both ways over **all 17 registry workloads** and
+requires *exact float equality* — estimates, constraints, tuned
+parameter values, tuned costs — plus identical winners and derivations
+on a full synthesis.
+"""
+
+import pytest
+
+from repro.api import Session, default_registry
+from repro.cost.cache import CostMemo
+from repro.cost.estimator import CostEstimator, CostModel
+
+REGISTRY = default_registry()
+ALL_WORKLOADS = REGISTRY.names()
+
+
+def _cost_spec(experiment, monkeypatch, compiled: bool, memo=None):
+    """Estimate + tune one workload's spec under the chosen lane."""
+    monkeypatch.setenv("REPRO_COMPILED_COST", "1" if compiled else "0")
+    model = CostModel(
+        hierarchy=experiment.hierarchy,
+        input_annots=experiment.input_annots,
+        input_locations=experiment.input_locations,
+        output_location=experiment.output_location,
+        stats=experiment.stats,
+    )
+    memo = memo if memo is not None else CostMemo()
+    estimate = memo.estimate(
+        experiment.spec,
+        lambda: CostEstimator(model, memo=memo).estimate(experiment.spec),
+    )
+    tuned = memo.tune(estimate, dict(experiment.stats))
+    return estimate, tuned
+
+
+def test_all_17_registry_workloads_are_registered():
+    assert len(ALL_WORKLOADS) == 17
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS)
+def test_compiled_costs_exactly_equal_interpreted(workload, monkeypatch):
+    experiment = REGISTRY.experiment(workload)
+    interpreted_est, interpreted = _cost_spec(
+        experiment, monkeypatch, compiled=False
+    )
+    compiled_est, compiled = _cost_spec(
+        REGISTRY.experiment(workload), monkeypatch, compiled=True
+    )
+    # The symbolic problem is identical …
+    assert compiled_est.total == interpreted_est.total
+    assert compiled_est.constraints == interpreted_est.constraints
+    assert compiled_est.parameters == interpreted_est.parameters
+    # … and so is the numeric tuning, to the last bit.
+    assert compiled.values == interpreted.values
+    assert compiled.cost == interpreted.cost
+    assert compiled.feasible == interpreted.feasible
+    assert compiled.evaluations == interpreted.evaluations
+
+
+@pytest.mark.parametrize(
+    "workload", ["bnl-join", "aggregation", "external-sort"]
+)
+def test_full_synthesis_identical_across_lanes(workload, monkeypatch):
+    def run(flag):
+        monkeypatch.setenv("REPRO_COMPILED_COST", flag)
+        session = Session(strategy="best-first")
+        return session.synthesize(workload, scale="validation")
+
+    interpreted = run("0")
+    compiled = run("1")
+    assert compiled.winner == interpreted.winner
+    assert compiled.derivation == interpreted.derivation
+    assert compiled.opt_cost == interpreted.opt_cost  # exact
+    assert compiled.spec_cost == interpreted.spec_cost
+    assert (
+        compiled.plan.parameter_values == interpreted.plan.parameter_values
+    )
+
+
+def test_incremental_estimation_disabled_on_interpreted_lane(monkeypatch):
+    experiment = REGISTRY.experiment("bnl-join", "validation")
+    model = CostModel(
+        hierarchy=experiment.hierarchy,
+        input_annots=experiment.input_annots,
+        input_locations=experiment.input_locations,
+        output_location=experiment.output_location,
+        stats=experiment.stats,
+    )
+    memo = CostMemo()
+    monkeypatch.setenv("REPRO_COMPILED_COST", "0")
+    CostEstimator(model, memo=memo).estimate(experiment.spec)
+    assert memo.sizes()[2] == 0  # no subtree entries on the slow lane
+    monkeypatch.setenv("REPRO_COMPILED_COST", "1")
+    CostEstimator(model, memo=memo).estimate(experiment.spec)
+    assert memo.sizes()[2] > 0

@@ -207,3 +207,79 @@ class TestEndToEndWithEstimator:
         )
         naive_cost = estimate.total.evaluate({**stats, "k1": 1.0})
         assert result.cost < naive_cost / 100
+
+
+class TestSafeEvalNarrowing:
+    """ISSUE 5 satellite: domain errors become inf, malformed problems raise."""
+
+    def test_domain_errors_still_become_inf(self):
+        # x/k with k allowed to reach 0 during probing must not crash;
+        # the 1/k1 ZeroDivisionError path scores as infinitely bad.
+        cost = var("x") / (var("k1") + (-1))  # k1=1 divides by zero
+        constraints = [
+            Constraint(Const(1), var("k1")),
+            Constraint(var("k1"), Const(64)),
+        ]
+        result = optimize_parameters(cost, constraints, {"k1"}, {"x": 1e6})
+        assert result.feasible
+        assert result.values["k1"] > 1
+
+    def test_malformed_problem_surfaces_instead_of_inf(self):
+        # The objective references a variable that is neither a tuned
+        # parameter nor a statistic: that is a malformed problem, and it
+        # must raise (KeyError), not silently tune to cost=inf.
+        cost = var("x") / var("k1") + var("not_a_binding")
+        constraints = [
+            Constraint(Const(1), var("k1")),
+            Constraint(var("k1"), Const(1000)),
+        ]
+        with pytest.raises(KeyError, match="unbound symbolic variable"):
+            optimize_parameters(cost, constraints, {"k1"}, {"x": 1e6})
+
+    def test_malformed_problem_surfaces_on_interpreted_lane_too(
+        self, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_COMPILED_COST", "0")
+        cost = var("x") / var("k1") + var("not_a_binding")
+        constraints = [Constraint(Const(1), var("k1"))]
+        with pytest.raises(KeyError):
+            optimize_parameters(cost, constraints, {"k1"}, {"x": 1e6})
+
+
+class TestCompiledLaneParity:
+    """The REPRO_COMPILED_COST escape hatch is bit-identical (ISSUE 5)."""
+
+    def _problem(self):
+        program = for_(
+            "xB",
+            v("R"),
+            for_("yB", v("S"), sing(tup(v("xB"), v("yB"))), block_in="k2"),
+            block_in="k1",
+        )
+        stats = {"x": 2.0**21, "y": 2.0**16}
+        model = CostModel(
+            hierarchy=hdd_ram_hierarchy(8 * MB),
+            input_annots={
+                "R": list_annot(atom(8), var("x")),
+                "S": list_annot(atom(8), var("y")),
+            },
+            input_locations={"R": "HDD", "S": "HDD"},
+            stats=stats,
+        )
+        estimate = CostEstimator(model).estimate(program)
+        return estimate, stats
+
+    def test_compiled_and_interpreted_tunes_are_identical(self, monkeypatch):
+        estimate, stats = self._problem()
+        monkeypatch.setenv("REPRO_COMPILED_COST", "0")
+        interpreted = optimize_parameters(
+            estimate.total, estimate.constraints, estimate.parameters, stats
+        )
+        monkeypatch.setenv("REPRO_COMPILED_COST", "1")
+        compiled = optimize_parameters(
+            estimate.total, estimate.constraints, estimate.parameters, stats
+        )
+        assert interpreted.values == compiled.values
+        assert interpreted.cost == compiled.cost  # exact float equality
+        assert interpreted.feasible == compiled.feasible
+        assert interpreted.evaluations == compiled.evaluations

@@ -1,0 +1,188 @@
+"""Property tests for the compiled expression evaluator (ISSUE 5).
+
+The fast lane's contract is *exact* agreement with the interpreted
+reference: compiled evaluation must return bit-identical floats (and
+raise the same exception types at the same inputs) as
+:meth:`Expr.evaluate`.  A seeded generator — the conformance suite's
+seeding style — drives randomly shaped expressions over random
+environments, including ``Fraction`` constants and integer powers.
+"""
+
+import math
+import random
+from fractions import Fraction
+
+import pytest
+
+from repro.symbolic import (
+    Add,
+    Ceil,
+    Const,
+    Div,
+    Floor,
+    Log2,
+    Max,
+    Min,
+    Mul,
+    Pow,
+    Sum,
+    Var,
+    compile_expr,
+    intern_expr,
+)
+from repro.symbolic.compile import CompiledExpr
+
+VAR_NAMES = ("x", "y", "k1", "bout")
+
+#: Environment values deliberately include evaluation hazards: zero
+#: denominators, non-positive log arguments, Fractions, floats and ints.
+ENV_VALUES = (0, 1, 2, 3, 7, 1000, 0.5, 2.0**20, Fraction(3, 2), Fraction(-1, 4))
+
+
+def _gen_expr(rng: random.Random, depth: int, bound: tuple[str, ...] = ()):
+    """A random well-formed expression of bounded depth."""
+    if depth <= 0 or rng.random() < 0.25:
+        roll = rng.random()
+        if roll < 0.45:
+            names = VAR_NAMES + bound
+            return Var(rng.choice(names))
+        if roll < 0.70:
+            return Const(Fraction(rng.randint(-30, 90), rng.randint(1, 12)))
+        return Const(rng.randint(-6, 60))
+    kind = rng.randrange(10)
+    child = lambda: _gen_expr(rng, depth - 1, bound)  # noqa: E731
+    if kind == 0:
+        return Add(tuple(child() for _ in range(rng.randint(1, 4))))
+    if kind == 1:
+        return Mul(tuple(child() for _ in range(rng.randint(1, 3))))
+    if kind == 2:
+        return Div(child(), child())
+    if kind == 3:
+        return Pow(child(), rng.choice([-3, -2, -1, 0, 1, 2, 3, 4]))
+    if kind == 4:
+        return Max(tuple(child() for _ in range(rng.randint(1, 3))))
+    if kind == 5:
+        return Min(tuple(child() for _ in range(rng.randint(1, 3))))
+    if kind == 6:
+        return Ceil(child())
+    if kind == 7:
+        return Floor(child())
+    if kind == 8:
+        return Log2(child())
+    var = f"j{len(bound)}"
+    return Sum(
+        var,
+        Const(rng.randint(-2, 3)),
+        Const(rng.randint(-2, 7)),
+        _gen_expr(rng, depth - 1, bound + (var,)),
+    )
+
+
+def _outcome(thunk):
+    """(tag, value-or-exception-type) for exact comparison."""
+    try:
+        return ("ok", thunk())
+    except Exception as error:  # noqa: BLE001 - the type IS the outcome
+        return ("err", type(error))
+
+
+class TestCompiledMatchesInterpreted:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_exact_equality_on_random_expressions(self, seed):
+        for index in range(400):
+            rng = random.Random((seed, index, "compile-prop").__repr__())
+            expr = _gen_expr(rng, rng.randint(1, 5))
+            env = {
+                name: rng.choice(ENV_VALUES)
+                for name in expr.free_vars()
+            }
+            compiled = compile_expr(expr)
+            want = _outcome(lambda: expr.evaluate(env))
+            got = _outcome(lambda: compiled(env))
+            # Exact float equality, not approx: the fast lane must be
+            # bit-identical to the interpreter.
+            assert want == got, (
+                f"seed={seed} index={index}: interpreted {want} != "
+                f"compiled {got} for {expr}"
+            )
+
+    def test_fraction_constants_compile_exactly(self):
+        expr = Const(Fraction(10**15 + 1, 3)) * Var("x") + Const(Fraction(-7, 11))
+        env = {"x": Fraction(5, 2)}
+        assert compile_expr(expr)(env) == expr.evaluate(env)
+
+    def test_integer_powers_including_negative(self):
+        expr = Pow(Var("x"), -3) + Pow(Var("x"), 4) + Pow(Const(-2), 2)
+        env = {"x": 3}
+        assert compile_expr(expr)(env) == expr.evaluate(env)
+        with pytest.raises(ZeroDivisionError):
+            compile_expr(Pow(Var("x"), -1))({"x": 0})
+
+    def test_empty_range_sum_matches(self):
+        expr = Sum("j", Const(5), Const(2), Div(Const(1), Var("j")))
+        assert compile_expr(expr)({}) == expr.evaluate({}) == 0.0
+
+    def test_unbound_variable_raises_keyerror_with_message(self):
+        compiled = compile_expr(Var("missing") + 1)
+        with pytest.raises(KeyError, match="unbound symbolic variable"):
+            compiled({})
+
+    def test_division_by_zero_matches_interpreter(self):
+        compiled = compile_expr(Div(Const(1), Var("x")))
+        with pytest.raises(ZeroDivisionError):
+            compiled({"x": 0})
+
+    def test_log2_domain_error_matches_interpreter(self):
+        compiled = compile_expr(Log2(Var("x")))
+        with pytest.raises(ValueError):
+            compiled({"x": 0})
+        assert compiled({"x": 8}) == 3.0
+
+    def test_empty_max_min_raise_valueerror_like_interpreter(self):
+        # Only constructible directly (smax/smin reject zero operands),
+        # but the exception type must still match the interpreter's.
+        for node in (Max(()), Min(())):
+            with pytest.raises(ValueError):
+                node.evaluate({})
+            with pytest.raises(ValueError):
+                compile_expr(node)({})
+
+    def test_overflowing_constant_raises_at_evaluation_not_compile(self):
+        # float(10**400) overflows; the interpreter raises per probe
+        # (where domain guards map it to inf), so compilation must
+        # succeed and defer the error to evaluation.
+        expr = Const(Fraction(10**400)) + Var("x")
+        compiled = compile_expr(expr)
+        with pytest.raises(OverflowError):
+            expr.evaluate({"x": 1})
+        with pytest.raises(OverflowError):
+            compiled({"x": 1})
+
+
+class TestCompiledExprSurface:
+    def test_vars_tuple_is_sorted_free_vars(self):
+        compiled = compile_expr(Var("y") * Var("a") + Var("m"))
+        assert compiled.vars == ("a", "m", "y")
+
+    def test_call_positional_aligns_with_vars(self):
+        expr = Var("a") + Var("b") * 2
+        compiled = compile_expr(expr)
+        assert compiled.vars == ("a", "b")
+        assert compiled.call_positional((3, 4)) == expr.evaluate(
+            {"a": 3, "b": 4}
+        )
+
+    def test_evaluate_many_batches(self):
+        expr = Var("x") * Var("x")
+        compiled = compile_expr(expr)
+        envs = [{"x": v} for v in (1.0, 2.0, 3.0)]
+        assert compiled.evaluate_many(envs) == [1.0, 4.0, 9.0]
+
+    def test_compile_cache_returns_same_object_for_equal_structure(self):
+        a = compile_expr(Var("x") + 1)
+        b = compile_expr(Var("x") + 1)
+        assert a is b
+
+    def test_compiled_expr_is_interned(self):
+        compiled = CompiledExpr(Var("q") / 2)
+        assert compiled.expr is intern_expr(Var("q") / 2)

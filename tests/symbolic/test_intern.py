@@ -1,0 +1,82 @@
+"""Hash-consing and per-instance caches on symbolic expressions (ISSUE 5)."""
+
+from repro.symbolic import (
+    Add,
+    Const,
+    Div,
+    Max,
+    Sum,
+    Var,
+    clear_expr_intern_pool,
+    expr_intern_pool_size,
+    intern_expr,
+    simplify,
+    var,
+)
+
+
+class TestInternExpr:
+    def test_equal_structures_become_pointer_equal(self):
+        a = intern_expr(var("x") * 2 + var("y"))
+        b = intern_expr(var("x") * 2 + var("y"))
+        assert a is b
+
+    def test_children_are_interned_bottom_up(self):
+        a = intern_expr(Div(var("x") + 1, var("k")))
+        b = intern_expr(Max((var("x") + 1, var("z"))))
+        assert a.numerator is b.operands[0]
+
+    def test_distinct_structures_stay_distinct(self):
+        assert intern_expr(var("x")) is not intern_expr(var("y"))
+        assert intern_expr(Const(2)) is not intern_expr(Const(3))
+
+    def test_pool_size_and_clear(self):
+        clear_expr_intern_pool()
+        before = expr_intern_pool_size()
+        intern_expr(var("fresh_pool_probe") + 41)
+        assert expr_intern_pool_size() > before
+        clear_expr_intern_pool()
+        assert expr_intern_pool_size() == 0
+
+    def test_interning_preserves_evaluation(self):
+        expr = Sum("j", Const(0), var("n"), Var("j") * 2) / var("n")
+        interned = intern_expr(expr)
+        env = {"n": 7}
+        assert interned == expr
+        assert interned.evaluate(env) == expr.evaluate(env)
+
+
+class TestInstanceCaches:
+    def test_hash_is_cached_on_the_instance(self):
+        expr = var("x") + var("y") * 3
+        first = hash(expr)
+        assert expr._hash == first
+        assert hash(expr) == first
+
+    def test_free_vars_cached_and_correct(self):
+        expr = Add((var("x"), Div(var("y"), var("x"))))
+        assert expr.free_vars() == frozenset({"x", "y"})
+        assert expr._free == frozenset({"x", "y"})
+        # Sum keeps its historical contract: the bound variable's
+        # occurrences in the body are reported too.
+        s = Sum("j", Const(0), var("n"), Var("j") + var("m"))
+        assert s.free_vars() == frozenset({"j", "n", "m"})
+
+    def test_equal_expressions_share_cached_hash_semantics(self):
+        a = var("x") * 2
+        b = var("x") * 2
+        assert hash(a) == hash(b)
+        assert a == b
+
+
+class TestSimplifyMemo:
+    def test_simplify_is_memoized_by_structure(self):
+        expr = var("x") + var("x")
+        first = simplify(expr)
+        second = simplify(var("x") + var("x"))
+        assert first is second
+
+    def test_memoized_simplify_still_correct(self):
+        expr = (var("x") + 1) * (var("x") + 1)
+        out = simplify(expr)
+        assert out.evaluate({"x": 3}) == 16.0
