@@ -1,0 +1,177 @@
+"""Compiled execution vs the interpreted FileBackend, measured.
+
+The §12 tentpole claim, quantified: lowering a tuned plan once into
+flat Python (the ``compiled`` backend) beats the AST-walking
+``FileBackend`` on real measured wall clock while staying
+*observationally identical* — bit-identical output bags and identical
+per-device byte/seek counters (both asserted here for every workload,
+not sampled).
+
+Persisted to ``BENCH_exec.json``: per-workload file/compiled wall
+clocks (best of ``repeat`` runs, so first-run compile time is amortized
+out the same way OS page-cache warmth is), speedups, counters, and the
+equality verdicts.
+
+Gates:
+
+* smoke (``REPRO_EXEC_BENCH_SMOKE=1``, the ``exec-bench-smoke`` CI
+  job) — three workloads; compiled must not be slower in aggregate;
+* full — all ten validation workloads; compiled must win on ≥ 8.
+"""
+
+import json
+import os
+import pathlib
+import shutil
+
+import pytest
+
+from repro.api import Session
+from repro.bench.validation import DEFAULT_WORKLOADS
+from repro.conformance.oracle import output_bag
+from repro.runtime import CompiledBackend, FileBackend
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_exec.json"
+)
+
+SMOKE = os.environ.get("REPRO_EXEC_BENCH_SMOKE", "0") == "1"
+
+SMOKE_WORKLOADS = ("bnl-join", "external-sort", "aggregation")
+WORKLOADS = SMOKE_WORKLOADS if SMOKE else DEFAULT_WORKLOADS
+REPEAT = 2 if SMOKE else 5
+
+COUNTERS = (
+    "reads", "writes", "bytes_read", "bytes_written", "seeks", "erases"
+)
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Shared result dict, dumped to BENCH_exec.json by the last test."""
+    return {
+        "description": (
+            "Generated-Python compiled backend vs the interpreted "
+            "FileBackend on the validation workloads: measured wall "
+            "clock, with bag and counter identity asserted."
+        ),
+        "smoke_mode": SMOKE,
+        "repeat": REPEAT,
+        "workloads": {},
+    }
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session()
+
+
+def _run_once(backend_cls, job, workdir):
+    """One execution in a throwaway workdir; returns (result, bag, wall).
+
+    The raw captured output is reduced to its bag and the workdir is
+    removed *immediately* — letting run directories (and megabytes of
+    product write-out) pile up across attempts builds dirty-page
+    writeback pressure that slows every later run and drowns the
+    backend difference in filesystem noise.
+    """
+    workdir.mkdir(parents=True)
+    try:
+        backend = backend_cls(
+            workdir=str(workdir), seed=7, capture_output=True
+        )
+        result = backend.run(job.program, job.inputs, job.config)
+        return result, output_bag(backend.last_output), result.wall_seconds
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _best_runs(job, workdir, repeat):
+    """Interleaved best-of-N for both backends.
+
+    Alternating file/compiled attempts — and flipping which side goes
+    first each round — spreads machine drift (page cache, background
+    load) evenly over both sides instead of letting it bias whichever
+    backend ran second.
+    """
+    pair = [("file", FileBackend), ("compiled", CompiledBackend)]
+    best = {}
+    for attempt in range(repeat):
+        for tag, backend_cls in pair if attempt % 2 == 0 else pair[::-1]:
+            run = _run_once(backend_cls, job, workdir / f"{tag}{attempt}")
+            if tag not in best or run[2] < best[tag][2]:
+                best[tag] = run
+    return best["file"], best["compiled"]
+
+
+def _counters(result) -> dict:
+    return {
+        device: {name: getattr(stats, name) for name in COUNTERS}
+        for device, stats in sorted(result.stats.devices.items())
+    }
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+def test_workload_compiled_vs_file(results, session, name, tmp_path):
+    job = session.synthesize(name, scale="validation")
+    file_best, comp_best = _best_runs(job, tmp_path, REPEAT)
+    file_result, file_bag, file_wall = file_best
+    comp_result, comp_bag, comp_wall = comp_best
+
+    # Observational identity is a hard gate on every workload.
+    bags_equal = comp_bag == file_bag
+    counters_equal = _counters(comp_result) == _counters(file_result)
+    assert bags_equal, f"{name}: compiled output bag diverged"
+    assert counters_equal, f"{name}: measured I/O counters diverged"
+    assert comp_result.elapsed == file_result.elapsed
+
+    results["workloads"][name] = {
+        "derivation": list(job.derivation),
+        "file_wall": file_wall,
+        "compiled_wall": comp_wall,
+        "speedup": round(file_wall / comp_wall, 3) if comp_wall else None,
+        "output_card": file_result.output_card,
+        "bags_equal": bags_equal,
+        "counters_equal": counters_equal,
+        "devices": _counters(file_result),
+    }
+
+
+def test_record_bench_exec_json(results, report):
+    """Aggregate gate + artifact; runs last within this module."""
+    rows = results["workloads"]
+    assert len(rows) == len(WORKLOADS), "per-workload benches did not run"
+    wins = sum(
+        1 for row in rows.values() if row["compiled_wall"] < row["file_wall"]
+    )
+    file_total = sum(row["file_wall"] for row in rows.values())
+    comp_total = sum(row["compiled_wall"] for row in rows.values())
+    results["summary"] = {
+        "workloads": len(rows),
+        "compiled_wins": wins,
+        "file_wall_total": file_total,
+        "compiled_wall_total": comp_total,
+        "aggregate_speedup": (
+            round(file_total / comp_total, 3) if comp_total else None
+        ),
+    }
+    BENCH_JSON.write_text(json.dumps(results, indent=2) + "\n")
+    lines = [
+        f"{name:<26} file {row['file_wall'] * 1e3:8.1f}ms  "
+        f"compiled {row['compiled_wall'] * 1e3:8.1f}ms  "
+        f"({row['speedup']:.2f}x)"
+        for name, row in rows.items()
+    ]
+    report.append(
+        "compiled execution vs FileBackend "
+        f"({'smoke' if SMOKE else 'full'}, best of {REPEAT}):\n"
+        + "\n".join(lines)
+        + f"\naggregate: {results['summary']['aggregate_speedup']}x, "
+        f"{wins}/{len(rows)} workloads faster"
+    )
+    if SMOKE:
+        # Smoke gate: never slower in aggregate.
+        assert comp_total <= file_total
+    else:
+        # Full gate: the acceptance criterion — faster on ≥ 8 of 10.
+        assert wins >= 8, results["summary"]

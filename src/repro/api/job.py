@@ -286,6 +286,14 @@ class Job:
                 name: _input_spec_to_json(spec)
                 for name, spec in self.inputs.items()
             },
+            # The job's default substrate ships with the plan so `exec`
+            # re-runs it where it was tuned to run.  Backend *options*
+            # (workdir, data seed) are machine-local and stay out.
+            "backend": (
+                self.backend
+                if isinstance(self.backend, str)
+                else getattr(self.backend, "name", "sim")
+            ),
         }
 
     @classmethod
@@ -342,6 +350,7 @@ class Job:
             opt_cost=document.get("opt_cost", 0.0),
             spec=None if spec_doc is None else node_from_json(spec_doc),
             winner=None if winner_doc is None else node_from_json(winner_doc),
+            backend=document.get("backend", "sim"),
         )
 
     def save(self, path: str) -> str:

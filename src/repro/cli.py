@@ -9,8 +9,8 @@ Subcommands:
 * ``list`` — available workloads (with scales), hierarchy presets, and
   backends;
 * ``run <workload>`` — synthesize a named workload and execute the
-  winner on a chosen backend (``--backend sim|file``, ``--hierarchy
-  <preset>``), printing a Table-1-style summary row; ``--json`` emits
+  winner on a chosen backend (``--backend sim|file|compiled``,
+  ``--hierarchy <preset>``), printing a Table-1-style summary row; ``--json`` emits
   the machine-readable :meth:`~repro.api.JobResult.to_json` record
   instead, ``--save-plan`` also persists the tuned plan;
 * ``synth <workload>`` — synthesis only: search, tune, print the
@@ -24,8 +24,10 @@ Subcommands:
   is not ranked first on any workload (the CI gate);
 * ``fuzz`` — generative conformance testing: random well-typed OCAL
   programs differentially executed on the reference interpreter, the
-  analytic simulator, and the real-file backend, over a bounded rewrite
-  closure; counterexamples are shrunk and persisted to the corpus.
+  analytic simulator, the real-file backend, and the compiled backend
+  (with measured-counter parity against the file backend), over a
+  bounded rewrite closure; counterexamples are shrunk and persisted to
+  the corpus.
 """
 
 from __future__ import annotations
@@ -70,7 +72,7 @@ def _build_parser() -> argparse.ArgumentParser:
         if with_execution:
             cmd.add_argument(
                 "--backend", default="sim",
-                help="execution backend: sim | file",
+                help="execution backend: sim | file | compiled",
             )
             cmd.add_argument(
                 "--hierarchy", default=None,
@@ -105,7 +107,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--plan", required=True, help="plan document written by --save-plan"
     )
     exec_.add_argument(
-        "--backend", default="sim", help="execution backend: sim | file"
+        "--backend", default=None,
+        help=(
+            "execution backend: sim | file | compiled "
+            "(default: the plan's recorded backend, else sim)"
+        ),
     )
     exec_.add_argument("--seed", type=int, default=7, help="data seed (file)")
     exec_.add_argument(
@@ -139,7 +145,7 @@ def _build_parser() -> argparse.ArgumentParser:
         "fuzz",
         help=(
             "differentially test random well-typed OCAL programs across "
-            "interpreter, SimBackend, and FileBackend"
+            "interpreter, SimBackend, FileBackend, and CompiledBackend"
         ),
     )
     fuzz.add_argument("--seed", type=int, default=0, help="generator seed")
@@ -152,8 +158,11 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fuzz.add_argument(
         "--backend", default="both",
-        choices=("both", "sim", "file", "none"),
-        help="which execution backends to check against the interpreter",
+        choices=("both", "sim", "file", "compiled", "none"),
+        help=(
+            "which execution backends to check against the interpreter "
+            "(both = sim + file + compiled)"
+        ),
     )
     fuzz.add_argument(
         "--depth", type=int, default=1,
@@ -259,7 +268,7 @@ def _resolve_backend(args):
 
     options = (
         {"seed": args.seed, "workdir": args.workdir}
-        if args.backend == "file"
+        if args.backend in ("file", "compiled")
         else {}
     )
     try:
@@ -276,7 +285,9 @@ def _cmd_run(args) -> int:
     backend = _resolve_backend(args)
     if backend is None:
         return 2
-    session = Session(strategy=args.strategy)
+    # The session's default backend is the chosen one, so a job saved
+    # with --save-plan records it and `exec` replays on it by default.
+    session = Session(strategy=args.strategy, backend=args.backend)
     job = _synthesize_job(args, session)
     if job is None:
         return 2
@@ -321,13 +332,17 @@ def _cmd_exec(args) -> int:
     from .api import Job
     from .codegen.plan import PlanError
 
-    backend = _resolve_backend(args)
-    if backend is None:
-        return 2
     try:
         job = Job.load(args.plan)
     except (OSError, ValueError, KeyError) as error:
         print(f"cannot load plan {args.plan!r}: {error}", file=sys.stderr)
+        return 2
+    if args.backend is None:
+        # Re-execute on the backend the plan was saved with.
+        recorded = job.backend
+        args.backend = recorded if isinstance(recorded, str) else "sim"
+    backend = _resolve_backend(args)
+    if backend is None:
         return 2
     try:
         result = job.run(backend=backend)
@@ -404,7 +419,8 @@ def _cmd_fuzz(args) -> int:
     oracle_config = OracleConfig(
         closure_depth=max(0, args.depth),
         closure_cap=max(1, args.closure_cap),
-        check_file=args.backend in ("both", "file"),
+        check_file=args.backend in ("both", "file", "compiled"),
+        check_compiled=args.backend in ("both", "compiled"),
         check_sim=args.backend in ("both", "sim"),
         check_cost=args.backend in ("both", "sim"),
     )

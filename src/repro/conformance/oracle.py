@@ -11,13 +11,17 @@ reference interpreter, then checks, in order:
 3. **FileBackend conformance** — the real-file executor, fed the same
    concrete inputs, produces the same bag (the base program plus a
    deterministic sample of closure members);
-4. **SimBackend cardinality soundness** — the analytic backend's
+4. **CompiledBackend conformance** — the generated-Python executor
+   produces the same bag *and*, when the FileBackend also ran, identical
+   measured per-device byte/seek counters: the lowering must change wall
+   clock only, never the I/O schedule (DESIGN.md §12);
+5. **SimBackend cardinality soundness** — the analytic backend's
    reported output cardinality is exact for branch-free programs and an
    upper bound otherwise (run with ``cond_probability = 1``, its worst
    case).  Programs whose derivation contains ``hash-part`` are exempt:
    both the simulator and the paper's estimator assume uniform hashing,
    which skewed generated keys legitimately violate;
-5. **estimator-vs-simulator cost sanity** — the §4 estimator's predicted
+6. **estimator-vs-simulator cost sanity** — the §4 estimator's predicted
    cost and the simulator's charged cost stay within a (wide) tolerance
    band whenever both are above a noise floor and the program actually
    touches a device.  This is a divergence alarm, not an accuracy claim:
@@ -49,6 +53,7 @@ from ..rules.engine import all_rewrites
 from ..rules.registry import default_rules
 from ..runtime.accounting import ExecutionConfig, ExecutionError, InputSpec
 from ..runtime.backend import SimBackend
+from ..runtime.compiled_backend import CompiledBackend
 from ..runtime.file_backend import FileBackend, Rec
 from ..symbolic import var
 from .generator import GenConfig, GeneratedProgram, ProgramGenerator
@@ -80,6 +85,7 @@ class OracleConfig:
     cost_floor: float = 1e-7
     card_tol: float = 1e-6
     check_file: bool = True
+    check_compiled: bool = True
     check_sim: bool = True
     check_cost: bool = True
     workdir: str | None = None
@@ -108,6 +114,7 @@ class ProgramReport:
     gen: GeneratedProgram
     closure_size: int = 0
     file_runs: int = 0
+    compiled_runs: int = 0
     sim_runs: int = 0
     cost_checked: bool = False
     failures: list[ConformanceFailure] = field(default_factory=list)
@@ -124,6 +131,7 @@ class BatchResult:
     count: int = 0
     closure_total: int = 0
     file_runs: int = 0
+    compiled_runs: int = 0
     sim_runs: int = 0
     cost_checked: int = 0
     cost_skipped: int = 0
@@ -138,7 +146,8 @@ class BatchResult:
         status = "ok" if self.ok else f"{len(self.failures)} FAILURE(S)"
         return (
             f"{self.count} programs, {self.closure_total} closure members, "
-            f"{self.file_runs} file runs, {self.sim_runs} sim runs, "
+            f"{self.file_runs} file runs, {self.compiled_runs} compiled "
+            f"runs, {self.sim_runs} sim runs, "
             f"cost checked on {self.cost_checked} "
             f"(skipped {self.cost_skipped}) in {self.seconds:.1f}s — {status}"
         )
@@ -320,8 +329,15 @@ class Oracle:
             bound = self._bind(program)
             pair_swap = "order-inputs" in chain
             want = expected_swapped if pair_swap else expected
-            if cfg.check_file and not self._check_file(
-                report, gen, bound, chain, specs, values, want
+            file_result = None
+            if cfg.check_file:
+                file_result = self._check_file(
+                    report, gen, bound, chain, specs, values, want
+                )
+                if file_result is None:
+                    return report
+            if cfg.check_compiled and not self._check_compiled(
+                report, gen, bound, chain, specs, values, want, file_result
             ):
                 return report
             if cfg.check_sim:
@@ -452,7 +468,8 @@ class Oracle:
         specs: dict[str, InputSpec],
         values: dict[str, list],
         want,
-    ) -> bool:
+    ):
+        """Run the FileBackend; return its result, or ``None`` on failure."""
         backend = FileBackend(
             workdir=self.config.workdir,
             seed=self.config.file_seed,
@@ -460,10 +477,10 @@ class Oracle:
             capture_output=True,
         )
         try:
-            backend.run(bound, specs, self._execution_config(gen))
+            result = backend.run(bound, specs, self._execution_config(gen))
         except (ExecutionError, ValueError, RecursionError) as error:
             self._fail(report, "file-error", str(error), bound, chain)
-            return False
+            return None
         report.file_runs += 1
         got = output_bag(
             backend.last_output, pair_swap="order-inputs" in chain
@@ -476,7 +493,70 @@ class Oracle:
                 bound,
                 chain,
             )
+            return None
+        return result
+
+    def _check_compiled(
+        self,
+        report: ProgramReport,
+        gen: GeneratedProgram,
+        bound: Node,
+        chain: tuple[str, ...],
+        specs: dict[str, InputSpec],
+        values: dict[str, list],
+        want,
+        file_result,
+    ) -> bool:
+        backend = CompiledBackend(
+            workdir=self.config.workdir,
+            seed=self.config.file_seed,
+            data=values,
+            capture_output=True,
+        )
+        try:
+            result = backend.run(bound, specs, self._execution_config(gen))
+        except (ExecutionError, ValueError, RecursionError) as error:
+            self._fail(report, "compiled-error", str(error), bound, chain)
             return False
+        report.compiled_runs += 1
+        got = output_bag(
+            backend.last_output, pair_swap="order-inputs" in chain
+        )
+        if got != want:
+            self._fail(
+                report,
+                "compiled-divergence",
+                f"CompiledBackend bag mismatch: {got!r} != {want!r}",
+                bound,
+                chain,
+            )
+            return False
+        if file_result is not None:
+            # Counter parity: lowering may only change wall clock, never
+            # the I/O schedule (DESIGN.md §12).
+            for device in sorted(
+                set(file_result.stats.devices) | set(result.stats.devices)
+            ):
+                theirs = file_result.stats.device(device)
+                ours = result.stats.device(device)
+                for counter in (
+                    "reads",
+                    "writes",
+                    "bytes_read",
+                    "bytes_written",
+                    "seeks",
+                ):
+                    if getattr(ours, counter) != getattr(theirs, counter):
+                        self._fail(
+                            report,
+                            "compiled-counter-mismatch",
+                            f"{device}.{counter}: compiled "
+                            f"{getattr(ours, counter)} != file "
+                            f"{getattr(theirs, counter)}",
+                            bound,
+                            chain,
+                        )
+                        return False
         return True
 
     def _check_sim(
@@ -621,6 +701,7 @@ def run_conformance(
         report = oracle.check(gen)
         batch.closure_total += report.closure_size
         batch.file_runs += report.file_runs
+        batch.compiled_runs += report.compiled_runs
         batch.sim_runs += report.sim_runs
         if report.cost_checked:
             batch.cost_checked += 1

@@ -142,6 +142,23 @@ class Lit(Node):
         if not isinstance(self.value, (int, bool, str)):
             raise TypeError(f"OCAL literals are atomic values, got {self.value!r}")
 
+    # Python's ``False == 0`` / ``True == 1`` would let hash-consing
+    # conflate Bool and Int literals (``intern_node(Lit(False))``
+    # returning a pooled ``Lit(0)``), silently changing a program's
+    # type.  Equality and hash therefore include the value's kind.
+    def __eq__(self, other: object) -> bool:
+        if other is self:
+            return True
+        if type(other) is not Lit:
+            return NotImplemented
+        return (
+            self.value == other.value
+            and isinstance(self.value, bool) == isinstance(other.value, bool)
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Lit", isinstance(self.value, bool), self.value))
+
 
 @dataclass(frozen=True, slots=True)
 class Lam(Node):

@@ -1,8 +1,10 @@
 """Execution substrates — the stand-ins for the paper's testbed.
 
-Two pluggable backends behind one interface (:mod:`repro.runtime.backend`):
-the analytic simulator (``SimBackend`` / the historical ``SimExecutor``)
-and the real-file out-of-core executor (``FileBackend``).
+Three pluggable backends behind one interface
+(:mod:`repro.runtime.backend`): the analytic simulator (``SimBackend`` /
+the historical ``SimExecutor``), the real-file out-of-core executor
+(``FileBackend``), and the generated-Python executor over the same
+filestore (``CompiledBackend``).
 """
 
 from .accounting import (
@@ -29,6 +31,7 @@ from .cache_experiment import (
 )
 from .clock import SimClock
 from .devices import Extent, FlashDrive, HardDisk, Ram, SimDevice
+from .compiled_backend import CompiledBackend
 from .executor import SimExecutor
 from .file_backend import FileBackend
 from .interpreter import AnalyticInterpreter
@@ -55,6 +58,7 @@ __all__ = [
     "ExecutionBackend",
     "SimBackend",
     "FileBackend",
+    "CompiledBackend",
     "get_backend",
     "register_backend",
     "backend_names",

@@ -10,10 +10,14 @@ substrates are provided:
 * :class:`~repro.runtime.file_backend.FileBackend` — real execution:
   block-sized reads/writes against actual temp files, bounded in-memory
   buffers, spill files for intermediates, measured wall clock and byte
-  counters (registered lazily to avoid an import cycle).
+  counters (registered lazily to avoid an import cycle);
+* :class:`~repro.runtime.compiled_backend.CompiledBackend` — the same
+  real-file substrate driven by generated flat Python instead of the
+  AST walker (also registered lazily).
 
-``get_backend("sim" | "file")`` resolves names to instances so call
-sites (CLI, benches, plans) can thread a string through.
+``get_backend("sim" | "file" | "compiled")`` resolves names to
+instances so call sites (CLI, benches, plans) can thread a string
+through.
 """
 
 from __future__ import annotations
@@ -78,13 +82,25 @@ def register_backend(name: str, factory: type) -> None:
 
 def backend_names() -> tuple[str, ...]:
     """Names accepted by :func:`get_backend`."""
-    _ensure_file_backend()
+    _ensure_builtin_backends()
     return tuple(sorted(_REGISTRY))
 
 
-def _ensure_file_backend() -> None:
-    if "file" not in _REGISTRY:  # pragma: no branch - tiny guard
+def _ensure_builtin_backends() -> None:
+    """Import-to-register the lazily-loaded builtin backends.
+
+    Keeps ``_REGISTRY`` the single source of truth for every name
+    enumeration (CLI help, ``PlanError`` messages) while avoiding an
+    import cycle at module load.
+    """
+    if "file" not in _REGISTRY:
         from . import file_backend  # noqa: F401  (registers itself)
+    if "compiled" not in _REGISTRY:
+        from . import compiled_backend  # noqa: F401  (registers itself)
+
+
+# Backwards-compatible alias for the pre-"compiled" helper name.
+_ensure_file_backend = _ensure_builtin_backends
 
 
 def get_backend(backend: "str | ExecutionBackend", **options) -> ExecutionBackend:
@@ -100,7 +116,7 @@ def get_backend(backend: "str | ExecutionBackend", **options) -> ExecutionBacken
                 f"an already-constructed backend instance"
             )
         return backend
-    _ensure_file_backend()
+    _ensure_builtin_backends()
     try:
         factory = _REGISTRY[backend]
     except KeyError:

@@ -1,0 +1,41 @@
+"""The compiled execution backend: generated Python over real files.
+
+:class:`CompiledBackend` is :class:`~repro.runtime.file_backend
+.FileBackend` with one method swapped: instead of walking the AST per
+element, it lowers the tuned program once through
+:func:`repro.codegen.py_codegen.compile_exec` and runs the generated
+flat loop nest.  Everything else — input materialization, device
+stores, counter pricing, output write-out — is inherited unchanged, and
+the generated code drives the *same* evaluator instance
+(:class:`~repro.runtime.primitives.PrimitiveLibrary`), so measured
+byte/seek counters match the interpreted FileBackend exactly; only the
+wall clock drops.
+
+``REPRO_COMPILED_EXEC=0`` disables the compiled lane: the backend then
+runs the inherited interpreter path bit-for-bit (same results, same
+counters, same pricing), which is the escape hatch mirrored from the
+costing lane's ``REPRO_COMPILED_COST``.
+"""
+
+from __future__ import annotations
+
+from ..codegen.py_codegen import compile_exec, compiled_exec_enabled
+from ..ocal.ast import Node
+from .backend import register_backend
+from .file_backend import FileBackend, _Evaluator
+
+__all__ = ["CompiledBackend"]
+
+
+class CompiledBackend(FileBackend):
+    """Executes tuned programs through generated Python loop nests."""
+
+    name = "compiled"
+
+    def _evaluate(self, evaluator: _Evaluator, program: Node, env: dict):
+        if not compiled_exec_enabled():
+            return super()._evaluate(evaluator, program, env)
+        return compile_exec(program).fn(env, evaluator)
+
+
+register_backend("compiled", CompiledBackend)

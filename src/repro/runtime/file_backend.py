@@ -15,6 +15,13 @@ bounded buffers.  The result reports
   reproduction's Figure-8 axis; local page caches make raw wall clock
   incommensurable with a 2013 disk testbed).
 
+The out-of-core *primitives* (builders, external merge sort, partition
+buckets, stream merges) live in :mod:`repro.runtime.primitives`; this
+module adds the AST-walking dispatch on top.  The compiled backend
+(:mod:`repro.runtime.compiled_backend`) shares the same primitive
+library from generated flat code, which is what guarantees its byte and
+seek counters match this interpreter's exactly.
+
 The evaluator assumes *linear* use of accumulated lists (a fold's
 accumulator is never observed after the step that extends it), which is
 the same assumption the paper's compiler makes when emitting destructive
@@ -23,7 +30,6 @@ appends in C; every synthesized program satisfies it.
 
 from __future__ import annotations
 
-import heapq
 import math
 import os
 import shutil
@@ -44,7 +50,6 @@ from ..ocal.ast import (
     Lam,
     Lit,
     Node,
-    Pattern,
     Prim,
     Proj,
     Sing,
@@ -60,32 +65,26 @@ from .accounting import (
     ExecutionError,
     ExecutionResult,
     InputSpec,
-    bind_pattern,
     cumulative_edge_costs,
 )
 from .backend import register_backend
 from .filestore import (
     DeviceStore,
     FileList,
-    ListBuilder,
     MemList,
     Rec,
-    encode_value,
     flat_width,
     shape_of,
+)
+from .primitives import (
+    READ_CHUNK as _READ_CHUNK,
+    PrimitiveLibrary,
+    _as_list,
+    _BlockWriter,
 )
 from .stats import ExecutionStats
 
 __all__ = ["FileBackend", "materialize_value"]
-
-_READ_CHUNK = 8192  # records per request for untuned bulk scans
-
-
-def _as_list(value):
-    """Normalize a list-like evaluator value for reading."""
-    if isinstance(value, ListBuilder):
-        return value.finish()
-    return value
 
 
 def materialize_value(value):
@@ -108,42 +107,13 @@ def materialize_value(value):
     return value
 
 
-class _Evaluator:
-    """Concrete out-of-core semantics for tuned OCAL programs."""
+class _Evaluator(PrimitiveLibrary):
+    """Concrete out-of-core semantics for tuned OCAL programs.
 
-    def __init__(
-        self,
-        config: ExecutionConfig,
-        stores: dict[str, DeviceStore],
-    ) -> None:
-        self.config = config
-        self.hierarchy = config.hierarchy
-        self.root = config.hierarchy.root.name
-        self.stores = stores
-        self.budget = float(config.hierarchy.root.size)
-        self.iterations = 0.0
-        self.hashes = 0.0
-
-    # ------------------------------------------------------------------
-    def spill_store(self) -> DeviceStore:
-        out = self.config.output_location
-        if out is not None:
-            return self.stores[out]
-        if not self.stores:
-            raise ExecutionError("no device to spill to")
-        return max(
-            self.stores.values(),
-            key=lambda s: self.hierarchy.node(s.name).size,
-        )
-
-    def _builder(self, tag: str) -> ListBuilder:
-        store = self.spill_store() if self.stores else None
-        return ListBuilder(
-            self.budget,
-            store,
-            write_block=max(1, int(self.budget) // 4),
-            tag=tag,
-        )
+    The AST-walking dispatch over the shared primitive library; the
+    compiled backend's generated code reaches the same primitives
+    through its ``rt`` argument (an instance of this class).
+    """
 
     # ------------------------------------------------------------------
     # Value-position evaluation
@@ -219,7 +189,7 @@ class _Evaluator:
     # ------------------------------------------------------------------
     # List-position evaluation: stream results into one sink
     # ------------------------------------------------------------------
-    def eval_list(self, expr: Node, env: dict, sink: ListBuilder) -> None:
+    def eval_list(self, expr: Node, env: dict, sink) -> None:
         if isinstance(expr, For):
             self._exec_for(expr, env, sink)
             return
@@ -252,22 +222,8 @@ class _Evaluator:
             return
         raise ExecutionError("expression did not produce a list")
 
-    def _fetch_block(self, block: int, seq, source, streams: int = 1) -> int:
-        """Request size for reading ``source``: the tuned block, widened
-        to streaming granularity under a ``seq-ac`` annotation.
-
-        The annotation asserts the pass is sequential, which makes the
-        estimator initiation-count-indifferent to the block size; the
-        generated code correspondingly streams through a buffer-pool-
-        sized window rather than issuing one request per logical block.
-        """
-        if seq is None or not isinstance(source, FileList):
-            return block
-        window = int(self.budget) // max(1, streams * source.elem_bytes)
-        return max(block, window, 1)
-
     # ------------------------------------------------------------------
-    def _exec_for(self, expr: For, env: dict, sink: ListBuilder) -> None:
+    def _exec_for(self, expr: For, env: dict, sink) -> None:
         source = _as_list(self.eval(expr.source, env))
         if not isinstance(source, (MemList, FileList)):
             raise ExecutionError("for iterates over a non-list")
@@ -300,7 +256,7 @@ class _Evaluator:
     # ------------------------------------------------------------------
     # Applications of definition nodes
     # ------------------------------------------------------------------
-    def _eval_app(self, expr: App, env: dict, sink: ListBuilder | None):
+    def _eval_app(self, expr: App, env: dict, sink):
         fn = expr.fn
         if isinstance(fn, Lam):
             arg = self.eval(expr.arg, env)
@@ -395,78 +351,6 @@ class _Evaluator:
                 acc = self.eval(step.body, inner)
         return acc
 
-    @staticmethod
-    def _is_merge_step(step: Node) -> bool:
-        """Is this an ``mrg`` (or ``funcPow[k](mrg)``) merge step?"""
-        if isinstance(step, Builtin) and step.name == "mrg":
-            return True
-        return (
-            isinstance(step, FuncPow)
-            and isinstance(step.fn, Builtin)
-            and step.fn.name == "mrg"
-        )
-
-    @classmethod
-    def _is_merge_fn(cls, fn: Node) -> bool:
-        if isinstance(fn, Builtin) and fn.name == "mrg":
-            return True
-        return isinstance(fn, UnfoldR) and cls._is_merge_step(fn.fn)
-
-    def _fold_merge(self, source, block: int):
-        """Insertion sort: fold of merge over singleton runs — for real.
-
-        The accumulator is kept sorted in memory while it fits the
-        modeled root; once it outgrows it, every further insertion
-        re-streams the accumulator file, reproducing the Θ(n²) traffic
-        the estimator predicts for the naive sort.
-        """
-        import bisect
-
-        acc: list | None = []
-        spilled: FileList | None = None
-        elem_shape = None
-        for chunk in source.iter_blocks(block):
-            for element in chunk:
-                value = element[0] if isinstance(element, list) else element
-                if elem_shape is None:
-                    elem_shape = shape_of(value)
-                    width = flat_width(elem_shape)
-                self.iterations += 1
-                if spilled is None:
-                    bisect.insort(acc, value)
-                    if len(acc) * width > self.budget and self.stores:
-                        spilled = self._write_records(
-                            acc, elem_shape, self.spill_store(), "sortacc",
-                            sorted=True,
-                        )
-                        acc = None
-                else:
-                    spilled = self._merge_into_file(spilled, value)
-        if spilled is not None:
-            return spilled
-        return MemList(acc, sorted=True)
-
-    def _merge_into_file(self, acc: FileList, value) -> FileList:
-        store = acc.store
-        handle = store.new_file("sortacc")
-        writer = _BlockWriter(
-            store, handle, acc.shape, max(1, int(self.budget) // 4)
-        )
-        placed = False
-        for chunk in acc.iter_blocks(_READ_CHUNK):
-            for item in chunk:
-                if not placed and value < item:
-                    writer.append(value)
-                    placed = True
-                writer.append(item)
-        if not placed:
-            writer.append(value)
-        result = writer.finish(sorted=True)
-        # The superseded accumulator copy is exclusively ours: release
-        # its fd and disk space, or a long fold leaks one file per step.
-        store.release(acc.handle)
-        return result
-
     # ------------------------------------------------------------------
     def _exec_unfold(self, fn: UnfoldR, arg, env: dict, sink):
         if not isinstance(arg, tuple):
@@ -495,26 +379,8 @@ class _Evaluator:
             isinstance(inner, Builtin) and inner.name == "zip"
         ))
 
-    def _unfold_zip(self, lists, block: int, sink: ListBuilder) -> None:
-        iterators = [lst.iter_blocks(block) for lst in lists]
-        while True:
-            chunks = []
-            for iterator in iterators:
-                chunks.append(next(iterator, None))
-            if any(chunk is None for chunk in chunks):
-                break
-            for row in zip(*chunks):
-                self.iterations += 1
-                sink.append(tuple(row))
-
-    def _merge_streams(self, lists, block: int, sink: ListBuilder) -> None:
-        streams = [self._elements(lst, block) for lst in lists]
-        for value in heapq.merge(*streams):
-            self.iterations += 1
-            sink.append(value)
-
     def _unfold_generic(
-        self, step: Node, lists, block: int, env: dict, sink: ListBuilder
+        self, step: Node, lists, block: int, env: dict, sink
     ) -> None:
         if not isinstance(step, Lam):
             raise ExecutionError(
@@ -541,11 +407,6 @@ class _Evaluator:
             sink.extend(chunk)
             budget -= 1
 
-    def _elements(self, lst, block: int):
-        for chunk in lst.iter_blocks(block):
-            for element in chunk:
-                yield element[0] if isinstance(element, list) else element
-
     # ------------------------------------------------------------------
     # treeFold: a real external merge sort
     # ------------------------------------------------------------------
@@ -559,59 +420,8 @@ class _Evaluator:
         block_out = fn.fn.block_out
         if isinstance(block_in, str) or isinstance(block_out, str):
             raise ExecutionError("unbound treeFold block parameters")
-        block_in = max(1, block_in)
-        block_out = max(1, block_out)
-        arity = max(2, fn.arity)
-
-        if isinstance(source, MemList):
-            values = [
-                item[0] if isinstance(item, list) else item
-                for item in source.materialize()
-            ]
-            self.iterations += len(values) * max(
-                1, math.ceil(math.log(max(2, len(values)), arity))
-            )
-            return MemList(sorted(values), sorted=True)
-
-        # Flatten the run view: a file of singleton runs has the same
-        # layout as a file of its elements.
-        shape = source.shape
-        if isinstance(shape, tuple) and shape and shape[0] == "run":
-            shape = shape[1]
-        data = FileList(
-            source.store, source.handle, source.base, source.length, shape
-        )
-        store = self.spill_store()
-        segments = [(data, index, 1) for index in range(len(data))]
-        while len(segments) > 1:
-            handle = store.new_file("sortlevel")
-            writer = _BlockWriter(store, handle, shape, block_out)
-            new_segments: list[tuple] = []
-            written = 0
-            for base in range(0, len(segments), arity):
-                group = segments[base : base + arity]
-                streams = [
-                    self._segment_stream(lst, start, length, block_in)
-                    for lst, start, length in group
-                ]
-                count = 0
-                for value in heapq.merge(*streams):
-                    writer.append(value)
-                    count += 1
-                    self.iterations += 1
-                new_segments.append((None, written, count))
-                written += count
-            level = writer.finish(sorted=True)
-            segments = [
-                (level, start, length)
-                for _, start, length in new_segments
-            ]
-        if not segments:
-            return MemList([], sorted=True)
-        lst, start, length = segments[0]
-        return FileList(
-            lst.store, lst.handle, lst.base + start * lst.elem_bytes,
-            length, lst.shape, sorted=True,
+        return self.merge_sort(
+            source, max(1, block_in), max(1, block_out), max(2, fn.arity)
         )
 
     def _treefold_generic(self, fn: TreeFold, source, env: dict):
@@ -692,161 +502,6 @@ class _Evaluator:
 
         return entry
 
-    def _segment_stream(self, lst: FileList, start: int, length: int, block):
-        view = FileList(
-            lst.store, lst.handle, lst.base + start * lst.elem_bytes,
-            length, lst.shape,
-        )
-        yield from self._elements(view, block)
-
-    # ------------------------------------------------------------------
-    def _exec_builtin(self, name: str, arg):
-        if name == "length":
-            value = _as_list(arg)
-            if not isinstance(value, (MemList, FileList)):
-                raise ExecutionError("length of a non-list")
-            return len(value)
-        if name == "head":
-            value = _as_list(arg)
-            if not isinstance(value, (MemList, FileList)) or not len(value):
-                raise ExecutionError("head of an empty or non-list value")
-            return value.head()
-        if name == "tail":
-            value = _as_list(arg)
-            if not isinstance(value, (MemList, FileList)) or not len(value):
-                raise ExecutionError("tail of an empty or non-list value")
-            return value.tail()
-        if name == "avg":
-            value = _as_list(arg)
-            if not isinstance(value, (MemList, FileList)) or not len(value):
-                raise ExecutionError("avg of an empty or non-list value")
-            total = 0
-            count = 0
-            for element in self._elements(value, _READ_CHUNK):
-                total += element
-                count += 1
-                self.iterations += 1
-            return total // count
-        if name == "zip":
-            if not isinstance(arg, tuple):
-                raise ExecutionError("zip consumes a tuple of lists")
-            lists = [_as_list(item) for item in arg]
-            sink = self._builder("zip")
-            self._unfold_zip(lists, _READ_CHUNK, sink)
-            return sink.finish()
-        raise ExecutionError(f"cannot execute builtin {name!r}")
-
-    def _exec_partition(self, fn: HashPartition, arg):
-        source = _as_list(arg)
-        if not isinstance(source, (MemList, FileList)):
-            raise ExecutionError("partition consumes a non-list")
-        buckets = fn.buckets
-        if isinstance(buckets, str):
-            raise ExecutionError(f"unbound bucket parameter {buckets!r}")
-        buckets = max(1, buckets)
-        store = self.spill_store() if self.stores else None
-        share = max(4096, int(self.budget) // (buckets + 1))
-        builders = [
-            ListBuilder(share, store, write_block=share, tag=f"bucket{i}")
-            for i in range(buckets)
-        ]
-        key_index = fn.key_index
-        for chunk in source.iter_blocks(_READ_CHUNK):
-            for element in chunk:
-                key = element if key_index == 0 else element[key_index - 1]
-                self.hashes += 1
-                self.iterations += 1
-                builders[stable_hash(key) % buckets].append(element)
-        return MemList([builder.finish() for builder in builders])
-
-    # ------------------------------------------------------------------
-    # Helpers
-    # ------------------------------------------------------------------
-    def _concat(self, left, right):
-        """Destructive append: accumulated lists are used linearly."""
-        if isinstance(left, ListBuilder):
-            left.extend(_as_list(right))
-            return left
-        if isinstance(left, FileList):
-            # Found by the conformance fuzzer: ⊔ of two device-resident
-            # inputs in value position reached the non-list error path.
-            builder = self._builder("concat")
-            builder.extend(left)
-            right = _as_list(right)
-            if not isinstance(right, (MemList, FileList)):
-                raise ExecutionError("⊔ of non-lists")
-            builder.extend(right)
-            return builder
-        if isinstance(left, MemList):
-            if not isinstance(right, (MemList, FileList, ListBuilder)):
-                raise ExecutionError("⊔ of non-lists")
-            right = _as_list(right)
-            width = (
-                flat_width(shape_of(left.items[0])) if left.items else 8
-            )
-            if (len(left) + len(right)) * width > self.budget and self.stores:
-                builder = self._builder("concat")
-                builder.extend(left)
-                builder.extend(right)
-                return builder
-            items = left.materialize()
-            if not left.owned and not left.start:
-                # `materialize` on an unshifted view aliases the backing
-                # list; shared (input) lists must not be extended in place.
-                items = list(items)
-            if isinstance(right, MemList):
-                items.extend(right.materialize())
-            else:
-                for chunk in right.iter_blocks(_READ_CHUNK):
-                    items.extend(chunk)
-            return MemList(items)
-        raise ExecutionError("⊔ of non-lists")
-
-    def _write_records(
-        self, values, shape, store: DeviceStore, tag: str, sorted=False
-    ) -> FileList:
-        writer = _BlockWriter(
-            store, store.new_file(tag), shape, max(1, int(self.budget) // 4)
-        )
-        for value in values:
-            writer.append(value)
-        return writer.finish(sorted=sorted)
-
-    def _bind(self, pattern: Pattern, value, env: dict) -> None:
-        bind_pattern(pattern, value, env)
-
-
-class _BlockWriter:
-    """Buffered fixed-width record writer (one request per flush)."""
-
-    def __init__(self, store, handle, shape, write_block: int) -> None:
-        self.store = store
-        self.handle = handle
-        self.shape = shape
-        self.write_block = max(1, int(write_block))
-        self.buffer = bytearray()
-        self.offset = 0
-        self.count = 0
-
-    def append(self, value) -> None:
-        encode_value(value, self.shape, self.buffer)
-        self.count += 1
-        if len(self.buffer) >= self.write_block:
-            self.flush()
-
-    def flush(self) -> None:
-        if self.buffer:
-            self.store.write(self.handle, self.offset, bytes(self.buffer))
-            self.offset += len(self.buffer)
-            self.buffer = bytearray()
-
-    def finish(self, sorted: bool = False) -> FileList:
-        self.flush()
-        return FileList(
-            self.store, self.handle, 0, self.count, self.shape,
-            sorted=sorted,
-        )
-
 
 class FileBackend:
     """Executes tuned programs on real temp files and reports both the
@@ -896,7 +551,7 @@ class FileBackend:
             for store in stores.values():
                 store.reset_counters()
             wall_start = time.perf_counter()
-            result = _as_list(evaluator.eval(program, env))
+            result = _as_list(self._evaluate(evaluator, program, env))
             if self.capture_output:
                 self.last_output = materialize_value(result)
             output_card, output_bytes = self._measure(result)
@@ -914,6 +569,11 @@ class FileBackend:
                 store.close()
             if owns_dir and not self.keep_files:
                 shutil.rmtree(base, ignore_errors=True)
+
+    def _evaluate(self, evaluator: _Evaluator, program: Node, env: dict):
+        """Produce the program's result value — the hook the compiled
+        backend overrides with generated code over the same evaluator."""
+        return evaluator.eval(program, env)
 
     # ------------------------------------------------------------------
     def _materialize_inputs(

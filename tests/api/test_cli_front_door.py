@@ -60,6 +60,45 @@ def test_synth_exec_round_trip_without_research(
     assert record["execution"]["elapsed"] > 0
 
 
+def test_run_compiled_backend_round_trips_through_plan(capsys, tmp_path):
+    plan_path = str(tmp_path / "plan.json")
+    assert cli.main([
+        "run", "aggregation", "--backend", "compiled",
+        "--workdir", str(tmp_path / "w"), "--json", "--save-plan", plan_path,
+    ]) == 0
+    record = json.loads(capsys.readouterr().out)
+    assert record["backend"] == "compiled"
+    # The plan document records its backend…
+    with open(plan_path) as handle:
+        assert json.load(handle)["backend"] == "compiled"
+    # …and exec replays on it without --backend.
+    assert cli.main([
+        "exec", "--plan", plan_path, "--json",
+        "--workdir", str(tmp_path / "w2"),
+    ]) == 0
+    record = json.loads(capsys.readouterr().out)
+    assert record["backend"] == "compiled"
+
+
+def test_exec_unknown_backend_lists_compiled(capsys, tmp_path):
+    plan_path = str(tmp_path / "plan.json")
+    assert cli.main(["synth", "aggregation", "--save-plan", plan_path]) == 0
+    capsys.readouterr()
+    assert cli.main(["exec", "--plan", plan_path, "--backend", "gpu"]) == 2
+    err = capsys.readouterr().err
+    assert "unknown execution backend" in err
+    assert "compiled" in err
+
+
+def test_fuzz_compiled_backend_lane(capsys):
+    assert cli.main([
+        "fuzz", "--seed", "0", "--count", "3", "--backend", "compiled",
+        "--no-save", "--progress-every", "0",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "compiled runs" in out
+
+
 def test_exec_missing_plan_exits_2(capsys, tmp_path):
     code = cli.main(["exec", "--plan", str(tmp_path / "nope.json")])
     assert code == 2

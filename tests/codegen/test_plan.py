@@ -43,10 +43,12 @@ class TestPlanErrors:
             plan.execute(config(), {"A": InputSpec(16, 8)}, backend="gpu")
 
     def test_unknown_backend_error_lists_registered_backends(self):
-        # The error must name the valid choices, and surface as a
-        # PlanError — never a bare KeyError from the registry dict.
+        # The error must name *every* valid choice — the registry is the
+        # single source of truth, so "compiled" must appear here without
+        # any plan-layer changes — and surface as a PlanError, never a
+        # bare KeyError from the registry dict.
         plan = ExecutablePlan(program=scan(64), parameter_values={"k1": 64})
-        with pytest.raises(PlanError, match=r"'file', 'sim'"):
+        with pytest.raises(PlanError, match=r"'compiled', 'file', 'sim'"):
             plan.execute(config(), {"A": InputSpec(16, 8)}, backend="gpu")
 
     def test_rejected_backend_options_surface_as_plan_error(self):

@@ -1,0 +1,251 @@
+"""Unit tests for the OCAL → Python lowering (DESIGN.md §12).
+
+The parity suite (``tests/runtime/test_compiled_parity.py``) and the
+conformance oracle pin end-to-end equivalence; this module pins the
+*mechanics*: generated source shape (tuned blocks baked as constants,
+hot shapes inlined, rare shapes falling back to evaluator methods), the
+per-program cache, evaluation-order/error parity with the interpreter,
+and the escape hatch.
+"""
+
+import pytest
+
+from repro.codegen.py_codegen import (
+    CompiledExec,
+    clear_exec_cache,
+    compile_exec,
+    compiled_exec_enabled,
+    exec_cache_size,
+)
+from repro.hierarchy import KB, hdd_ram_hierarchy
+from repro.ocal.builders import (
+    add,
+    app,
+    div,
+    empty,
+    eq,
+    for_,
+    func_pow,
+    if_,
+    lam,
+    lit,
+    mrg,
+    proj,
+    sing,
+    tree_fold,
+    tup,
+    unfold_r,
+    v,
+)
+from repro.ocal.interp import InterpreterError, evaluate
+from repro.runtime import (
+    CompiledBackend,
+    ExecutionConfig,
+    ExecutionError,
+    FileBackend,
+    InputSpec,
+)
+
+
+def scan(block=64):
+    return for_(
+        "xB", v("A"), for_("x", v("xB"), sing(v("x"))), block_in=block
+    )
+
+
+def config(**kwargs):
+    defaults = dict(
+        hierarchy=hdd_ram_hierarchy(8 * KB),
+        input_locations={"A": "HDD", "B": "HDD"},
+    )
+    defaults.update(kwargs)
+    return ExecutionConfig(**defaults)
+
+
+def run_captured(backend_cls, program, data, specs, tmp_path, **cfg):
+    backend = backend_cls(
+        workdir=str(tmp_path), seed=3, data=data, capture_output=True
+    )
+    backend.run(program, specs, config(**cfg))
+    return backend.last_output
+
+
+class TestGeneratedSource:
+    def test_blocked_scan_bakes_block_constant(self):
+        compiled = compile_exec(scan(block=64))
+        assert isinstance(compiled, CompiledExec)
+        # The tuned block size is a literal in the loop nest, and the
+        # hot scan shape is fully inlined — no AST re-walk at run time.
+        assert "64" in compiled.source
+        assert "rt.eval(" not in compiled.source
+        assert "for " in compiled.source
+
+    def test_different_tuning_compiles_different_source(self):
+        a = compile_exec(scan(block=32))
+        b = compile_exec(scan(block=128))
+        assert a is not b
+        assert a.source != b.source
+
+    def test_lambda_step_unfold_is_inlined(self):
+        # λ-step unfolds take the interpreter's *generic* path, so the
+        # compiled form inlines the step loop; merge steps (mrg) keep
+        # the evaluator's fast lane for counter parity.
+        step = lam(
+            "st",
+            if_(
+                eq(app(v("length"), proj(v("st"), 1)), lit(0)),
+                tup(empty(), tup(empty(), empty())),
+                tup(sing(lit(1)), tup(empty(), empty())),
+            ),
+        )
+        lam_unfold = app(unfold_r(step, block_in=4), tup(v("A"), v("B")))
+        assert "rt._exec_unfold" not in compile_exec(lam_unfold).source
+        mrg_unfold = app(unfold_r(mrg(), block_in=4), tup(v("A"), v("B")))
+        assert "rt._exec_unfold" in compile_exec(mrg_unfold).source
+
+    def test_treefold_falls_back_to_evaluator(self):
+        sort = app(
+            tree_fold(4, empty(), unfold_r(func_pow(2, mrg()), block_in=8)),
+            v("A"),
+        )
+        compiled = compile_exec(sort)
+        assert "rt._exec_treefold" in compiled.source
+
+    def test_source_is_attached_to_function(self):
+        compiled = compile_exec(scan())
+        assert compiled.fn.__repro_source__ == compiled.source
+
+
+class TestCache:
+    def test_structurally_equal_programs_share_compilation(self):
+        clear_exec_cache()
+        first = compile_exec(scan(block=16))
+        again = compile_exec(scan(block=16))
+        assert first is again
+        assert exec_cache_size() >= 1
+
+    def test_clear_resets(self):
+        compile_exec(scan(block=16))
+        clear_exec_cache()
+        assert exec_cache_size() == 0
+
+
+class TestScalarSemantics:
+    """Pure scalar programs run without touching the evaluator (rt)."""
+
+    def exec_(self, program, env=None):
+        return compile_exec(program).fn(dict(env or {}), None)
+
+    def test_arithmetic_and_tuples(self):
+        program = add(proj(tup(lit(2), lit(5)), 2), lit(1))
+        assert self.exec_(program) == evaluate(program, {})
+
+    def test_unbound_variable_message_matches_evaluator(self):
+        with pytest.raises(ExecutionError, match="unbound variable 'S'"):
+            self.exec_(v("S"))
+
+    def test_dead_branch_never_evaluates_missing_input(self):
+        # `S` is absent from the env; the interpreter only faults on
+        # variables it actually evaluates, and so must generated code.
+        program = if_(lit(False), v("S"), lit(3))
+        assert self.exec_(program) == 3
+
+    def test_non_bool_condition_rejected(self):
+        program = if_(lit(1), lit(2), lit(3))
+        with pytest.raises(ExecutionError, match="must be Bool"):
+            self.exec_(program)
+
+    def test_division_by_zero_matches_interpreter(self):
+        program = div(lit(4), lit(0))
+        with pytest.raises(InterpreterError, match="division by zero"):
+            evaluate(program, {})
+        with pytest.raises(InterpreterError, match="division by zero"):
+            self.exec_(program)
+
+    def test_integer_division_floors_like_interpreter(self):
+        program = div(lit(7), lit(2))
+        assert self.exec_(program) == evaluate(program, {})
+
+    def test_bool_int_literals_stay_distinct(self):
+        # Lit(False) and Lit(0) hash-cons to *different* programs; the
+        # compiled forms must not be conflated through the cache.
+        assert self.exec_(if_(lit(False), lit(1), lit(2))) == 2
+        assert self.exec_(lit(0)) == 0
+        assert self.exec_(lit(False)) is False
+
+
+class TestBackendEquivalence:
+    def test_fold_with_lambda_matches_file(self, tmp_path):
+        from repro.ocal.builders import fold_l
+
+        program = for_(
+            "xB",
+            v("A"),
+            sing(
+                app(
+                    fold_l(lit(0), lam(("acc", "e"), add(v("acc"), v("e")))),
+                    v("xB"),
+                )
+            ),
+            block_in=8,
+        )
+        data = {"A": list(range(20))}
+        specs = {"A": InputSpec(20, 8)}
+        file_out = run_captured(FileBackend, program, data, specs,
+                                tmp_path / "f")
+        comp_out = run_captured(CompiledBackend, program, data, specs,
+                                tmp_path / "c")
+        assert comp_out == file_out
+
+    def test_nested_same_name_loops_do_not_clobber(self, tmp_path):
+        # Both loops bind `x`: compile-time scoping must give each its
+        # own Python local.
+        program = for_(
+            "x",
+            v("A"),
+            for_("x", v("B"), sing(v("x"))),
+        )
+        data = {"A": [1, 2], "B": [10, 20]}
+        specs = {"A": InputSpec(2, 8), "B": InputSpec(2, 8)}
+        comp_out = run_captured(CompiledBackend, program, data, specs,
+                                tmp_path)
+        assert sorted(comp_out) == [10, 10, 20, 20]
+
+    def test_equality_filter_join(self, tmp_path):
+        program = for_(
+            "x",
+            v("A"),
+            for_(
+                "y",
+                v("B"),
+                if_(eq(v("x"), v("y")), sing(tup(v("x"), v("y"))), empty()),
+            ),
+        )
+        data = {"A": [1, 2, 3], "B": [2, 3, 4]}
+        specs = {"A": InputSpec(3, 8), "B": InputSpec(3, 8)}
+        comp_out = run_captured(CompiledBackend, program, data, specs,
+                                tmp_path)
+        assert sorted(tuple(r) for r in comp_out) == [(2, 2), (3, 3)]
+
+
+class TestEscapeHatch:
+    def test_flag_default_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_COMPILED_EXEC", raising=False)
+        assert compiled_exec_enabled()
+
+    def test_flag_zero_disables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPILED_EXEC", "0")
+        assert not compiled_exec_enabled()
+
+    def test_disabled_backend_never_compiles(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_COMPILED_EXEC", "0")
+        clear_exec_cache()
+        out = run_captured(
+            CompiledBackend,
+            scan(),
+            {"A": [4, 5, 6]},
+            {"A": InputSpec(3, 8)},
+            tmp_path,
+        )
+        assert sorted(out) == [4, 5, 6]
+        assert exec_cache_size() == 0

@@ -1,7 +1,7 @@
 """The generative conformance suite (ISSUE 3 tentpole).
 
 * a pinned-seed differential batch (50 programs, rewrite-closure depth 2)
-  across interpreter / SimBackend / FileBackend;
+  across interpreter / SimBackend / FileBackend / CompiledBackend;
 * hypothesis-driven unsized cases over random generator seeds;
 * replay of every persisted counterexample in ``corpus/``;
 * unit coverage for the generator's invariants and the shrinker.
@@ -98,6 +98,9 @@ class TestOracleBatch:
         # backends — guard against a silently degenerate run.
         assert batch.closure_total >= 3 * batch.count
         assert batch.file_runs >= batch.count
+        # Every file run is shadowed by a compiled run whose bag *and*
+        # measured I/O counters must match (the §12 parity contract).
+        assert batch.compiled_runs == batch.file_runs
         assert batch.sim_runs >= batch.count
         assert batch.cost_checked >= batch.count // 4
 

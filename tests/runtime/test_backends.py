@@ -1,8 +1,8 @@
-"""Both execution backends behind the one ExecutionBackend interface.
+"""All execution backends behind the one ExecutionBackend interface.
 
 The less-trodden executor paths — ``TreeFold``, ``UnfoldR`` (plugin and
-generic step), ``HashPartition``, spill behavior — run against *both*
-substrates through a parametrized fixture.  Assertions are the
+generic step), ``HashPartition``, spill behavior — run against every
+substrate (sim, file, compiled) through a parametrized fixture.  Assertions are the
 invariants the backends share (output cardinalities, byte-counter
 structure); numeric equality between the analytic model and a real
 execution is checked only where the semantics pin it down.
@@ -44,10 +44,10 @@ from repro.runtime import (
 from repro.workloads.specs import set_union_spec
 
 
-@pytest.fixture(params=["sim", "file"])
+@pytest.fixture(params=["sim", "file", "compiled"])
 def backend(request, tmp_path):
-    if request.param == "file":
-        return get_backend("file", workdir=str(tmp_path), seed=11)
+    if request.param in ("file", "compiled"):
+        return get_backend(request.param, workdir=str(tmp_path), seed=11)
     return get_backend("sim")
 
 
@@ -63,7 +63,7 @@ def config(hierarchy=None, **kwargs):
 
 class TestRegistry:
     def test_names(self):
-        assert set(backend_names()) >= {"sim", "file"}
+        assert set(backend_names()) >= {"sim", "file", "compiled"}
 
     def test_unknown_backend_rejected(self):
         with pytest.raises(ValueError, match="unknown execution backend"):
@@ -74,8 +74,15 @@ class TestRegistry:
         assert get_backend(backend) is backend
 
     def test_protocol_names(self):
+        from repro.runtime import CompiledBackend
+
         assert SimBackend().name == "sim"
         assert FileBackend().name == "file"
+        assert CompiledBackend().name == "compiled"
+
+    def test_unknown_backend_error_lists_compiled(self):
+        with pytest.raises(ValueError, match="compiled"):
+            get_backend("punchcards")
 
 
 class TestTreeFold:

@@ -1,0 +1,143 @@
+"""CompiledBackend ≡ FileBackend on every catalog workload.
+
+The compiled backend's contract (DESIGN.md §12) is *observational
+equivalence with better wall clock*: for the same program, data seed,
+and hierarchy it must produce a bit-identical output bag, identical
+measured per-device byte/seek counters, and therefore an identical
+priced cost.  This suite pins that contract on real synthesized
+winners, not just generated programs:
+
+* every registry workload at its ``validation`` scale (the set the
+  execution bench measures), plus the one validation-only workload —
+  all 17 catalog entries are covered;
+* every Table-1 workload's synthesized winner (the goldens' programs),
+  re-executed with input cardinalities capped so the real-file runs
+  stay test-sized — the tuned table1 block sizes remain baked in.
+
+The escape hatch is pinned here too: with ``REPRO_COMPILED_EXEC=0`` the
+compiled backend must fall back to the interpreted path bit-for-bit.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.api import Session
+from repro.codegen.py_codegen import compile_exec, exec_cache_size
+from repro.conformance.oracle import output_bag
+from repro.runtime import CompiledBackend, FileBackend
+
+COUNTERS = (
+    "reads", "writes", "bytes_read", "bytes_written", "seeks", "erases"
+)
+#: table1 inputs reach 134M tuples and the joins are quadratic; parity
+#: runs cap the generated data at validation-scale cardinality (the
+#: *programs* keep their table1-tuned block parameters).
+TABLE1_CARD_CAP = 256
+
+
+def _capped(inputs: dict, cap: int | None) -> dict:
+    if cap is None:
+        return inputs
+    return {
+        name: dataclasses.replace(spec, card=min(spec.card, cap))
+        for name, spec in inputs.items()
+    }
+
+
+def _assert_parity(job, workdir, cap=None):
+    """Run the job's plan on both real backends; demand equivalence."""
+    inputs = _capped(job.inputs, cap)
+    runs = {}
+    for cls, tag in ((FileBackend, "file"), (CompiledBackend, "compiled")):
+        backend = cls(
+            workdir=str(workdir / tag), seed=7, capture_output=True
+        )
+        runs[tag] = (
+            backend.run(job.program, inputs, job.config),
+            backend.last_output,
+        )
+    file_result, file_out = runs["file"]
+    comp_result, comp_out = runs["compiled"]
+    assert output_bag(comp_out) == output_bag(file_out)
+    assert comp_result.output_card == file_result.output_card
+    devices = set(file_result.stats.devices) | set(comp_result.stats.devices)
+    for device in sorted(devices):
+        file_dev = file_result.stats.device(device)
+        comp_dev = comp_result.stats.device(device)
+        for counter in COUNTERS:
+            assert getattr(comp_dev, counter) == getattr(file_dev, counter), (
+                f"{job.workload}: {device}.{counter} diverged"
+            )
+    # Identical counters (I/O and CPU) price to the identical cost.
+    assert comp_result.elapsed == file_result.elapsed
+    return file_result, comp_result
+
+
+@pytest.fixture(scope="module")
+def session():
+    return Session()
+
+
+@pytest.fixture(scope="module")
+def parity_dir(tmp_path_factory):
+    return tmp_path_factory.mktemp("parity")
+
+
+def _validation_names():
+    from repro.api import default_registry
+
+    return default_registry().names(scale="validation")
+
+
+def _table1_names():
+    from repro.api import default_registry
+
+    return default_registry().names(scale="table1")
+
+
+def test_catalog_is_fully_covered():
+    """The two parametrized sets below span the whole 17-entry catalog."""
+    from repro.api import default_registry
+
+    registry = default_registry()
+    assert set(_validation_names()) | set(_table1_names()) == set(
+        registry.names()
+    )
+    assert len(list(registry)) == 17
+
+
+@pytest.mark.parametrize("name", _validation_names())
+def test_validation_winner_parity(session, parity_dir, name):
+    job = session.synthesize(name, scale="validation")
+    _assert_parity(job, parity_dir / f"v-{name}")
+
+
+@pytest.mark.parametrize("name", _table1_names())
+def test_table1_winner_parity(session, parity_dir, name):
+    job = session.synthesize(name, scale="table1")
+    _assert_parity(job, parity_dir / f"t1-{name}", cap=TABLE1_CARD_CAP)
+
+
+class TestEscapeHatch:
+    def test_disabled_compiled_exec_is_bitwise_file_path(
+        self, session, tmp_path, monkeypatch
+    ):
+        """REPRO_COMPILED_EXEC=0 must restore the interpreted path —
+        same bag, same counters, same priced cost, and no new entries
+        in the program cache."""
+        job = session.synthesize("bnl-join", scale="validation")
+        monkeypatch.setenv("REPRO_COMPILED_EXEC", "0")
+        before = exec_cache_size()
+        file_result, comp_result = _assert_parity(job, tmp_path)
+        assert exec_cache_size() == before
+        assert comp_result.backend == "compiled"
+        assert file_result.backend == "file"
+
+    def test_reenabled_compiled_exec_compiles(self, session, monkeypatch):
+        monkeypatch.delenv("REPRO_COMPILED_EXEC", raising=False)
+        job = session.synthesize("bnl-join", scale="validation")
+        before = exec_cache_size()
+        compiled = compile_exec(job.program)
+        assert compile_exec(job.program) is compiled  # cached
+        assert exec_cache_size() >= before
