@@ -1,0 +1,219 @@
+"""Intra-search and intra-execution parallelism, measured (DESIGN.md §13).
+
+Two levers behind one worker-pool utility, quantified against their
+serial baselines with observational identity asserted — bit-identical
+winners/derivations for the search lever, equal bags, priced costs and
+per-device counters for the execution lever:
+
+* **parallel frontier costing** — the exhaustive-BFS join search with
+  ``Synthesizer(workers=N)``, where each generation's candidate batch
+  is costed on a process pool (cold session each run, so the memo-warm
+  fast path cannot hide the fan-out);
+* **partition-parallel execution** — the hash-partition join on the
+  measuring FileBackend with ``workers=N``, where bucket pipelines run
+  on the pool and the parent replays their event logs.
+
+Persisted to ``BENCH_parallel.json``: serial/parallel wall clocks (best
+of ``repeat``), speedups, the identity verdicts, and the box's CPU
+count.
+
+Gates (identity is always a hard gate; *speed* gates depend on cores,
+because a single-core box cannot show a speedup):
+
+* smoke (``REPRO_PARALLEL_BENCH_SMOKE=1``, the ``parallel-bench-smoke``
+  CI job) — with ≥ 2 cores, parallel must not be slower than serial in
+  aggregate by more than 25%; on a single core only identity is gated;
+* full — with ≥ 4 cores, each lever must reach the ≥ 1.5× acceptance
+  speedup at 4 workers.
+"""
+
+import json
+import os
+import pathlib
+import shutil
+import time
+
+import pytest
+
+from repro.api import Session
+from repro.conformance.oracle import output_bag
+from repro.runtime import FileBackend
+
+BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_parallel.json"
+)
+
+SMOKE = os.environ.get("REPRO_PARALLEL_BENCH_SMOKE", "0") == "1"
+REPEAT = 2 if SMOKE else 3
+WORKERS = 2 if SMOKE else 4
+
+SEARCH_WORKLOAD = "grace-join"
+EXEC_WORKLOAD = "grace-join"
+
+COUNTERS = (
+    "reads", "writes", "bytes_read", "bytes_written", "seeks", "erases"
+)
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+@pytest.fixture(scope="module")
+def results():
+    """Shared result dict, dumped to BENCH_parallel.json by the last test."""
+    return {
+        "description": (
+            "Parallel frontier costing and partition-parallel execution "
+            "vs their serial baselines: measured wall clock, with "
+            "winner/bag/counter identity asserted."
+        ),
+        "smoke_mode": SMOKE,
+        "repeat": REPEAT,
+        "workers": WORKERS,
+        "cpus": _cpus(),
+        "levers": {},
+    }
+
+
+def _synthesize_cold(workers: int):
+    """One cold-session exhaustive synthesis; returns (job, wall)."""
+    session = Session(workers=workers)
+    started = time.perf_counter()
+    job = session.synthesize(
+        SEARCH_WORKLOAD, scale="table1", strategy="exhaustive-bfs"
+    )
+    return job, time.perf_counter() - started
+
+
+def _execute(job, workers: int, workdir):
+    """One FileBackend run in a throwaway workdir; (result, bag, wall)."""
+    workdir.mkdir(parents=True)
+    try:
+        backend = FileBackend(
+            workdir=str(workdir), seed=7, capture_output=True,
+            workers=workers,
+        )
+        result = backend.run(job.program, job.inputs, job.config)
+        return result, output_bag(backend.last_output), result.wall_seconds
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def _counters(result) -> dict:
+    return {
+        device: {name: getattr(stats, name) for name in COUNTERS}
+        for device, stats in sorted(result.stats.devices.items())
+    }
+
+
+def test_parallel_frontier_costing(results):
+    serial_best = parallel_best = None
+    for attempt in range(REPEAT):
+        order = ((1,), (WORKERS,)) if attempt % 2 == 0 else ((WORKERS,), (1,))
+        for (workers,) in order:
+            job, wall = _synthesize_cold(workers)
+            if workers == 1:
+                if serial_best is None or wall < serial_best[1]:
+                    serial_best = (job, wall)
+            elif parallel_best is None or wall < parallel_best[1]:
+                parallel_best = (job, wall)
+    serial_job, serial_wall = serial_best
+    parallel_job, parallel_wall = parallel_best
+
+    # Identity gates: the parallel search is observationally serial.
+    assert parallel_job.winner is serial_job.winner
+    assert parallel_job.derivation == serial_job.derivation
+    assert parallel_job.opt_cost == serial_job.opt_cost
+    assert parallel_job.search.space == serial_job.search.space
+    assert parallel_job.search.costed == serial_job.search.costed
+
+    results["levers"]["search"] = {
+        "workload": SEARCH_WORKLOAD,
+        "strategy": "exhaustive-bfs",
+        "search_space": serial_job.search.space,
+        "serial_wall": serial_wall,
+        "parallel_wall": parallel_wall,
+        "speedup": (
+            round(serial_wall / parallel_wall, 3) if parallel_wall else None
+        ),
+        "winner_identical": True,
+    }
+
+
+def test_partition_parallel_execution(results, tmp_path):
+    job = Session().synthesize(EXEC_WORKLOAD, scale="validation")
+    serial_best = parallel_best = None
+    for attempt in range(REPEAT):
+        pair = [(1, "s"), (WORKERS, "p")]
+        for workers, tag in pair if attempt % 2 == 0 else pair[::-1]:
+            run = _execute(job, workers, tmp_path / f"{tag}{attempt}")
+            if workers == 1:
+                if serial_best is None or run[2] < serial_best[2]:
+                    serial_best = run
+            elif parallel_best is None or run[2] < parallel_best[2]:
+                parallel_best = run
+    serial_result, serial_bag, serial_wall = serial_best
+    parallel_result, parallel_bag, parallel_wall = parallel_best
+
+    # Identity gates: same bag, same priced cost, same counters.
+    assert parallel_bag == serial_bag
+    assert parallel_result.elapsed == serial_result.elapsed
+    assert _counters(parallel_result) == _counters(serial_result)
+
+    results["levers"]["execution"] = {
+        "workload": EXEC_WORKLOAD,
+        "derivation": list(job.derivation),
+        "serial_wall": serial_wall,
+        "parallel_wall": parallel_wall,
+        "speedup": (
+            round(serial_wall / parallel_wall, 3) if parallel_wall else None
+        ),
+        "bags_equal": True,
+        "counters_equal": True,
+        "priced_cost": serial_result.elapsed,
+    }
+
+
+def test_record_bench_parallel_json(results, report):
+    """Aggregate gate + artifact; runs last within this module."""
+    levers = results["levers"]
+    assert set(levers) == {"search", "execution"}, "lever benches missing"
+    serial_total = sum(row["serial_wall"] for row in levers.values())
+    parallel_total = sum(row["parallel_wall"] for row in levers.values())
+    cpus = results["cpus"]
+    results["summary"] = {
+        "serial_wall_total": serial_total,
+        "parallel_wall_total": parallel_total,
+        "aggregate_speedup": (
+            round(serial_total / parallel_total, 3) if parallel_total else None
+        ),
+        "speed_gate": (
+            "skipped-single-core" if cpus < 2
+            else ("smoke-not-slower" if SMOKE else "full-1.5x")
+        ),
+    }
+    BENCH_JSON.write_text(json.dumps(results, indent=2) + "\n")
+    lines = [
+        f"{name:<10} serial {row['serial_wall'] * 1e3:8.1f}ms  "
+        f"parallel({results['workers']}) "
+        f"{row['parallel_wall'] * 1e3:8.1f}ms  ({row['speedup']:.2f}x)"
+        for name, row in levers.items()
+    ]
+    report.append(
+        f"parallel levers vs serial ({'smoke' if SMOKE else 'full'}, "
+        f"best of {REPEAT}, {cpus} cpu(s)):\n" + "\n".join(lines)
+    )
+    if cpus < 2:
+        return  # identity was gated above; a speedup is impossible here
+    if SMOKE:
+        # Smoke gate: not slower than serial in aggregate (25% slack
+        # absorbs pool startup on busy CI boxes).
+        assert parallel_total <= serial_total * 1.25, results["summary"]
+    elif cpus >= 4:
+        # Full gate: the acceptance criterion — ≥1.5x on each lever.
+        for name, row in levers.items():
+            assert row["speedup"] >= 1.5, (name, row)

@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import json
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
@@ -36,6 +35,7 @@ from ..bench.harness import (
     synthesizer_for,
 )
 from ..ocal.serialize import node_from_json, node_to_json
+from ..parallel import resolve_workers, run_tasks
 from ..runtime.backend import ExecutionBackend
 from ..search.result import SynthesisResult
 from ..search.synthesizer import Synthesizer
@@ -74,6 +74,12 @@ class Session:
     backend_options: dict = field(default_factory=dict)
     #: how many non-winning candidates each job keeps (0 disables).
     keep_alternatives: int = 4
+    #: intra-search parallelism for every synthesizer this session
+    #: builds: each generation's frontier costing fans out over this
+    #: many processes (``0`` = one per CPU, ``1`` = serial).  Distinct
+    #: from ``synthesize_all(parallel=...)``, which parallelizes
+    #: *across* workloads.
+    workers: int = 1
     stats: SessionStats = field(default_factory=SessionStats)
     _synthesizers: dict = field(default_factory=dict, init=False, repr=False)
 
@@ -150,8 +156,10 @@ class Session:
         order.  ``parallel`` > 1 fans the batch out over a process pool
         (each worker returns the winner as a plan document plus its
         search statistics — nothing non-picklable crosses the pool);
-        ``None``/0/1 runs serially in-process, where the shared cost
-        memos amortize across the batch instead.
+        ``parallel=0`` means *auto* — one worker per available CPU;
+        ``None``/1 runs serially in-process, where the shared cost
+        memos amortize across the batch instead.  ``REPRO_PARALLEL=0``
+        forces every value down to serial.
         """
         names = list(
             self.registry.names(scale) if workloads is None else workloads
@@ -163,10 +171,13 @@ class Session:
                 f"expected a subset of {sorted(self.registry.names())}"
             )
         strategy = strategy or self.strategy
+        effective = (
+            1
+            if parallel is None
+            else resolve_workers(parallel, task_count=len(names))
+        )
         if (
-            parallel is None
-            or parallel <= 1
-            or len(names) <= 1
+            effective <= 1
             # Workers resolve names against the default catalog; a
             # session over a custom registry must stay in-process.
             or self.registry is not default_registry()
@@ -179,9 +190,7 @@ class Session:
             (name, scale, strategy, self.keep_alternatives)
             for name in names
         ]
-        with ProcessPoolExecutor(max_workers=parallel) as pool:
-            futures = [pool.submit(_synthesize_task, task) for task in tasks]
-            payloads = [future.result() for future in futures]
+        payloads = run_tasks(_synthesize_task, tasks, effective)
         jobs = [self._job_from_payload(payload) for payload in payloads]
         for job in jobs:
             self.stats.jobs += 1
@@ -236,6 +245,7 @@ class Session:
         synthesizer = self._synthesizers.get(key)
         if synthesizer is None:
             synthesizer = self._synthesizers[key] = synthesizer_for(experiment)
+            synthesizer.workers = self.workers
         return synthesizer
 
     def _job_from_synthesis(

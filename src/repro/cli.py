@@ -69,6 +69,14 @@ def _build_parser() -> argparse.ArgumentParser:
             "--json", action="store_true",
             help="emit a machine-readable JSON record instead of text",
         )
+        cmd.add_argument(
+            "--jobs", type=int, default=1, metavar="N",
+            help=(
+                "worker processes for parallel frontier costing — and, "
+                "with an execution backend, partition-parallel runs "
+                "(0 = one per CPU, 1 = serial)"
+            ),
+        )
         if with_execution:
             cmd.add_argument(
                 "--backend", default="sim",
@@ -122,6 +130,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit a machine-readable JSON record instead of text",
     )
+    exec_.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help=(
+            "worker processes for partition-parallel execution on the "
+            "file/compiled backends (0 = one per CPU, 1 = serial)"
+        ),
+    )
 
     validate = sub.add_parser(
         "validate",
@@ -138,7 +153,10 @@ def _build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--workdir", default=None)
     validate.add_argument(
         "--parallel", type=int, default=None, metavar="N",
-        help="synthesize the workloads over N worker processes",
+        help=(
+            "synthesize the workloads over N worker processes "
+            "(0 = one per CPU)"
+        ),
     )
 
     fuzz = sub.add_parser(
@@ -179,6 +197,14 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--no-save", action="store_true",
         help="do not persist counterexamples to the corpus",
+    )
+    fuzz.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help=(
+            "additionally re-run every program on FileBackend with N "
+            "worker processes and require bag + counter parity against "
+            "the serial run (0 = skip the lane)"
+        ),
     )
     fuzz.add_argument(
         "--progress-every", type=int, default=50,
@@ -267,7 +293,11 @@ def _resolve_backend(args):
     from .runtime import get_backend
 
     options = (
-        {"seed": args.seed, "workdir": args.workdir}
+        {
+            "seed": args.seed,
+            "workdir": args.workdir,
+            "workers": getattr(args, "jobs", 1),
+        }
         if args.backend in ("file", "compiled")
         else {}
     )
@@ -287,7 +317,9 @@ def _cmd_run(args) -> int:
         return 2
     # The session's default backend is the chosen one, so a job saved
     # with --save-plan records it and `exec` replays on it by default.
-    session = Session(strategy=args.strategy, backend=args.backend)
+    session = Session(
+        strategy=args.strategy, backend=args.backend, workers=args.jobs
+    )
     job = _synthesize_job(args, session)
     if job is None:
         return 2
@@ -310,7 +342,7 @@ def _cmd_run(args) -> int:
 def _cmd_synth(args) -> int:
     from .api import Session
 
-    session = Session(strategy=args.strategy)
+    session = Session(strategy=args.strategy, workers=args.jobs)
     job = _synthesize_job(args, session)
     if job is None:
         return 2
@@ -387,7 +419,7 @@ def _cmd_validate(args) -> int:
     kwargs = dict(
         path=args.out, names=names, seed=args.seed, workdir=args.workdir
     )
-    if args.parallel:
+    if args.parallel is not None:
         kwargs["parallel"] = args.parallel
     report = write_validation_report(**kwargs)
     for workload in report["workloads"]:
@@ -416,13 +448,16 @@ def _cmd_fuzz(args) -> int:
     )
     from .ocal.printer import pretty
 
+    check_file = args.backend in ("both", "file", "compiled")
     oracle_config = OracleConfig(
         closure_depth=max(0, args.depth),
         closure_cap=max(1, args.closure_cap),
-        check_file=args.backend in ("both", "file", "compiled"),
+        check_file=check_file,
         check_compiled=args.backend in ("both", "compiled"),
         check_sim=args.backend in ("both", "sim"),
         check_cost=args.backend in ("both", "sim"),
+        check_workers=check_file and args.workers > 0,
+        workers=max(2, args.workers),
     )
     gen_config = GenConfig(max_size=max(6, args.max_size))
     shrunk_paths: list[str] = []

@@ -1,0 +1,180 @@
+"""The one worker-pool construction path (DESIGN.md §13).
+
+Every parallel lane in the repository — batch synthesis across
+workloads (``Session.synthesize_all``), parallel frontier costing
+inside one search (``Synthesizer(workers=N)``), and partition-parallel
+execution inside one run (``FileBackend(workers=N)``) — builds its
+process pool here, so policy lives in exactly one place:
+
+* **escape hatch** — ``REPRO_PARALLEL=0`` forces every lane serial,
+  regardless of any ``workers=`` option (read per call, so tests can
+  monkeypatch the environment);
+* **auto sizing** — ``workers=0`` means "one worker per available CPU"
+  (scheduling affinity, not raw core count);
+* **fork only** — pools use the ``fork`` start method (workers inherit
+  interned AST tables and device descriptors for free); on platforms
+  without it every lane silently degrades to serial, which is always
+  semantically equivalent by the determinism contract;
+* **deterministic chunking** — :func:`chunk_slices` splits ``n`` items
+  into contiguous, near-equal, *ordered* slices, so results can be
+  merged back in input order no matter which worker finished first;
+* **per-worker seeding** — :func:`worker_seed` derives a stable,
+  distinct seed per (base seed, worker index) for lanes that need
+  randomness inside workers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+__all__ = [
+    "PARALLEL_ENV",
+    "parallel_enabled",
+    "cpu_count",
+    "fork_available",
+    "resolve_workers",
+    "chunk_slices",
+    "worker_seed",
+    "WorkerPool",
+    "run_tasks",
+]
+
+#: setting this to ``0`` (or ``false``/``no``/``off``) disables every
+#: parallel lane in the repository.
+PARALLEL_ENV = "REPRO_PARALLEL"
+
+
+def parallel_enabled() -> bool:
+    """Is parallel execution allowed?  Read per call (monkeypatchable)."""
+    return os.environ.get(PARALLEL_ENV, "1").strip().lower() not in (
+        "0", "false", "no", "off",
+    )
+
+
+def cpu_count() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-linux
+        return os.cpu_count() or 1
+
+
+def fork_available() -> bool:
+    """Can we start workers by forking (required by every lane)?"""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def resolve_workers(workers: "int | None", task_count: "int | None" = None) -> int:
+    """Effective worker count for one parallel lane.
+
+    ``None`` and ``1`` mean serial; ``0`` means auto (one worker per
+    available CPU); ``N > 1`` means exactly ``N``.  The result is
+    clamped to ``task_count`` when given (never more workers than
+    units of work), forced to ``1`` when ``REPRO_PARALLEL=0`` or the
+    platform cannot fork, and negative counts are rejected.
+    """
+    if workers is None:
+        return 1
+    workers = int(workers)
+    if workers < 0:
+        raise ValueError(f"workers must be >= 0, got {workers}")
+    if workers == 0:
+        workers = cpu_count()
+    if task_count is not None:
+        workers = min(workers, max(1, int(task_count)))
+    if workers > 1 and not (parallel_enabled() and fork_available()):
+        return 1
+    return max(1, workers)
+
+
+def chunk_slices(n: int, chunks: int) -> list[tuple[int, int]]:
+    """Split ``range(n)`` into ≤ ``chunks`` contiguous ``(lo, hi)`` slices.
+
+    Deterministic and order-preserving: concatenating the slices in
+    list order reproduces ``range(n)`` exactly, and sizes differ by at
+    most one (the first ``n % chunks`` slices are one longer).
+    """
+    n = max(0, int(n))
+    chunks = max(1, min(int(chunks), n) if n else 1)
+    if not n:
+        return []
+    base, extra = divmod(n, chunks)
+    out: list[tuple[int, int]] = []
+    lo = 0
+    for index in range(chunks):
+        hi = lo + base + (1 if index < extra else 0)
+        out.append((lo, hi))
+        lo = hi
+    return out
+
+
+def worker_seed(base_seed: int, index: int) -> int:
+    """A stable, distinct 63-bit seed for worker ``index``."""
+    digest = hashlib.sha256(f"{base_seed}:{index}".encode()).digest()
+    return int.from_bytes(digest[:8], "little") >> 1
+
+
+class WorkerPool:
+    """The repository's only process-pool wrapper (fork start method).
+
+    Thin on purpose: ordered fan-out (:meth:`map_ordered`) over a
+    ``ProcessPoolExecutor``, with an optional per-worker initializer
+    for lanes that ship a one-time payload (the parallel frontier
+    coster's cost-model document).  Use as a context manager or call
+    :meth:`close`.
+    """
+
+    def __init__(
+        self,
+        workers: int,
+        initializer=None,
+        initargs: tuple = (),
+    ) -> None:
+        if workers < 2:
+            raise ValueError("WorkerPool needs at least 2 workers")
+        if not fork_available():  # pragma: no cover - non-posix
+            raise OSError("fork start method unavailable")
+        self.workers = workers
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers,
+            mp_context=multiprocessing.get_context("fork"),
+            initializer=initializer,
+            initargs=initargs,
+        )
+
+    def map_ordered(self, fn, tasks) -> list:
+        """Run ``fn`` over ``tasks``; results in input order.
+
+        A worker exception propagates to the caller (the lanes that
+        need graceful degradation catch inside the worker function and
+        return a bail marker instead).
+        """
+        futures = [self._pool.submit(fn, task) for task in tasks]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        self._pool.shutdown()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def run_tasks(fn, tasks, workers: int) -> list:
+    """Ordered fan-out with inline serial fallback.
+
+    ``workers`` is clamped to ``len(tasks)``; a resolved count of one
+    (including the ``REPRO_PARALLEL=0`` and fork-unavailable cases)
+    runs ``fn`` inline in submission order — same results, one process.
+    """
+    tasks = list(tasks)
+    workers = resolve_workers(workers, task_count=len(tasks))
+    if workers <= 1:
+        return [fn(task) for task in tasks]
+    with WorkerPool(workers) as pool:
+        return pool.map_ordered(fn, tasks)

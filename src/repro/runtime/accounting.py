@@ -102,6 +102,13 @@ class ExecutionConfig:
     #: stream sequentially and no seek is ever charged.
     cpu_per_request: float = 5e-5
     cache: CacheSim | None = None
+    #: analytic parallel-bandwidth divisor: >1 models partition-parallel
+    #: scans streaming from independent spindles, dividing the per-byte
+    #: transfer term of interrupted scans by the worker count.  The
+    #: default of 1 is an exact no-op, so priced costs — and parallel
+    #: *measured* runs, which replay serial-identical counters — never
+    #: shift unless a study opts in.
+    parallel_workers: int = 1
 
 
 @dataclass
@@ -236,10 +243,14 @@ class ChargeModel:
         total = source.card * source.elem_bytes
         if body_did_io:
             # Each request is separated by other I/O: the head moved, so
-            # every request repositions.  Charge analytically.
+            # every request repositions.  Charge analytically.  The
+            # per-byte term divides by the opt-in parallel-bandwidth
+            # factor (1 by default, an exact no-op); initiation costs
+            # are per-request and do not parallelize.
+            lanes = max(1, self.config.parallel_workers)
             device.clock.advance_io(device.read_init * requests)
             device.stats.seeks += int(requests)
-            device.clock.advance_io(total * device.read_unit)
+            device.clock.advance_io(total * device.read_unit / lanes)
             device.stats.reads += int(requests)
             device.stats.bytes_read += total
         else:

@@ -305,6 +305,9 @@ class _Evaluator(PrimitiveLibrary):
         source = _as_list(arg)
         if not isinstance(source, (MemList, FileList)):
             raise ExecutionError("flatMap consumes a non-list")
+        par = self.maybe_parallel_flatmap(fn, source, env, sink)
+        if par is not self.NOT_PARALLEL:
+            return None if sink is not None else par
         own_sink = sink if sink is not None else self._builder("flatmap")
         inner_fn = fn.fn
         if isinstance(inner_fn, Lam):
@@ -516,10 +519,15 @@ class FileBackend:
         keep_files: bool = False,
         data: dict[str, list] | None = None,
         capture_output: bool = False,
+        workers: int = 1,
     ) -> None:
         self.workdir = workdir
         self.seed = seed
         self.keep_files = keep_files
+        #: partition-parallel execution (DESIGN.md §13): ``0`` = one
+        #: worker per CPU, ``1`` = serial.  Counters, priced cost and
+        #: output bags are identical to serial by the replay contract.
+        self.workers = workers
         #: concrete per-input values overriding seeded generation — the
         #: conformance oracle injects the exact lists the reference
         #: interpreter ran on, so outputs are comparable element-wise.
@@ -545,8 +553,12 @@ class FileBackend:
             for name in config.hierarchy.nodes
             if name != root
         }
+        evaluator = None
         try:
             evaluator = _Evaluator(config, stores)
+            from ..parallel import resolve_workers
+
+            evaluator.workers = resolve_workers(self.workers)
             env = self._materialize_inputs(inputs, config, stores, evaluator)
             for store in stores.values():
                 store.reset_counters()
@@ -565,6 +577,8 @@ class FileBackend:
                 config, stores, evaluator, output_card, output_bytes, wall
             )
         finally:
+            if evaluator is not None:
+                evaluator.close_pool()
             for store in stores.values():
                 store.close()
             if owns_dir and not self.keep_files:

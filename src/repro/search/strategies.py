@@ -64,6 +64,12 @@ class SearchTask:
     * ``cost`` — full costing: estimate + tuned parameters, memoized;
       ``None`` when the program cannot be costed or tuned feasibly;
     * ``lower_bound`` — optimistic untuned cost, ``inf`` when unusable.
+
+    ``batch_cost``/``batch_lower_bound`` are optional vectorized forms
+    (the parallel frontier coster); when absent, strategies fall back
+    to mapping the scalar closures.  A batch implementation MUST return
+    results in input order and value-equal to the scalar closures —
+    strategies rely on that for bit-identical winners.
     """
 
     spec: Node
@@ -74,6 +80,27 @@ class SearchTask:
     canonical: Callable[[Node], Node]
     cost: Callable[[Node, tuple[str, ...]], Candidate | None]
     lower_bound: Callable[[Node], float]
+    batch_cost: (
+        Callable[[list[tuple[Node, tuple[str, ...]]]], list[Candidate | None]]
+        | None
+    ) = None
+    batch_lower_bound: Callable[[list[Node]], list[float]] | None = None
+
+
+def _cost_all(
+    task: "SearchTask", pending: list[tuple[Node, tuple[str, ...]]]
+) -> list[Candidate | None]:
+    """Cost every (program, chain) pair, batched when the task can."""
+    if task.batch_cost is not None and len(pending) > 1:
+        return task.batch_cost(pending)
+    return [task.cost(program, chain) for program, chain in pending]
+
+
+def _bound_all(task: "SearchTask", programs: list[Node]) -> list[float]:
+    """Lower-bound every program, batched when the task can."""
+    if task.batch_lower_bound is not None and len(programs) > 1:
+        return task.batch_lower_bound(programs)
+    return [task.lower_bound(program) for program in programs]
 
 
 @runtime_checkable
@@ -92,7 +119,16 @@ class SearchStrategy(Protocol):
 # ----------------------------------------------------------------------
 @dataclass
 class ExhaustiveBFS:
-    """Expand everything, depth by depth, up to the caps (seed behavior)."""
+    """Expand everything, depth by depth, up to the caps (seed behavior).
+
+    Each depth level runs in two passes: expansion + admission first
+    (collecting every admitted program), then one costing sweep over the
+    collected batch.  Costing never feeds back into admission or
+    truncation, and the batch is processed in admission order, so the
+    two-pass form records the same candidates with the same order
+    counters as the interleaved seed loop — while exposing the whole
+    generation to ``SearchTask.batch_cost`` for parallel costing.
+    """
 
     name: str = "exhaustive-bfs"
 
@@ -104,7 +140,7 @@ class ExhaustiveBFS:
         frontier = FifoFrontier()
         frontier.push(SearchItem(task.spec, (), 0, task.spec_candidate.cost, 0))
         for depth in range(1, limits.max_depth + 1):
-            next_frontier = FifoFrontier()
+            pending: list[tuple[Node, tuple[str, ...]]] = []
             while frontier:
                 item = frontier.pop()
                 state.expanded += 1
@@ -114,22 +150,27 @@ class ExhaustiveBFS:
                         if state.truncated:
                             break
                         continue
-                    chain = item.derivation + (rewrite.rule,)
-                    candidate = task.cost(rewritten, chain)
-                    if candidate is None:
-                        continue
-                    state.record(candidate, depth)
-                    next_frontier.push(
-                        SearchItem(
-                            rewritten,
-                            chain,
-                            depth,
-                            candidate.cost,
-                            state.next_order(),
-                        )
+                    pending.append(
+                        (rewritten, item.derivation + (rewrite.rule,))
                     )
                 if state.truncated:
                     break
+            next_frontier = FifoFrontier()
+            for (rewritten, chain), candidate in zip(
+                pending, _cost_all(task, pending)
+            ):
+                if candidate is None:
+                    continue
+                state.record(candidate, depth)
+                next_frontier.push(
+                    SearchItem(
+                        rewritten,
+                        chain,
+                        depth,
+                        candidate.cost,
+                        state.next_order(),
+                    )
+                )
             if not next_frontier:
                 break
             frontier = next_frontier
@@ -161,7 +202,10 @@ class BeamSearch:
             SearchItem(task.spec, (), 0, task.spec_candidate.cost, 0)
         ]
         for depth in range(1, limits.max_depth + 1):
-            scored: list[SearchItem] = []
+            # Two passes per level, exactly like ExhaustiveBFS: collect
+            # the admitted generation, then cost it as one batch in
+            # admission order (ranking and order counters are unchanged).
+            pending: list[tuple[Node, tuple[str, ...]]] = []
             for item in beam:
                 state.expanded += 1
                 for rewrite in task.expand(item.program):
@@ -170,22 +214,27 @@ class BeamSearch:
                         if state.truncated:
                             break
                         continue
-                    chain = item.derivation + (rewrite.rule,)
-                    candidate = task.cost(rewritten, chain)
-                    if candidate is None:
-                        continue
-                    state.record(candidate, depth)
-                    scored.append(
-                        SearchItem(
-                            rewritten,
-                            chain,
-                            depth,
-                            candidate.cost,
-                            state.next_order(),
-                        )
+                    pending.append(
+                        (rewritten, item.derivation + (rewrite.rule,))
                     )
                 if state.truncated:
                     break
+            scored: list[SearchItem] = []
+            for (rewritten, chain), candidate in zip(
+                pending, _cost_all(task, pending)
+            ):
+                if candidate is None:
+                    continue
+                state.record(candidate, depth)
+                scored.append(
+                    SearchItem(
+                        rewritten,
+                        chain,
+                        depth,
+                        candidate.cost,
+                        state.next_order(),
+                    )
+                )
             if not scored:
                 break
             scored.sort(key=lambda item: item.rank)
@@ -273,6 +322,18 @@ class BestFirst:
                 continue
             depth = item.depth + 1
             state.expanded += 1
+            # Two passes per expansion.  The first walks the rewrite
+            # neighborhood, handling dedup/admission immediately (reopened
+            # programs update ``depths`` here so later duplicates in the
+            # same neighborhood see the shorter path, exactly as the
+            # interleaved loop did); newly admitted programs defer their
+            # ``depths`` entry to the second pass because the serial loop
+            # only records a program once its bound proves finite.  The
+            # second pass lower-bounds the new programs as one batch and
+            # performs every push in neighbor order, so the order-counter
+            # sequence matches the interleaved loop exactly.
+            pending: list[tuple[bool, Node, tuple[str, ...]]] = []
+            fresh: list[Node] = []
             for rewrite in task.expand(item.program):
                 rewritten = task.canonical(rewrite.program)
                 chain = item.derivation + (rewrite.rule,)
@@ -280,34 +341,41 @@ class BestFirst:
                 if known is not None:
                     if depth < known and rewritten not in dead:
                         depths[rewritten] = depth
-                        # tuned=False so a program whose original entry
-                        # is still queued (and now stale) gets its
-                        # tune-or-prune decision when the reopened entry
-                        # pops; `decided` prevents double tuning.
-                        frontier.push(
-                            SearchItem(
-                                rewritten, chain, depth,
-                                priorities[rewritten],
-                                state.next_order(), tuned=False,
-                            )
-                        )
+                        pending.append((False, rewritten, chain))
                     continue
                 if not state.admit(rewritten, limits):
                     if state.truncated:
                         break
                     continue
-                bound = task.lower_bound(rewritten)
-                if bound == math.inf:
-                    # Not costable at all — BFS drops these too.
-                    continue
-                depths[rewritten] = depth
-                priorities[rewritten] = bound
-                frontier.push(
-                    SearchItem(
-                        rewritten, chain, depth, bound,
-                        state.next_order(), tuned=False,
+                pending.append((True, rewritten, chain))
+                fresh.append(rewritten)
+            bounds = iter(_bound_all(task, fresh))
+            for is_new, rewritten, chain in pending:
+                if is_new:
+                    bound = next(bounds)
+                    if bound == math.inf:
+                        # Not costable at all — BFS drops these too.
+                        continue
+                    depths[rewritten] = depth
+                    priorities[rewritten] = bound
+                    frontier.push(
+                        SearchItem(
+                            rewritten, chain, depth, bound,
+                            state.next_order(), tuned=False,
+                        )
                     )
-                )
+                else:
+                    # tuned=False so a program whose original entry is
+                    # still queued (and now stale) gets its
+                    # tune-or-prune decision when the reopened entry
+                    # pops; `decided` prevents double tuning.
+                    frontier.push(
+                        SearchItem(
+                            rewritten, chain, depth,
+                            priorities[rewritten],
+                            state.next_order(), tuned=False,
+                        )
+                    )
             if state.truncated:
                 break
         return state

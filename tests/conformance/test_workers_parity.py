@@ -1,0 +1,48 @@
+"""The fuzz lane for partition-parallel execution (DESIGN.md §9, §13).
+
+``OracleConfig.check_workers`` re-runs every file-checked generated
+program on a FileBackend with a worker pool and requires bag + full
+measured-counter parity against the serial run — the generative
+counterpart of the workload-pinned parity tests in
+``tests/runtime/test_parallel_exec.py``.
+"""
+
+from repro.conformance import OracleConfig, run_conformance
+
+
+def test_generated_programs_hold_workers_parity():
+    batch = run_conformance(
+        seed=11,
+        count=20,
+        oracle_config=OracleConfig(
+            closure_depth=1,
+            closure_cap=24,
+            check_workers=True,
+            workers=2,
+            # The parallel lane only needs the file baseline; skip the
+            # other backends to keep this a focused, fast gate.
+            check_compiled=False,
+            check_sim=False,
+            check_cost=False,
+        ),
+    )
+    assert batch.ok, "\n".join(f.describe() for f in batch.failures)
+    assert batch.workers_runs > 0
+    assert batch.workers_runs == batch.file_runs
+
+
+def test_workers_lane_counts_surface_in_summary():
+    batch = run_conformance(
+        seed=3,
+        count=4,
+        oracle_config=OracleConfig(
+            closure_depth=0,
+            check_workers=True,
+            workers=2,
+            check_compiled=False,
+            check_sim=False,
+            check_cost=False,
+        ),
+    )
+    assert batch.ok
+    assert "parallel runs" in batch.summary()

@@ -1,0 +1,127 @@
+"""Partition-parallel execution is observationally serial (DESIGN.md §13).
+
+With ``workers > 1`` the file and compiled backends fan flatMap bucket
+pipelines and merge-sort run production over a process pool, but the
+replayed I/O schedule must reproduce the serial run exactly: same
+output bag, same priced cost, byte-for-byte equal per-device counters.
+Pinned here on the two shapes the levers target — the hash-partition
+join (bucket-parallel flatMap) and the external sort (group-parallel
+merge levels) — at validation scale on both backends.
+"""
+
+import pytest
+
+from repro.api import Session
+from repro.conformance.oracle import output_bag
+from repro.parallel import PARALLEL_ENV
+from repro.runtime.compiled_backend import CompiledBackend
+from repro.runtime.file_backend import FileBackend
+from repro.runtime.parallel_exec import Unencodable, decode_rt, encode_rt
+from repro.runtime.filestore import MemList, Rec
+
+COUNTERS = (
+    "reads",
+    "writes",
+    "bytes_read",
+    "bytes_written",
+    "seeks",
+    "erases",
+)
+WORKLOADS = ("grace-join", "external-sort")
+BACKENDS = {"file": FileBackend, "compiled": CompiledBackend}
+
+
+@pytest.fixture(scope="module")
+def jobs():
+    session = Session()
+    return {
+        name: session.synthesize(name, scale="validation")
+        for name in WORKLOADS
+    }
+
+
+def _run(job, backend_cls, workers):
+    backend = backend_cls(capture_output=True, workers=workers)
+    result = backend.run(job.program, job.inputs, job.config)
+    return result, backend.last_output
+
+
+@pytest.fixture(scope="module")
+def runs(jobs):
+    out = {}
+    for name, job in jobs.items():
+        for kind, backend_cls in BACKENDS.items():
+            for workers in (1, 2):
+                out[(name, kind, workers)] = _run(job, backend_cls, workers)
+    return out
+
+
+@pytest.mark.parametrize("workload", WORKLOADS)
+@pytest.mark.parametrize("kind", sorted(BACKENDS))
+class TestParallelParity:
+    def test_output_bags_identical(self, runs, workload, kind):
+        _, serial = runs[(workload, kind, 1)]
+        _, parallel = runs[(workload, kind, 2)]
+        assert output_bag(serial) == output_bag(parallel)
+
+    def test_priced_cost_identical(self, runs, workload, kind):
+        serial, _ = runs[(workload, kind, 1)]
+        parallel, _ = runs[(workload, kind, 2)]
+        assert serial.elapsed == parallel.elapsed
+
+    def test_device_counters_byte_identical(self, runs, workload, kind):
+        serial, _ = runs[(workload, kind, 1)]
+        parallel, _ = runs[(workload, kind, 2)]
+        devices = set(serial.stats.devices) | set(parallel.stats.devices)
+        for device in sorted(devices):
+            theirs = serial.stats.device(device)
+            ours = parallel.stats.device(device)
+            for counter in COUNTERS:
+                assert getattr(ours, counter) == getattr(theirs, counter), (
+                    f"{workload}/{kind}: {device}.{counter}"
+                )
+
+    def test_cpu_accounting_identical(self, runs, workload, kind):
+        serial, _ = runs[(workload, kind, 1)]
+        parallel, _ = runs[(workload, kind, 2)]
+        assert serial.stats.tuples_processed == parallel.stats.tuples_processed
+        assert serial.cpu_seconds == parallel.cpu_seconds
+
+
+class TestEscapeHatch:
+    def test_env_zero_forces_serial_workers(self, jobs, monkeypatch):
+        monkeypatch.setenv(PARALLEL_ENV, "0")
+        job = jobs["grace-join"]
+        result, output = _run(job, FileBackend, workers=4)
+        baseline, expected = _run(job, FileBackend, workers=1)
+        assert output_bag(output) == output_bag(expected)
+        assert result.elapsed == baseline.elapsed
+
+
+class TestRuntimeCodec:
+    def test_scalar_and_tuple_round_trip(self):
+        for value in (None, True, 7, 2.5, "x", (1, (2, "y"))):
+            assert decode_rt(encode_rt(value)) == value
+
+    def test_rec_round_trip_preserves_widths(self):
+        rec = Rec((1, "abc"), widths=(8, 16))
+        back = decode_rt(encode_rt(rec))
+        assert isinstance(back, Rec)
+        assert tuple(back) == tuple(rec)
+        assert back.widths == rec.widths
+
+    def test_memlist_round_trip(self):
+        values = MemList([Rec((1,), widths=(8,)), Rec((2,), widths=(8,))],
+                         sorted=True)
+        back = decode_rt(encode_rt(values))
+        assert isinstance(back, MemList)
+        assert back.items[back.start :] == values.items[values.start :]
+        assert back.sorted
+
+    def test_shared_decode_is_not_owned(self):
+        doc = encode_rt(MemList([1, 2, 3]))
+        assert decode_rt(doc, shared=True).owned is False
+
+    def test_callables_are_unencodable(self):
+        with pytest.raises(Unencodable):
+            encode_rt(lambda: None)

@@ -1,0 +1,117 @@
+"""The shared worker-pool utility (``repro.parallel``, DESIGN.md §13).
+
+Every parallel lever in the codebase — frontier costing, partition-
+parallel execution, batch synthesis — resolves its worker count and
+builds its pool through this one module, so its contract is pinned
+here: deterministic chunking, the ``REPRO_PARALLEL`` escape hatch, and
+order-preserving fan-out.
+"""
+
+import pytest
+
+from repro.parallel import (
+    PARALLEL_ENV,
+    WorkerPool,
+    chunk_slices,
+    cpu_count,
+    parallel_enabled,
+    resolve_workers,
+    run_tasks,
+    worker_seed,
+)
+
+
+class TestResolveWorkers:
+    def test_none_means_serial(self):
+        assert resolve_workers(None) == 1
+
+    def test_one_means_serial(self):
+        assert resolve_workers(1) == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_workers(-2)
+
+    def test_zero_means_auto(self, monkeypatch):
+        monkeypatch.delenv(PARALLEL_ENV, raising=False)
+        assert resolve_workers(0) in (1, cpu_count())
+
+    def test_clamped_to_task_count(self, monkeypatch):
+        monkeypatch.delenv(PARALLEL_ENV, raising=False)
+        assert resolve_workers(8, task_count=3) <= 3
+        assert resolve_workers(8, task_count=1) == 1
+
+    def test_escape_hatch_forces_serial(self, monkeypatch):
+        monkeypatch.setenv(PARALLEL_ENV, "0")
+        assert not parallel_enabled()
+        assert resolve_workers(8) == 1
+        assert resolve_workers(0) == 1
+
+    def test_escape_hatch_off_values(self, monkeypatch):
+        for value in ("false", "no", "off", "0"):
+            monkeypatch.setenv(PARALLEL_ENV, value)
+            assert not parallel_enabled()
+        monkeypatch.setenv(PARALLEL_ENV, "1")
+        assert parallel_enabled()
+        monkeypatch.delenv(PARALLEL_ENV)
+        assert parallel_enabled()
+
+
+class TestChunkSlices:
+    def test_covers_range_in_order(self):
+        slices = chunk_slices(10, 3)
+        assert slices[0][0] == 0 and slices[-1][1] == 10
+        for (_, hi), (lo, _) in zip(slices, slices[1:]):
+            assert hi == lo
+
+    def test_near_equal_sizes(self):
+        sizes = [hi - lo for lo, hi in chunk_slices(11, 4)]
+        assert sum(sizes) == 11
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_chunks_than_items(self):
+        slices = chunk_slices(2, 5)
+        assert len(slices) <= 2
+        assert all(hi > lo for lo, hi in slices)
+
+    def test_empty(self):
+        assert chunk_slices(0, 3) == []
+
+
+class TestWorkerSeed:
+    def test_deterministic(self):
+        assert worker_seed(7, 3) == worker_seed(7, 3)
+
+    def test_distinct_per_index(self):
+        seeds = {worker_seed(7, index) for index in range(16)}
+        assert len(seeds) == 16
+
+
+def _double(x):
+    return 2 * x
+
+
+class TestRunTasks:
+    def test_serial_path_preserves_order(self):
+        assert run_tasks(_double, [3, 1, 2], workers=1) == [6, 2, 4]
+
+    def test_parallel_path_matches_serial(self, monkeypatch):
+        monkeypatch.delenv(PARALLEL_ENV, raising=False)
+        tasks = list(range(20))
+        assert run_tasks(_double, tasks, workers=2) == [
+            2 * t for t in tasks
+        ]
+
+    def test_escape_hatch_runs_inline(self, monkeypatch):
+        monkeypatch.setenv(PARALLEL_ENV, "0")
+        assert run_tasks(_double, [5, 6], workers=4) == [10, 12]
+
+
+class TestWorkerPool:
+    def test_rejects_serial_width(self):
+        with pytest.raises(ValueError):
+            WorkerPool(1)
+
+    def test_map_ordered(self):
+        with WorkerPool(2) as pool:
+            assert pool.map_ordered(_double, [4, 5, 6]) == [8, 10, 12]
