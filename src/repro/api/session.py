@@ -224,6 +224,16 @@ class Session:
         job.backend_options = dict(self.backend_options)
         return job
 
+    def synthesizer(self, experiment: Experiment) -> Synthesizer:
+        """The shared synthesizer instance a given experiment would use.
+
+        Public so callers that need to touch the instance *before*
+        synthesis — the serving stack warm-starts its cost memo from an
+        on-disk spill — get exactly the object :meth:`synthesize` will
+        pick up (same (hierarchy, rules, caps) fingerprint, same memos).
+        """
+        return self._synthesizer_for(experiment)
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------

@@ -18,6 +18,9 @@ Subcommands:
   it can be shipped and re-executed without re-searching;
 * ``exec --plan <file>`` — load a saved plan and execute it; the
   synthesizer is never invoked (the emitted search counters are zero);
+* ``serve`` — the synthesis-as-a-service front door (DESIGN.md §14):
+  an HTTP job server answering repeated requests from a persistent
+  content-addressed plan store instead of re-searching;
 * ``validate`` — run the predicted-vs-measured validation bench on both
   backends (optionally ``--parallel N``) and write
   ``BENCH_validation.json``; exits non-zero when the synthesized winner
@@ -136,6 +139,35 @@ def _build_parser() -> argparse.ArgumentParser:
             "worker processes for partition-parallel execution on the "
             "file/compiled backends (0 = one per CPU, 1 = serial)"
         ),
+    )
+
+    serve = sub.add_parser(
+        "serve",
+        help="HTTP job server over a persistent plan store",
+    )
+    serve.add_argument(
+        "--store", default=".repro-store", metavar="DIR",
+        help="plan-store directory (created if missing)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8737,
+        help="listen port (0 = pick a free one)",
+    )
+    serve.add_argument(
+        "--workers", type=int, default=0, metavar="N",
+        help=(
+            "worker processes for concurrent searches "
+            "(0 = one per CPU, 1 = in-process)"
+        ),
+    )
+    serve.add_argument(
+        "--queue-cap", type=int, default=8, metavar="N",
+        help="max queued jobs before new misses get 429",
+    )
+    serve.add_argument(
+        "--no-persist-memo", action="store_true",
+        help="disable the on-disk cost-memo spill",
     )
 
     validate = sub.add_parser(
@@ -366,7 +398,12 @@ def _cmd_exec(args) -> int:
 
     try:
         job = Job.load(args.plan)
-    except (OSError, ValueError, KeyError) as error:
+    except Exception as error:
+        # A missing or corrupt plan file must exit cleanly, never
+        # traceback.  Decoding a hostile document can raise nearly
+        # anything (AttributeError on a null program, TypeError on a
+        # wrong-shaped node, ...), so the net is deliberately wide —
+        # there is nothing below this frame to recover.
         print(f"cannot load plan {args.plan!r}: {error}", file=sys.stderr)
         return 2
     if args.backend is None:
@@ -388,6 +425,25 @@ def _cmd_exec(args) -> int:
         report = result.execution.stats.report()
         if report:
             print(report)
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .service import PlanService
+
+    service = PlanService(
+        args.store,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        queue_cap=args.queue_cap,
+        persist_memo=not args.no_persist_memo,
+    )
+    service.run(announce=print)
+    print(
+        "served {requests} requests: {hits} store hits, {misses} searches, "
+        "{deduped} deduped, {rejected} rejected".format(**service.stats())
+    )
     return 0
 
 
@@ -507,6 +563,8 @@ def main(argv=None) -> int:
         return _cmd_synth(args)
     if args.command == "exec":
         return _cmd_exec(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     if args.command == "validate":
         return _cmd_validate(args)
     if args.command == "fuzz":

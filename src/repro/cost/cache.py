@@ -30,10 +30,22 @@ Hit/miss counters are exposed as :class:`CacheStats` and surfaced on
 
 **Bounded growth.**  A long ``Session.synthesize_all`` batch funnels
 every candidate of every workload through shared memos; each table is
-therefore capped at ``maxsize`` entries and cleared wholesale when the
-cap is hit.  Eviction only ever costs recomputation — the tables cache
-pure functions — and wholesale clearing is deliberate: these are
-monotone-growth caches with no recency structure worth tracking.
+therefore capped at ``maxsize`` entries.  A table at the cap sheds its
+*oldest half* (dict insertion order) before the next insert — never the
+whole table: wholesale clearing mid-search silently discarded every
+byte of amortization the run had built, including entries the
+incremental-estimation walk was about to re-use, and turned the
+supposedly-amortized tail of a long batch into a cold start.  Eviction
+only ever costs recomputation — the tables cache pure functions — so a
+capped memo can never change winners or re-estimation results (pinned
+by regression tests), only how much gets recomputed.
+
+**Persistence.**  The serving stack spills memo contents to disk so a
+restarted server keeps its amortization: :meth:`CostMemo.iter_estimates`
+/ :meth:`CostMemo.iter_tunings` expose the tables for encoding, and
+:meth:`CostMemo.seed_estimate` / :meth:`CostMemo.seed_tuning` re-insert
+decoded entries without touching the hit/miss counters (a warm start is
+not a cache hit).  See :mod:`repro.service.memo_disk`.
 
 A ``CostMemo`` must only be shared between runs that cost against the
 same :class:`~repro.cost.estimator.CostModel`; the synthesizer keeps one
@@ -43,7 +55,8 @@ memo per model fingerprint.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from itertools import islice
+from typing import Callable, Iterator
 
 from ..ocal.ast import Node
 from ..optimizer.penalty import OptimizationResult, ParameterOptimizer
@@ -121,12 +134,23 @@ class CacheStats:
 _FAILED = object()
 
 
+def _trim_oldest_half(table: dict) -> None:
+    """Drop the oldest half of *table* (dict order = insertion order).
+
+    Bounded eviction that keeps the still-hot recent half alive; the
+    old behaviour (``table.clear()``) threw away a full table of
+    amortization in one insert.
+    """
+    for key in list(islice(iter(table), max(1, len(table) // 2))):
+        del table[key]
+
+
 class CostMemo:
     """Memoization tables for estimates, parameter tunings and subtrees.
 
-    ``maxsize`` caps each table individually; a table past the cap is
-    cleared wholesale before the next insert (recomputation, never
-    wrong answers — see the module docstring).
+    ``maxsize`` caps each table individually; a table at the cap sheds
+    its oldest half before the next insert (recomputation, never wrong
+    answers — see the module docstring).
     """
 
     def __init__(self, maxsize: int = 1 << 17) -> None:
@@ -155,7 +179,7 @@ class CostMemo:
             return cached  # type: ignore[return-value]
         self.stats.estimate_misses += 1
         if len(self._estimates) >= self.maxsize:
-            self._estimates.clear()
+            _trim_oldest_half(self._estimates)
         try:
             estimate = compute()
         except EstimatorError:
@@ -200,7 +224,7 @@ class CostMemo:
             return cached
         self.stats.tune_misses += 1
         if len(self._tunings) >= self.maxsize:
-            self._tunings.clear()
+            _trim_oldest_half(self._tunings)
         tuned = ParameterOptimizer(
             cost=estimate.total,
             constraints=estimate.constraints,
@@ -215,8 +239,39 @@ class CostMemo:
     def store_subtree(self, key, value) -> None:
         """Insert one incremental-estimation entry, respecting maxsize."""
         if len(self.subtrees) >= self.maxsize:
-            self.subtrees.clear()
+            _trim_oldest_half(self.subtrees)
         self.subtrees[key] = value
+
+    # ------------------------------------------------------------------
+    # Spill support (repro.service.memo_disk)
+    # ------------------------------------------------------------------
+    def iter_estimates(self) -> "Iterator[tuple[Node, CostEstimate | None]]":
+        """Every cached estimate; ``None`` marks a memoized failure."""
+        for program, value in self._estimates.items():
+            yield program, (None if value is _FAILED else value)
+
+    def seed_estimate(
+        self, program: Node, estimate: "CostEstimate | None"
+    ) -> None:
+        """Warm-start one estimate (``None`` = failure) without moving
+        the hit/miss counters; existing entries are left alone."""
+        if program in self._estimates:
+            return
+        if len(self._estimates) >= self.maxsize:
+            _trim_oldest_half(self._estimates)
+        self._estimates[program] = _FAILED if estimate is None else estimate
+
+    def iter_tunings(self) -> "Iterator[tuple[object, OptimizationResult]]":
+        """Every cached tuning as ``(problem key, result)``."""
+        yield from self._tunings.items()
+
+    def seed_tuning(self, key: object, result: OptimizationResult) -> None:
+        """Warm-start one tuning without moving the counters."""
+        if key in self._tunings:
+            return
+        if len(self._tunings) >= self.maxsize:
+            _trim_oldest_half(self._tunings)
+        self._tunings[key] = result
 
     # ------------------------------------------------------------------
     def sizes(self) -> tuple[int, int, int]:

@@ -1,13 +1,16 @@
 """Generic JSON encoding of OCAL expressions.
 
 One tagged-tree codec shared by everything that persists programs — the
-conformance corpus (counterexample files) and the plan documents of the
-:mod:`repro.api` front door.  Node objects become
+conformance corpus (counterexample files), the plan documents of the
+:mod:`repro.api` front door, and the serving stack's content-addressed
+stores (:mod:`repro.service`).  Node objects become
 ``{"__node__": "For", ...fields...}``, tuples become
 ``{"__tuple__": [...]}`` (JSON has no tuple type and lambda patterns
-need real tuples back), annotated types and symbolic expressions (the
-payload of ``SizeAnnot``) get their own tags, everything else must be a
-JSON scalar.
+need real tuples back), frozensets become ``{"__frozenset__": [...]}``
+with deterministically ordered members (the service digests encoded
+documents, so equal values must encode byte-identically), annotated
+types and symbolic expressions (the payload of ``SizeAnnot``) get their
+own tags, everything else must be a JSON scalar.
 
 The encoding is generic over the AST/annotation dataclasses, so new
 node, annotation, or expression types serialize without touching this
@@ -17,6 +20,7 @@ module.
 from __future__ import annotations
 
 import dataclasses
+import json
 from fractions import Fraction
 
 from . import ast as ast_module
@@ -58,6 +62,12 @@ def encode_value(value):
         return {"__fraction__": f"{value.numerator}/{value.denominator}"}
     if isinstance(value, tuple):
         return {"__tuple__": [encode_value(item) for item in value]}
+    if isinstance(value, frozenset):
+        # Sets have no order; sort by the canonical dump of the encoded
+        # members so equal sets always encode identically.
+        members = [encode_value(item) for item in value]
+        members.sort(key=lambda item: json.dumps(item, sort_keys=True))
+        return {"__frozenset__": members}
     if isinstance(value, list):
         return [encode_value(item) for item in value]
     if value is None or isinstance(value, (bool, int, float, str)):
@@ -73,6 +83,10 @@ def decode_value(value):
     if isinstance(value, dict):
         if "__tuple__" in value:
             return tuple(decode_value(item) for item in value["__tuple__"])
+        if "__frozenset__" in value:
+            return frozenset(
+                decode_value(item) for item in value["__frozenset__"]
+            )
         if "__fraction__" in value:
             return Fraction(value["__fraction__"])
         if "__annot__" in value:

@@ -8,7 +8,15 @@ process pool here, so policy lives in exactly one place:
 
 * **escape hatch** — ``REPRO_PARALLEL=0`` forces every lane serial,
   regardless of any ``workers=`` option (read per call, so tests can
-  monkeypatch the environment);
+  monkeypatch the environment).  Precedence is deliberate and pinned by
+  tests: the environment *always* wins over an explicit ``workers=N`` —
+  the hatch exists so an operator can globally disable forking on a
+  box where it misbehaves, and an API caller must not be able to
+  override that from code;
+* **lifecycle** — every live pool is tracked in a module registry;
+  :func:`shutdown_all_pools` (registered via :mod:`atexit`) closes
+  whatever survived, so an abandoned pool cannot outlive the
+  interpreter even when an exception skipped the owner's cleanup;
 * **auto sizing** — ``workers=0`` means "one worker per available CPU"
   (scheduling affinity, not raw core count);
 * **fork only** — pools use the ``fork`` start method (workers inherit
@@ -25,10 +33,12 @@ process pool here, so policy lives in exactly one place:
 
 from __future__ import annotations
 
+import atexit
 import hashlib
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import weakref
+from concurrent.futures import Future, ProcessPoolExecutor
 
 __all__ = [
     "PARALLEL_ENV",
@@ -40,6 +50,8 @@ __all__ = [
     "worker_seed",
     "WorkerPool",
     "run_tasks",
+    "live_pool_count",
+    "shutdown_all_pools",
 ]
 
 #: setting this to ``0`` (or ``false``/``no``/``off``) disables every
@@ -74,7 +86,9 @@ def resolve_workers(workers: "int | None", task_count: "int | None" = None) -> i
     available CPU); ``N > 1`` means exactly ``N``.  The result is
     clamped to ``task_count`` when given (never more workers than
     units of work), forced to ``1`` when ``REPRO_PARALLEL=0`` or the
-    platform cannot fork, and negative counts are rejected.
+    platform cannot fork, and negative counts are rejected.  The
+    environment escape hatch outranks every explicit request: with
+    ``REPRO_PARALLEL=0`` set, ``workers=8`` still resolves to ``1``.
     """
     if workers is None:
         return 1
@@ -117,6 +131,35 @@ def worker_seed(base_seed: int, index: int) -> int:
     return int.from_bytes(digest[:8], "little") >> 1
 
 
+#: every not-yet-closed :class:`WorkerPool`; weak so a collected pool
+#: does not keep the registry growing.
+_LIVE_POOLS: "weakref.WeakSet[WorkerPool]" = weakref.WeakSet()
+
+
+def live_pool_count() -> int:
+    """How many worker pools are currently open (lifecycle tests)."""
+    return sum(1 for pool in _LIVE_POOLS if not pool.closed)
+
+
+def shutdown_all_pools() -> int:
+    """Close every pool still open; returns how many needed closing.
+
+    Registered with :mod:`atexit` so stray pools (an exception path
+    that skipped its owner's cleanup, a user-constructed pool that was
+    never closed) cannot leave worker processes behind at interpreter
+    exit.  Safe to call any number of times.
+    """
+    closed = 0
+    for pool in list(_LIVE_POOLS):
+        if not pool.closed:
+            pool.close()
+            closed += 1
+    return closed
+
+
+atexit.register(shutdown_all_pools)
+
+
 class WorkerPool:
     """The repository's only process-pool wrapper (fork start method).
 
@@ -144,6 +187,21 @@ class WorkerPool:
             initializer=initializer,
             initargs=initargs,
         )
+        self._closed = False
+        _LIVE_POOLS.add(self)
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (closing is idempotent)."""
+        return self._closed
+
+    def submit(self, fn, task) -> Future:
+        """Submit one task; returns the executor's future.
+
+        The async service wraps this with ``asyncio.wrap_future`` to
+        await fork-pool work without blocking the event loop.
+        """
+        return self._pool.submit(fn, task)
 
     def map_ordered(self, fn, tasks) -> list:
         """Run ``fn`` over ``tasks``; results in input order.
@@ -156,6 +214,10 @@ class WorkerPool:
         return [future.result() for future in futures]
 
     def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        _LIVE_POOLS.discard(self)
         self._pool.shutdown()
 
     def __enter__(self) -> "WorkerPool":

@@ -1,0 +1,40 @@
+"""Synthesis-as-a-service: the HTTP front door (DESIGN.md §14).
+
+The ROADMAP's deployment shape is a long-lived fleet amortizing search
+across users: most requests should be O(cache lookup).  This package
+provides exactly that stack —
+
+* :class:`ServiceRequest` — one synthesis request (workload, scale,
+  strategy, hierarchy/cap overrides) canonicalized to a
+  content-addressed digest over its *resolved* inputs: the hash-consed
+  spec program, the hierarchy document, the effective rule set, the
+  search caps, statistics and annotations.  Two requests that mean the
+  same search share one digest no matter how they were phrased.
+* :class:`PlanStore` — a disk-backed, content-addressed store of
+  versioned plan documents (``Job.to_json``) keyed by request digest.
+  Hits are served without ever touching the synthesizer; records with a
+  stale format tag read as misses and are overwritten.
+* :mod:`~repro.service.memo_disk` — a persistent spill of the
+  :class:`~repro.cost.cache.CostMemo` tables (estimates + tunings), so
+  a restarted server keeps the cross-request costing amortization too.
+* :class:`PlanService` — the asyncio HTTP job server: queued → running
+  → done/failed job states, request dedup (concurrent identical
+  requests share one search), admission control (bounded queue, 429 on
+  overflow), worker-process fan-out over
+  :class:`~repro.parallel.WorkerPool`, and hit/miss/latency counters on
+  ``/stats``.
+
+``python -m repro serve`` is the CLI entry point.
+"""
+
+from .request import REQUEST_FORMAT, RequestError, ServiceRequest
+from .server import PlanService
+from .store import PlanStore
+
+__all__ = [
+    "REQUEST_FORMAT",
+    "RequestError",
+    "ServiceRequest",
+    "PlanStore",
+    "PlanService",
+]

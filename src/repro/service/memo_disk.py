@@ -1,0 +1,286 @@
+"""Persistent spill of the cost-memo tables (estimates + tunings).
+
+A restarted server that only kept its plan store would still pay full
+search for every *new* request; the expensive inner loop — symbolic
+estimation and parameter tuning — is memoized in
+:class:`~repro.cost.cache.CostMemo` tables that this module round-trips
+through JSON:
+
+* **estimates** — keyed by the hash-consed program; the value is the
+  full :class:`~repro.cost.estimator.CostEstimate` (events, located
+  result, total, constraints, parameters).  Memoized estimation
+  *failures* spill too (uncostable candidates are common in search).
+* **tunings** — keyed by the optimization problem (total expression,
+  constraints, parameter set, statistics, penalty rounds); the value is
+  the :class:`~repro.optimizer.penalty.OptimizationResult`.
+
+Spill files live under the plan store's ``memo/`` directory, one per
+**model fingerprint** (hierarchy + annotations + locations + stats +
+output placement) — the same sharing rule :class:`CostMemo` itself
+enforces: a memo must only ever be shared between runs costing against
+the same model.  Dumps merge with whatever is already on disk and write
+atomically, so concurrent workers lose at most the race, never the
+file.  The subtree (incremental re-estimation) table is deliberately
+not spilled: it is an order of magnitude larger and is rebuilt as a
+side effect of the estimates it supports.
+
+Exprs are re-interned on load and programs re-hash-consed, so warm
+entries hit the same pointer-equality fast paths as freshly computed
+ones.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from ..cost.cache import CostMemo
+from ..cost.estimator import CostEstimate, Located
+from ..cost.events import Constraint, CostEvents
+from ..ocal.ast import intern_node
+from ..ocal.serialize import (
+    decode_value,
+    encode_value,
+    node_from_json,
+    node_to_json,
+)
+from ..optimizer.penalty import OptimizationResult
+from ..symbolic import intern_expr
+from .request import canonical_digest
+from .store import _atomic_write_json
+
+__all__ = [
+    "MEMO_FORMAT",
+    "memo_fingerprint",
+    "spill_path",
+    "dump_memo",
+    "load_memo",
+]
+
+#: spill-file format tag; a mismatch reads as an empty spill.
+MEMO_FORMAT = "repro-memo/1"
+
+
+def memo_fingerprint(experiment) -> str:
+    """The spill key for one experiment's cost model.
+
+    Everything the estimator's output depends on: the hierarchy (edge
+    weights live here — two hierarchies must never share a spill), the
+    input annotations, placements, statistics and the output location.
+    Search caps and rule sets are deliberately absent: the memo caches
+    pure functions of (model, program), so runs with different caps
+    still share entries.
+    """
+    doc = {
+        "hierarchy": experiment.hierarchy.to_json(),
+        "annots": [
+            [name, encode_value(annot)]
+            for name, annot in sorted(experiment.input_annots.items())
+        ],
+        "input_locations": dict(sorted(experiment.input_locations.items())),
+        "stats": sorted(
+            (name, float(value)) for name, value in experiment.stats.items()
+        ),
+        "output_location": experiment.output_location,
+    }
+    return canonical_digest(doc)
+
+
+def spill_path(memo_dir: str, fingerprint: str) -> str:
+    return os.path.join(memo_dir, f"{fingerprint}.json")
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+def _encode_events(events: CostEvents) -> dict:
+    # init/unit are keyed by (src, dst) tuples — JSON objects cannot
+    # carry tuple keys, so each table becomes a list of [key, value].
+    return {
+        "init": [
+            [encode_value(edge), encode_value(expr)]
+            for edge, expr in events.init.items()
+        ],
+        "unit": [
+            [encode_value(edge), encode_value(expr)]
+            for edge, expr in events.unit.items()
+        ],
+    }
+
+
+def _decode_events(doc: dict) -> CostEvents:
+    return CostEvents(
+        init={
+            decode_value(edge): intern_expr(decode_value(expr))
+            for edge, expr in doc["init"]
+        },
+        unit={
+            decode_value(edge): intern_expr(decode_value(expr))
+            for edge, expr in doc["unit"]
+        },
+    )
+
+
+def _encode_constraint(constraint: Constraint) -> list:
+    return [
+        encode_value(constraint.lhs),
+        encode_value(constraint.rhs),
+        constraint.reason,
+    ]
+
+
+def _decode_constraint(doc: list) -> Constraint:
+    lhs, rhs, reason = doc
+    return Constraint(
+        intern_expr(decode_value(lhs)), intern_expr(decode_value(rhs)), reason
+    )
+
+
+def _encode_estimate(estimate: CostEstimate) -> dict:
+    return {
+        "events": _encode_events(estimate.events),
+        "result": {
+            "annot": encode_value(estimate.result.annot),
+            "loc": estimate.result.loc,
+        },
+        "total": encode_value(estimate.total),
+        "constraints": [
+            _encode_constraint(c) for c in estimate.constraints
+        ],
+        "parameters": encode_value(estimate.parameters),
+    }
+
+
+def _decode_estimate(doc: dict) -> CostEstimate:
+    return CostEstimate(
+        events=_decode_events(doc["events"]),
+        result=Located(
+            annot=decode_value(doc["result"]["annot"]),
+            loc=doc["result"]["loc"],
+        ),
+        total=intern_expr(decode_value(doc["total"])),
+        constraints=[_decode_constraint(c) for c in doc["constraints"]],
+        parameters=decode_value(doc["parameters"]),
+    )
+
+
+def _encode_tune_key(key: tuple) -> dict:
+    total, constraints, parameters, stats, penalty_rounds = key
+    return {
+        "total": encode_value(total),
+        "constraints": [_encode_constraint(c) for c in constraints],
+        "parameters": encode_value(parameters),
+        "stats": [[name, value] for name, value in stats],
+        "penalty_rounds": penalty_rounds,
+    }
+
+
+def _decode_tune_key(doc: dict) -> tuple:
+    return (
+        intern_expr(decode_value(doc["total"])),
+        tuple(_decode_constraint(c) for c in doc["constraints"]),
+        decode_value(doc["parameters"]),
+        tuple((name, value) for name, value in doc["stats"]),
+        doc["penalty_rounds"],
+    )
+
+
+def _encode_tuning(result: OptimizationResult) -> dict:
+    return {
+        "values": dict(result.values),
+        "cost": result.cost,
+        "feasible": result.feasible,
+        "evaluations": result.evaluations,
+    }
+
+
+def _decode_tuning(doc: dict) -> OptimizationResult:
+    return OptimizationResult(
+        values=dict(doc["values"]),
+        cost=doc["cost"],
+        feasible=doc["feasible"],
+        evaluations=doc.get("evaluations", 0),
+    )
+
+
+# ----------------------------------------------------------------------
+# Spill round-trip
+# ----------------------------------------------------------------------
+def _read_spill(path: str) -> dict | None:
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError):
+        return None
+    if not isinstance(doc, dict) or doc.get("format") != MEMO_FORMAT:
+        return None
+    return doc
+
+
+def dump_memo(memo: CostMemo, path: str) -> int:
+    """Merge *memo*'s estimate/tuning tables into the spill at *path*.
+
+    Existing on-disk entries are kept (first write wins — the values
+    are deterministic, so divergence is impossible, and keeping the
+    incumbent minimizes churn); returns the total entries on disk.
+    """
+    existing = _read_spill(path) or {
+        "format": MEMO_FORMAT,
+        "estimates": {},
+        "tunings": {},
+    }
+    estimates: dict = existing["estimates"]
+    tunings: dict = existing["tunings"]
+    for program, estimate in memo.iter_estimates():
+        doc = node_to_json(program)
+        key = canonical_digest(doc)
+        if key in estimates:
+            continue
+        estimates[key] = {
+            "program": doc,
+            "estimate": (
+                None if estimate is None else _encode_estimate(estimate)
+            ),
+        }
+    for key, result in memo.iter_tunings():
+        doc = _encode_tune_key(key)
+        digest = canonical_digest(doc)
+        if digest in tunings:
+            continue
+        tunings[digest] = {"key": doc, "value": _encode_tuning(result)}
+    _atomic_write_json(path, existing)
+    return len(estimates) + len(tunings)
+
+
+def load_memo(memo: CostMemo, path: str) -> int:
+    """Seed *memo* from the spill at *path*; returns entries loaded.
+
+    A missing, corrupt, or format-incompatible spill loads nothing
+    (the server warms back up the slow way); individually undecodable
+    entries are skipped rather than poisoning the rest.
+    """
+    doc = _read_spill(path)
+    if doc is None:
+        return 0
+    loaded = 0
+    for entry in doc.get("estimates", {}).values():
+        try:
+            program = intern_node(node_from_json(entry["program"]))
+            estimate = (
+                None
+                if entry["estimate"] is None
+                else _decode_estimate(entry["estimate"])
+            )
+        except Exception:
+            continue
+        memo.seed_estimate(program, estimate)
+        loaded += 1
+    for entry in doc.get("tunings", {}).values():
+        try:
+            key = _decode_tune_key(entry["key"])
+            result = _decode_tuning(entry["value"])
+        except Exception:
+            continue
+        memo.seed_tuning(key, result)
+        loaded += 1
+    return loaded

@@ -1,0 +1,220 @@
+"""Service requests and their content-addressed canonical form.
+
+A request names a registered workload plus the knobs that change what
+the synthesizer would do — scale, strategy, hierarchy preset, search
+caps.  The plan store is *not* keyed by those names: it is keyed by the
+digest of the **resolved** inputs (the hash-consed spec program, the
+hierarchy document, the effective rule list, caps, statistics,
+annotations and input specs), the same hash-consing discipline the
+synthesizer already relies on for memoized costing.  Renaming a
+workload, or two workloads that resolve to the identical search
+problem, therefore share one store entry — the fleet amortizes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+
+from ..api.catalog import default_registry
+from ..api.job import _input_spec_to_json
+from ..api.workload import SCALES, WorkloadError
+from ..bench.harness import Experiment
+from ..ocal.ast import intern_node
+from ..ocal.serialize import encode_value, node_to_json
+from ..rules.registry import default_rules
+from ..search.strategies import resolve_strategy
+
+__all__ = ["REQUEST_FORMAT", "RequestError", "ServiceRequest"]
+
+#: canonical-request format tag; part of every digest, so bumping it
+#: (on incompatible canonicalization changes) invalidates stale keys.
+REQUEST_FORMAT = "repro-request/1"
+
+
+class RequestError(ValueError):
+    """A malformed or unresolvable service request (HTTP 400)."""
+
+
+#: the accepted request fields and their validators.
+_FIELDS = {
+    "workload": str,
+    "scale": str,
+    "strategy": str,
+    "hierarchy": str,
+    "ram_size": int,
+    "max_depth": int,
+    "max_programs": int,
+}
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One synthesis request, as posted to ``POST /jobs``."""
+
+    workload: str
+    scale: str | None = None
+    strategy: str = "best-first"
+    #: hierarchy preset name overriding the workload default.
+    hierarchy: str | None = None
+    ram_size: int | None = None
+    max_depth: int | None = None
+    max_programs: int | None = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_json(cls, doc: object) -> "ServiceRequest":
+        """Parse and validate a request body; :class:`RequestError` on
+        anything malformed (unknown keys are rejected, not ignored —
+        a typoed cap must not silently run with defaults)."""
+        if not isinstance(doc, dict):
+            raise RequestError(
+                f"request body must be a JSON object, "
+                f"got {type(doc).__name__}"
+            )
+        unknown = sorted(set(doc) - set(_FIELDS))
+        if unknown:
+            raise RequestError(
+                f"unknown request field(s) {unknown}; "
+                f"expected a subset of {sorted(_FIELDS)}"
+            )
+        if "workload" not in doc:
+            raise RequestError("request is missing the 'workload' field")
+        for name, kind in _FIELDS.items():
+            if name in doc and doc[name] is not None:
+                value = doc[name]
+                if kind is int and isinstance(value, bool):
+                    raise RequestError(f"field {name!r} must be an integer")
+                if not isinstance(value, kind):
+                    raise RequestError(
+                        f"field {name!r} must be a {kind.__name__}, "
+                        f"got {type(value).__name__}"
+                    )
+        scale = doc.get("scale")
+        if scale is not None and scale not in SCALES:
+            raise RequestError(
+                f"unknown scale {scale!r}; expected one of {list(SCALES)}"
+            )
+        for name in ("ram_size", "max_depth", "max_programs"):
+            value = doc.get(name)
+            if value is not None and value <= 0:
+                raise RequestError(f"field {name!r} must be positive")
+        return cls(
+            workload=doc["workload"],
+            scale=scale,
+            strategy=doc.get("strategy") or "best-first",
+            hierarchy=doc.get("hierarchy"),
+            ram_size=doc.get("ram_size"),
+            max_depth=doc.get("max_depth"),
+            max_programs=doc.get("max_programs"),
+        )
+
+    def to_json(self) -> dict:
+        """The request as posted (omitting unset optionals)."""
+        doc: dict = {"workload": self.workload, "strategy": self.strategy}
+        for name in (
+            "scale", "hierarchy", "ram_size", "max_depth", "max_programs"
+        ):
+            value = getattr(self, name)
+            if value is not None:
+                doc[name] = value
+        return doc
+
+    # ------------------------------------------------------------------
+    def resolve(self) -> tuple[Experiment, str]:
+        """The fully-resolved experiment plus the effective scale.
+
+        :raises RequestError: unknown workload/scale/strategy/preset, or
+            a preset that lacks a node the workload's placement needs.
+        """
+        registry = default_registry()
+        try:
+            workload = registry.get(self.workload)
+            scale = self.scale or workload.default_scale
+            experiment = workload.experiment(scale)
+        except WorkloadError as error:
+            raise RequestError(str(error)) from None
+        try:
+            resolve_strategy(self.strategy)
+        except ValueError as error:
+            raise RequestError(str(error)) from None
+        if self.hierarchy is not None:
+            from ..hierarchy import hierarchy_preset
+
+            try:
+                hierarchy = hierarchy_preset(self.hierarchy, self.ram_size)
+            except ValueError as error:
+                raise RequestError(str(error)) from None
+            needed = set(experiment.input_locations.values())
+            if experiment.output_location is not None:
+                needed.add(experiment.output_location)
+            missing = sorted(needed - set(hierarchy.nodes))
+            if missing:
+                raise RequestError(
+                    f"hierarchy preset {self.hierarchy!r} has no node(s) "
+                    f"{missing} required by workload {self.workload!r}"
+                )
+            experiment.hierarchy = hierarchy
+        if self.max_depth is not None:
+            experiment.max_depth = self.max_depth
+        if self.max_programs is not None:
+            experiment.max_programs = self.max_programs
+        return experiment, scale
+
+    # ------------------------------------------------------------------
+    def canonical(self) -> dict:
+        """The canonical (content-addressed) form of this request.
+
+        Built from the *resolved* experiment, not the request fields:
+        the spec program is interned (hash-consed) before encoding, the
+        rule set is the effective post-exclusion list, and every map is
+        emitted in sorted order, so equal search problems canonicalize
+        byte-identically.
+        """
+        experiment, _scale = self.resolve()
+        rules = sorted(
+            rule.name
+            for rule in default_rules()
+            if rule.name not in experiment.exclude_rules
+        )
+        return {
+            "format": REQUEST_FORMAT,
+            "spec": node_to_json(intern_node(experiment.spec)),
+            "hierarchy": experiment.hierarchy.to_json(),
+            "rules": rules,
+            "caps": {
+                "max_depth": experiment.max_depth,
+                "max_programs": experiment.max_programs,
+                "max_treefold_arity": experiment.max_treefold_arity,
+            },
+            "strategy": self.strategy,
+            "stats": sorted(
+                (name, float(value))
+                for name, value in experiment.stats.items()
+            ),
+            "annots": [
+                [name, encode_value(annot)]
+                for name, annot in sorted(experiment.input_annots.items())
+            ],
+            "input_locations": dict(
+                sorted(experiment.input_locations.items())
+            ),
+            "output_location": experiment.output_location,
+            "cond_probability": experiment.cond_probability,
+            "output_card_override": experiment.output_card_override,
+            "inputs": {
+                name: _input_spec_to_json(spec)
+                for name, spec in sorted(experiment.inputs.items())
+            },
+        }
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical form — the plan-store key."""
+        return canonical_digest(self.canonical())
+
+
+def canonical_digest(doc: dict) -> str:
+    """The store key for one canonical request document."""
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()

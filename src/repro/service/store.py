@@ -1,0 +1,127 @@
+"""The disk-backed, content-addressed plan store.
+
+One JSON file per request digest under ``<root>/plans/``, each holding
+the canonical request, the versioned plan document
+(:meth:`repro.api.Job.to_json`), the original search statistics, and
+provenance metadata.  Writes are atomic (temp file + rename), so a
+crashed server never leaves a half-written record a restarted one
+would trust.  Records whose store or plan format tag is stale read as
+misses — the next search simply overwrites them.
+
+``<root>/memo/`` holds the cost-memo spill files (see
+:mod:`repro.service.memo_disk`); the store only hands out the
+directory.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+
+from ..api.job import PLAN_FORMAT
+from ..version import __version__
+
+__all__ = ["STORE_FORMAT", "PlanStore"]
+
+#: store-record format tag; bumped on incompatible record layouts.
+STORE_FORMAT = "repro-plan-store/1"
+
+_DIGEST_CHARS = frozenset("0123456789abcdef")
+
+
+def _atomic_write_json(path: str, document: dict) -> None:
+    """Write *document* to *path* with no torn-file window."""
+    directory = os.path.dirname(path)
+    fd, tmp = tempfile.mkstemp(dir=directory, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class PlanStore:
+    """Content-addressed plan documents on disk, keyed by digest."""
+
+    def __init__(self, root: str) -> None:
+        self.root = os.path.abspath(root)
+        self.plans_dir = os.path.join(self.root, "plans")
+        self.memo_dir = os.path.join(self.root, "memo")
+        os.makedirs(self.plans_dir, exist_ok=True)
+        os.makedirs(self.memo_dir, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def path_for(self, digest: str) -> str:
+        if not digest or set(digest) - _DIGEST_CHARS:
+            raise ValueError(f"malformed digest {digest!r}")
+        return os.path.join(self.plans_dir, f"{digest}.json")
+
+    def get(self, digest: str) -> dict | None:
+        """The stored record for *digest*, or ``None`` on miss.
+
+        Unreadable, corrupt, or format-incompatible records are misses
+        (the caller re-synthesizes and overwrites) — the store must
+        never turn a stale byte layout into a served plan.
+        """
+        try:
+            with open(self.path_for(digest)) as handle:
+                record = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if not isinstance(record, dict):
+            return None
+        if record.get("format") != STORE_FORMAT:
+            return None
+        plan = record.get("plan")
+        if not isinstance(plan, dict) or plan.get("format") != PLAN_FORMAT:
+            return None
+        return record
+
+    def put(
+        self,
+        digest: str,
+        request: dict,
+        plan: dict,
+        search: dict,
+        synth_seconds: float,
+    ) -> dict:
+        """Persist one synthesized plan; returns the stored record."""
+        record = {
+            "format": STORE_FORMAT,
+            "repro_version": __version__,
+            "digest": digest,
+            "created": time.time(),
+            "request": request,
+            "plan": plan,
+            "search": dict(search),
+            "synth_seconds": synth_seconds,
+        }
+        _atomic_write_json(self.path_for(digest), record)
+        return record
+
+    # ------------------------------------------------------------------
+    def digests(self) -> list[str]:
+        """Every digest with a record on disk (sorted)."""
+        try:
+            names = os.listdir(self.plans_dir)
+        except OSError:
+            return []
+        return sorted(
+            name[: -len(".json")]
+            for name in names
+            if name.endswith(".json")
+        )
+
+    def __len__(self) -> int:
+        return len(self.digests())
+
+    def __contains__(self, digest: str) -> bool:
+        return self.get(digest) is not None

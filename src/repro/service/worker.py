@@ -1,0 +1,54 @@
+"""The synthesis worker: one service request, start to finish.
+
+:func:`synthesize_request` is the function the server fans out over its
+:class:`~repro.parallel.WorkerPool` — module-level so it pickles by
+reference into forked workers, and taking one ``(request_doc,
+memo_dir)`` tuple so nothing non-picklable crosses the pool boundary.
+Each call builds a fresh :class:`~repro.api.Session`, warm-starts the
+experiment's cost memo from the on-disk spill (if any), runs the
+search, merges the grown memo back to disk, and returns a JSON-able
+payload: the versioned plan document, the search statistics, and the
+memo traffic.
+"""
+
+from __future__ import annotations
+
+from ..api.session import Session
+from .memo_disk import dump_memo, load_memo, memo_fingerprint, spill_path
+from .request import ServiceRequest
+
+__all__ = ["synthesize_request"]
+
+
+def synthesize_request(task: tuple) -> dict:
+    """Synthesize one request; returns ``{plan, search, synth_seconds,
+    memo_loaded, memo_spilled}``.
+
+    ``task`` is ``(request_doc, memo_dir)``; ``memo_dir=None`` disables
+    the persistent memo spill (tests, ephemeral runs).
+    """
+    request_doc, memo_dir = task
+    request = ServiceRequest.from_json(request_doc)
+    experiment, scale = request.resolve()
+    session = Session(strategy=request.strategy)
+    memo = session.synthesizer(experiment).memo_for_inputs(
+        experiment.input_annots,
+        experiment.input_locations,
+        experiment.stats,
+        experiment.output_location,
+    )
+    path = None
+    loaded = spilled = 0
+    if memo_dir is not None:
+        path = spill_path(memo_dir, memo_fingerprint(experiment))
+        loaded = load_memo(memo, path)
+    job = session.synthesize(experiment, scale=scale)
+    if path is not None:
+        spilled = dump_memo(memo, path)
+    return {
+        "plan": job.to_json(),
+        "search": job.search.to_json(),
+        "synth_seconds": job.synth_seconds,
+        "memo_loaded": loaded,
+        "memo_spilled": spilled,
+    }

@@ -105,6 +105,31 @@ def test_exec_missing_plan_exits_2(capsys, tmp_path):
     assert "cannot load plan" in capsys.readouterr().err
 
 
+def test_exec_garbage_bytes_plan_exits_2(capsys, tmp_path):
+    # Not even JSON: must exit 2 with a clean message, never traceback.
+    path = tmp_path / "garbage.json"
+    path.write_bytes(b"\x00\xff{not json")
+    assert cli.main(["exec", "--plan", str(path)]) == 2
+    assert "cannot load plan" in capsys.readouterr().err
+
+
+def test_exec_structurally_corrupt_plan_exits_2(capsys, tmp_path):
+    # Valid JSON, valid format tag, nonsense body (a null program used
+    # to escape the load-time error net as an AttributeError traceback).
+    plan_path = tmp_path / "plan.json"
+    assert cli.main(
+        ["synth", "aggregation", "--save-plan", str(plan_path)]
+    ) == 0
+    capsys.readouterr()
+    doc = json.loads(plan_path.read_text())
+    for field, value in (("program", None), ("config", None)):
+        bad = dict(doc)
+        bad[field] = value
+        plan_path.write_text(json.dumps(bad))
+        assert cli.main(["exec", "--plan", str(plan_path)]) == 2
+        assert "cannot load plan" in capsys.readouterr().err
+
+
 def test_exec_rejects_incompatible_plan_format(capsys, tmp_path):
     path = tmp_path / "old.json"
     path.write_text(json.dumps({"format": "repro-plan/0"}))

@@ -190,6 +190,125 @@ class TestSynthesizerIntegration:
         assert result.cache.tune_misses < result.candidates_costed
 
 
+class TestBoundedEviction:
+    """A table at the cap sheds its oldest half — never the whole table.
+
+    The old behaviour (``table.clear()`` at ``maxsize``) discarded every
+    byte of amortization in one insert; these tests pin both the new
+    eviction shape and the invariant that makes any eviction safe: a
+    capped memo only ever recomputes, it never changes answers.
+    """
+
+    def _programs(self):
+        """Five distinct programs, all estimable under ``join_model``."""
+        from repro.ocal.builders import for_, sing, tup, v
+
+        return [
+            for_("a", v("R"), sing(v("a"))),
+            for_("a", v("S"), sing(v("a"))),
+            for_("a", v("R"), sing(tup(v("a"), v("a")))),
+            for_("a", v("S"), sing(tup(v("a"), v("a")))),
+            for_("a", v("R"), for_("b", v("S"), sing(tup(v("a"), v("b"))))),
+        ]
+
+    def test_trim_keeps_the_newest_half(self):
+        from repro.cost.cache import _trim_oldest_half
+
+        table = {f"k{i}": i for i in range(6)}
+        _trim_oldest_half(table)
+        assert list(table) == ["k3", "k4", "k5"]
+
+    def test_trim_of_tiny_table_still_makes_room(self):
+        from repro.cost.cache import _trim_oldest_half
+
+        table = {"only": 1}
+        _trim_oldest_half(table)
+        assert table == {}
+
+    def test_at_cap_insert_keeps_recent_entries(self):
+        memo = CostMemo(maxsize=4)
+        programs = self._programs()
+        originals = [
+            memo.estimate(
+                program,
+                lambda p=program: CostEstimator(
+                    join_model(), memo=memo
+                ).estimate(p),
+            )
+            for program in programs[:4]
+        ]
+        # Table is full; the next insert evicts the *oldest half* only.
+        memo.estimate(
+            programs[4],
+            lambda: CostEstimator(join_model(), memo=memo).estimate(
+                programs[4]
+            ),
+        )
+        held, _, _ = memo.sizes()
+        assert held == 3  # 4 - 2 evicted + 1 inserted
+        # The newest pre-eviction entries survived…
+        assert memo.has_estimate(programs[2])
+        assert memo.has_estimate(programs[3])
+        # …the oldest were evicted…
+        assert not memo.has_estimate(programs[0])
+        assert not memo.has_estimate(programs[1])
+        # …and an evicted entry recomputes to the same answer.
+        recomputed = memo.estimate(
+            programs[0],
+            lambda: CostEstimator(join_model(), memo=memo).estimate(
+                programs[0]
+            ),
+        )
+        assert recomputed.total == originals[0].total
+
+    def test_capped_memo_never_changes_the_winner(self):
+        def run(cap):
+            synth = Synthesizer(
+                hierarchy=hdd_ram_hierarchy(8 * MB),
+                max_depth=2,
+                max_programs=60,
+            )
+            memo = synth.memo_for_inputs(
+                JOIN_ANNOTS, {"R": "HDD", "S": "HDD"}, JOIN_STATS
+            )
+            if cap is not None:
+                memo.maxsize = cap
+            results = [
+                synth.synthesize(
+                    spec=naive_join_spec(),
+                    input_annots=JOIN_ANNOTS,
+                    input_locations={"R": "HDD", "S": "HDD"},
+                    stats=JOIN_STATS,
+                )
+                for _ in range(2)  # second run reuses the evicting memo
+            ]
+            return results
+
+        unlimited = run(None)
+        starved = run(4)  # evicts constantly
+        for free, capped in zip(unlimited, starved):
+            assert capped.best.program == free.best.program
+            assert capped.opt_cost == free.opt_cost
+            assert capped.best.tuned.values == free.best.tuned.values
+
+    def test_capped_memo_never_changes_reestimation_results(self):
+        from repro.ocal.builders import for_, sing, tup, v
+
+        inner = for_(
+            "yB", v("S"), sing(tup(v("xB"), v("yB"))), block_in="k2"
+        )
+        warm_with = for_("xB", v("R"), inner, block_in="k1")
+        target = for_("xB", v("R"), inner, block_in="k3")
+        memo = CostMemo(maxsize=2)  # subtree table evicts while warming
+        CostEstimator(join_model(), memo=memo).estimate(warm_with)
+        via_capped = CostEstimator(join_model(), memo=memo).estimate(target)
+        fresh = CostEstimator(join_model()).estimate(target)
+        assert via_capped.total == fresh.total
+        assert via_capped.constraints == fresh.constraints
+        assert via_capped.events.init == fresh.events.init
+        assert via_capped.events.unit == fresh.events.unit
+
+
 class TestSubtreeCache:
     """Incremental re-estimation: cached subtrees replay exactly (ISSUE 5)."""
 

@@ -1,0 +1,181 @@
+"""The persistent cost-memo spill: a restarted server keeps amortization."""
+
+from repro.cost import CostEstimator, CostMemo, CostModel
+from repro.hierarchy import MB, hdd_ram_hierarchy
+from repro.service.memo_disk import (
+    dump_memo,
+    load_memo,
+    memo_fingerprint,
+    spill_path,
+)
+from repro.symbolic import var
+from repro.cost import atom, list_annot, tuple_annot
+from repro.workloads import naive_join_spec
+
+ANNOTS = {
+    "R": list_annot(tuple_annot(atom(1), atom(1)), var("x")),
+    "S": list_annot(tuple_annot(atom(1), atom(1)), var("y")),
+}
+STATS = {"x": 2.0**20, "y": 2.0**16}
+LOCATIONS = {"R": "HDD", "S": "HDD"}
+
+
+def model():
+    return CostModel(
+        hierarchy=hdd_ram_hierarchy(8 * MB),
+        input_annots=ANNOTS,
+        input_locations=LOCATIONS,
+        stats=STATS,
+    )
+
+
+def warm_memo():
+    """A memo holding one real estimate and one real tuning."""
+    memo = CostMemo()
+    program = naive_join_spec()
+    estimate = memo.estimate(
+        program, lambda: CostEstimator(model(), memo=memo).estimate(program)
+    )
+    memo.tune(estimate, STATS)
+    return memo, program, estimate
+
+
+class TestRoundTrip:
+    def test_dump_then_load_restores_both_tables(self, tmp_path):
+        memo, program, estimate = warm_memo()
+        path = str(tmp_path / "spill.json")
+        stored = dump_memo(memo, path)
+        assert stored == 2  # one estimate + one tuning
+
+        fresh = CostMemo()
+        assert load_memo(fresh, path) == 2
+        est_sizes, tune_sizes, _ = fresh.sizes()
+        assert est_sizes == 1 and tune_sizes == 1
+
+    def test_loaded_estimate_short_circuits_recomputation(self, tmp_path):
+        memo, program, _ = warm_memo()
+        path = str(tmp_path / "spill.json")
+        dump_memo(memo, path)
+
+        fresh = CostMemo()
+        load_memo(fresh, path)
+        calls = []
+
+        def compute():  # pragma: no cover - must not run
+            calls.append(1)
+            raise AssertionError("estimate should come from the spill")
+
+        loaded = fresh.estimate(program, compute)
+        assert calls == []
+        original = memo.estimate(program, compute)
+        assert loaded.total == original.total
+        assert loaded.constraints == original.constraints
+        assert loaded.parameters == original.parameters
+        assert loaded.events.init == original.events.init
+        assert loaded.events.unit == original.events.unit
+
+    def test_loaded_tuning_short_circuits_the_optimizer(self, tmp_path):
+        memo, _, estimate = warm_memo()
+        path = str(tmp_path / "spill.json")
+        dump_memo(memo, path)
+
+        fresh = CostMemo()
+        load_memo(fresh, path)
+        before = fresh.stats.tune_misses
+        tuned = fresh.tune(estimate, STATS)
+        assert fresh.stats.tune_misses == before  # a hit, not a re-run
+        assert tuned.values == memo.tune(estimate, STATS).values
+        assert tuned.cost == memo.tune(estimate, STATS).cost
+
+    def test_seeding_does_not_move_counters(self, tmp_path):
+        memo, _, _ = warm_memo()
+        path = str(tmp_path / "spill.json")
+        dump_memo(memo, path)
+        fresh = CostMemo()
+        load_memo(fresh, path)
+        assert fresh.stats.estimate_hits == 0
+        assert fresh.stats.estimate_misses == 0
+        assert fresh.stats.tune_hits == 0
+        assert fresh.stats.tune_misses == 0
+
+    def test_memoized_failures_round_trip(self, tmp_path):
+        from repro.cost import EstimatorError
+        import pytest
+
+        memo = CostMemo()
+        program = naive_join_spec()
+
+        def fail():
+            raise EstimatorError("uncostable")
+
+        with pytest.raises(EstimatorError):
+            memo.estimate(program, fail)
+        path = str(tmp_path / "spill.json")
+        dump_memo(memo, path)
+
+        fresh = CostMemo()
+        load_memo(fresh, path)
+        with pytest.raises(EstimatorError):
+            fresh.estimate(program, fail)
+
+
+class TestRobustness:
+    def test_missing_spill_loads_nothing(self, tmp_path):
+        assert load_memo(CostMemo(), str(tmp_path / "nope.json")) == 0
+
+    def test_corrupt_spill_loads_nothing(self, tmp_path):
+        path = tmp_path / "spill.json"
+        path.write_bytes(b"\xde\xad not json")
+        assert load_memo(CostMemo(), str(path)) == 0
+
+    def test_stale_format_loads_nothing(self, tmp_path):
+        import json
+
+        path = tmp_path / "spill.json"
+        path.write_text(json.dumps({"format": "repro-memo/0"}))
+        assert load_memo(CostMemo(), str(path)) == 0
+
+    def test_dump_merges_with_existing_spill(self, tmp_path):
+        memo, _, _ = warm_memo()
+        path = str(tmp_path / "spill.json")
+        assert dump_memo(memo, path) == 2
+        # A second dump of the same memo adds nothing new.
+        assert dump_memo(memo, path) == 2
+
+
+class TestFingerprint:
+    def _experiment(self, name="aggregation"):
+        from repro.api import default_registry
+
+        return default_registry().get(name).experiment("validation")
+
+    def test_stable_for_equal_models(self):
+        assert memo_fingerprint(self._experiment()) == memo_fingerprint(
+            self._experiment()
+        )
+
+    def test_distinct_across_workloads(self):
+        assert memo_fingerprint(self._experiment()) != memo_fingerprint(
+            self._experiment("grace-join")
+        )
+
+    def test_hierarchy_changes_the_fingerprint(self):
+        from repro.hierarchy import hierarchy_preset
+
+        a = self._experiment()
+        b = self._experiment()
+        b.hierarchy = hierarchy_preset("ram-ssd-hdd", None)
+        assert memo_fingerprint(a) != memo_fingerprint(b)
+
+    def test_caps_do_not_change_the_fingerprint(self):
+        # The memo caches pure functions of (model, program); runs with
+        # different search caps share the spill.
+        a = self._experiment()
+        b = self._experiment()
+        b.max_depth = 9
+        b.max_programs = 7
+        assert memo_fingerprint(a) == memo_fingerprint(b)
+
+    def test_spill_path_is_per_fingerprint(self, tmp_path):
+        fp = memo_fingerprint(self._experiment())
+        assert spill_path(str(tmp_path), fp).endswith(f"{fp}.json")

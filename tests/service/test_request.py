@@ -1,0 +1,103 @@
+"""Service requests: validation and content-addressed canonicalization."""
+
+import pytest
+
+from repro.service.request import RequestError, ServiceRequest
+
+
+def make(doc=None, **fields):
+    base = {"workload": "aggregation", "scale": "validation"}
+    base.update(doc or {})
+    base.update(fields)
+    return ServiceRequest.from_json(base)
+
+
+class TestValidation:
+    def test_minimal_request(self):
+        request = ServiceRequest.from_json({"workload": "aggregation"})
+        assert request.workload == "aggregation"
+        assert request.strategy == "best-first"
+
+    def test_body_must_be_an_object(self):
+        with pytest.raises(RequestError, match="JSON object"):
+            ServiceRequest.from_json(["aggregation"])
+
+    def test_workload_required(self):
+        with pytest.raises(RequestError, match="workload"):
+            ServiceRequest.from_json({"scale": "validation"})
+
+    def test_unknown_fields_rejected_not_ignored(self):
+        # A typoed cap must not silently run with defaults.
+        with pytest.raises(RequestError, match="max_dept"):
+            make({"max_dept": 3})
+
+    def test_type_checks(self):
+        with pytest.raises(RequestError, match="max_depth"):
+            make({"max_depth": "three"})
+        with pytest.raises(RequestError, match="must be an integer"):
+            make({"max_depth": True})
+
+    def test_caps_must_be_positive(self):
+        for name in ("ram_size", "max_depth", "max_programs"):
+            with pytest.raises(RequestError, match=name):
+                make({name: 0})
+
+    def test_unknown_scale(self):
+        with pytest.raises(RequestError, match="unknown scale"):
+            make({"scale": "galactic"})
+
+    def test_unknown_workload_resolves_to_request_error(self):
+        with pytest.raises(RequestError, match="unknown workload"):
+            ServiceRequest.from_json({"workload": "tape-robot"}).resolve()
+
+    def test_unknown_strategy(self):
+        with pytest.raises(RequestError, match="strategy"):
+            make({"strategy": "oracle"}).resolve()
+
+    def test_mismatched_hierarchy_preset(self):
+        request = ServiceRequest.from_json({
+            "workload": "product-writeout-flash", "hierarchy": "two-hdd",
+        })
+        with pytest.raises(RequestError, match="SSD"):
+            request.resolve()
+
+    def test_to_json_round_trip(self):
+        request = make({"max_depth": 3, "hierarchy": "hdd-ram"})
+        assert ServiceRequest.from_json(request.to_json()) == request
+
+
+class TestDigest:
+    def test_digest_is_stable(self):
+        assert make().digest() == make().digest()
+
+    def test_caps_change_the_digest(self):
+        assert make().digest() != make({"max_depth": 5}).digest()
+        assert make().digest() != make({"max_programs": 7}).digest()
+
+    def test_strategy_changes_the_digest(self):
+        # Strategy picks the winner, so it must key the store.
+        assert make().digest() != make({"strategy": "beam"}).digest()
+
+    def test_hierarchy_override_changes_the_digest(self):
+        assert (
+            make().digest()
+            != make({"hierarchy": "ram-ssd-hdd"}).digest()
+        )
+
+    def test_workloads_do_not_collide(self):
+        assert (
+            make().digest()
+            != ServiceRequest.from_json(
+                {"workload": "grace-join", "scale": "validation"}
+            ).digest()
+        )
+
+    def test_digest_is_hex_sha256(self):
+        digest = make().digest()
+        assert len(digest) == 64
+        assert set(digest) <= set("0123456789abcdef")
+
+    def test_canonical_is_json_serializable(self):
+        import json
+
+        json.dumps(make().canonical())

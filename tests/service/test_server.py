@@ -1,0 +1,324 @@
+"""The HTTP job server: routes, dedup, admission, and the store-hit bar.
+
+The server runs in a background thread (daemon event loop) and the
+tests speak real HTTP over ``urllib`` — no test client shims, the same
+bytes a curl would send.  Fast paths use an injected fake synthesizer;
+one end-to-end class pays for real synthesis to pin the acceptance
+contract: a repeated identical request is served from the persistent
+store with all-zero search counters, surviving a server restart.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api.job import PLAN_FORMAT
+from repro.service import PlanService, PlanStore
+
+AGG = {"workload": "aggregation", "scale": "validation"}
+
+
+def fake_payload():
+    return {
+        "plan": {"format": PLAN_FORMAT, "workload": "aggregation"},
+        "search": {"steps": 3, "costed": 11},
+        "synth_seconds": 0.01,
+        "memo_loaded": 0,
+        "memo_spilled": 0,
+    }
+
+
+def fake_synth(task):
+    return fake_payload()
+
+
+class Client:
+    def __init__(self, service):
+        self.base = f"http://127.0.0.1:{service.port}"
+
+    def _open(self, request):
+        try:
+            with urllib.request.urlopen(request, timeout=120) as response:
+                return response.status, json.load(response)
+        except urllib.error.HTTPError as error:
+            with error:
+                return error.code, json.load(error)
+
+    def get(self, path):
+        return self._open(urllib.request.Request(self.base + path))
+
+    def post(self, doc, wait=True, raw=None):
+        data = raw if raw is not None else json.dumps(doc).encode()
+        return self._open(urllib.request.Request(
+            self.base + "/jobs" + ("?wait=1" if wait else ""),
+            data=data,
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        ))
+
+
+@pytest.fixture
+def service(tmp_path):
+    running = PlanService(
+        str(tmp_path / "store"), workers=1, queue_cap=4, synth=fake_synth
+    ).start_background()
+    yield running
+    running.stop()
+
+
+class TestRoutes:
+    def test_healthz(self, service):
+        status, doc = Client(service).get("/healthz")
+        assert status == 200 and doc["ok"] is True
+
+    def test_unknown_route_404(self, service):
+        status, doc = Client(service).get("/nope")
+        assert status == 404
+
+    def test_unknown_job_404(self, service):
+        status, doc = Client(service).get("/jobs/job-999")
+        assert status == 404
+
+    def test_unknown_plan_404(self, service):
+        status, doc = Client(service).get("/plans/" + "ab" * 32)
+        assert status == 404
+
+    def test_malformed_plan_digest_404_not_500(self, service):
+        status, doc = Client(service).get("/plans/../escape")
+        assert status == 404
+
+    def test_method_not_allowed(self, service):
+        client = Client(service)
+        status, doc = client._open(urllib.request.Request(
+            client.base + "/jobs", method="DELETE"
+        ))
+        assert status == 405
+
+    def test_bad_json_body_400(self, service):
+        status, doc = Client(service).post(None, raw=b"not json {")
+        assert status == 400
+        assert "JSON" in doc["error"]
+
+    def test_unresolvable_request_400(self, service):
+        status, doc = Client(service).post({"workload": "tape-robot"})
+        assert status == 400
+        assert "unknown workload" in doc["error"]
+
+    def test_unknown_field_400(self, service):
+        status, doc = Client(service).post(dict(AGG, max_dept=3))
+        assert status == 400
+        assert "max_dept" in doc["error"]
+
+    def test_stats_shape(self, service):
+        status, doc = Client(service).get("/stats")
+        assert status == 200
+        for key in (
+            "requests", "hits", "misses", "rejected", "deduped",
+            "store_plans", "queued", "running", "latency_seconds",
+        ):
+            assert key in doc
+
+
+class TestMissHitFlow:
+    def test_miss_searches_then_hit_serves_from_store(self, service):
+        client = Client(service)
+        status, miss = client.post(AGG)
+        assert status == 200
+        assert miss["state"] == "done" and miss["source"] == "search"
+        assert miss["search"]["steps"] == 3
+
+        status, hit = client.post(AGG)
+        assert status == 200
+        assert hit["state"] == "done" and hit["source"] == "store"
+        # The store-hit bar: nothing searched, every counter zero.
+        assert all(
+            value == 0
+            for value in hit["search"].values()
+            if isinstance(value, int)
+        )
+        # The original run's statistics ride along as provenance.
+        assert hit["stored_search"]["steps"] == 3
+
+        _, stats = client.get("/stats")
+        assert stats["hits"] == 1 and stats["misses"] == 1
+        assert stats["store_plans"] == 1
+        assert stats["latency_seconds"]["hit"]["count"] == 1
+
+    def test_plan_record_retrievable_by_digest(self, service):
+        client = Client(service)
+        _, miss = client.post(AGG)
+        status, record = client.get(f"/plans/{miss['digest']}")
+        assert status == 200
+        assert record["plan"]["format"] == PLAN_FORMAT
+        assert record["request"]["workload"] == "aggregation"
+
+    def test_job_resource_poll(self, service):
+        client = Client(service)
+        status, doc = client.post(AGG, wait=False)
+        assert status in (200, 202)
+        job_id = doc["id"]
+        for _ in range(200):
+            status, doc = client.get(f"/jobs/{job_id}")
+            if doc["state"] in ("done", "failed"):
+                break
+        assert doc["state"] == "done"
+        assert doc["source"] == "search"
+
+    def test_distinct_requests_get_distinct_digests(self, service):
+        client = Client(service)
+        _, a = client.post(AGG)
+        _, b = client.post(dict(AGG, max_programs=7))
+        assert a["digest"] != b["digest"]
+        _, stats = client.get("/stats")
+        assert stats["misses"] == 2
+
+
+class TestFailure:
+    def test_failed_search_reports_failed_state(self, tmp_path):
+        def explode(task):
+            raise RuntimeError("search fell over")
+
+        service = PlanService(
+            str(tmp_path / "store"), workers=1, synth=explode
+        ).start_background()
+        try:
+            client = Client(service)
+            status, doc = client.post(AGG)
+            assert doc["state"] == "failed"
+            assert "search fell over" in doc["error"]
+            _, stats = client.get("/stats")
+            assert stats["failed"] == 1
+            assert stats["store_plans"] == 0  # nothing stored on failure
+        finally:
+            service.stop()
+
+
+class TestDedupAndAdmission:
+    def test_concurrent_identical_requests_share_one_search(self, tmp_path):
+        release = threading.Event()
+        calls = []
+
+        def slow_synth(task):
+            calls.append(task)
+            release.wait(timeout=60)
+            return fake_payload()
+
+        service = PlanService(
+            str(tmp_path / "store"), workers=1, queue_cap=4, synth=slow_synth
+        ).start_background()
+        try:
+            client = Client(service)
+            status1, first = client.post(AGG, wait=False)
+            assert status1 == 202 and first["state"] in ("queued", "running")
+            status2, second = client.post(AGG, wait=False)
+            assert status2 == 202
+            assert second["id"] == first["id"]  # joined, not re-queued
+            release.set()
+            for _ in range(400):
+                _, doc = client.get(f"/jobs/{first['id']}")
+                if doc["state"] == "done":
+                    break
+            assert doc["state"] == "done"
+            assert len(calls) == 1  # one search served both callers
+            _, stats = client.get("/stats")
+            assert stats["deduped"] == 1 and stats["misses"] == 1
+        finally:
+            release.set()
+            service.stop()
+
+    def test_full_queue_rejects_with_429(self, tmp_path):
+        release = threading.Event()
+
+        def slow_synth(task):
+            release.wait(timeout=60)
+            return fake_payload()
+
+        # One worker, one queue slot: the first request runs, the
+        # second queues, the third must be rejected.
+        service = PlanService(
+            str(tmp_path / "store"), workers=1, queue_cap=1, synth=slow_synth
+        ).start_background()
+        try:
+            client = Client(service)
+            status1, _ = client.post(AGG, wait=False)
+            assert status1 == 202
+            status2, _ = client.post(dict(AGG, max_programs=7), wait=False)
+            assert status2 == 202
+            status3, doc = client.post(dict(AGG, max_programs=8), wait=False)
+            assert status3 == 429
+            assert "queue full" in doc["error"]
+            _, stats = client.get("/stats")
+            assert stats["rejected"] == 1
+        finally:
+            release.set()
+            service.stop()
+
+
+class TestRealSynthesis:
+    """The acceptance bar, with the real synthesizer behind the server."""
+
+    def test_miss_hit_restart_hit(self, tmp_path):
+        store_root = str(tmp_path / "store")
+        service = PlanService(store_root, queue_cap=2).start_background()
+        try:
+            client = Client(service)
+            status, miss = client.post(AGG)
+            assert status == 200 and miss["source"] == "search"
+            assert miss["search"]["steps"] > 0
+            assert miss["memo_spilled"] > 0  # cost memo hit the disk
+
+            status, hit = client.post(AGG)
+            assert status == 200 and hit["source"] == "store"
+            assert all(
+                value == 0
+                for value in hit["search"].values()
+                if isinstance(value, int)
+            )
+        finally:
+            service.stop()
+
+        # A restarted server over the same store must keep serving the
+        # plan from disk — and never search for it again.
+        service = PlanService(store_root, queue_cap=2).start_background()
+        try:
+            client = Client(service)
+            status, hit = client.post(AGG)
+            assert status == 200 and hit["source"] == "store"
+            assert all(
+                value == 0
+                for value in hit["search"].values()
+                if isinstance(value, int)
+            )
+            _, stats = client.get("/stats")
+            assert stats["misses"] == 0 and stats["hits"] == 1
+        finally:
+            service.stop()
+
+    def test_stored_plan_is_executable(self, tmp_path):
+        from repro.api import Job
+
+        service = PlanService(str(tmp_path / "store")).start_background()
+        try:
+            _, miss = Client(service).post(AGG)
+        finally:
+            service.stop()
+        result = Job.from_json(miss["plan"]).run(backend="sim")
+        assert result.execution.elapsed > 0
+
+    def test_memo_spill_warms_related_searches(self, tmp_path):
+        # A different cap is a different digest (plan-store miss) but
+        # the same cost model — the second search must warm-start from
+        # the first one's memo spill.
+        service = PlanService(str(tmp_path / "store")).start_background()
+        try:
+            client = Client(service)
+            _, first = client.post(AGG)
+            assert first["memo_loaded"] == 0
+            _, second = client.post(dict(AGG, max_programs=39))
+            assert second["source"] == "search"
+            assert second["memo_loaded"] > 0
+        finally:
+            service.stop()

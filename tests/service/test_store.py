@@ -1,0 +1,110 @@
+"""The disk-backed plan store: round trips, corruption, format gates."""
+
+import json
+import os
+
+import pytest
+
+from repro.api.job import PLAN_FORMAT
+from repro.service.store import STORE_FORMAT, PlanStore
+
+DIGEST = "ab" * 32
+PLAN = {"format": PLAN_FORMAT, "workload": "aggregation"}
+SEARCH = {"steps": 2, "costed": 9}
+
+
+def put_one(store, digest=DIGEST):
+    return store.put(
+        digest,
+        request={"workload": "aggregation"},
+        plan=dict(PLAN),
+        search=dict(SEARCH),
+        synth_seconds=0.25,
+    )
+
+
+class TestRoundTrip:
+    def test_put_then_get(self, tmp_path):
+        store = PlanStore(str(tmp_path))
+        put_one(store)
+        record = store.get(DIGEST)
+        assert record["plan"] == PLAN
+        assert record["search"] == SEARCH
+        assert record["digest"] == DIGEST
+        assert record["format"] == STORE_FORMAT
+
+    def test_survives_reopen(self, tmp_path):
+        put_one(PlanStore(str(tmp_path)))
+        assert PlanStore(str(tmp_path)).get(DIGEST)["plan"] == PLAN
+
+    def test_miss_is_none(self, tmp_path):
+        assert PlanStore(str(tmp_path)).get("cd" * 32) is None
+
+    def test_len_contains_digests(self, tmp_path):
+        store = PlanStore(str(tmp_path))
+        assert len(store) == 0 and DIGEST not in store
+        put_one(store)
+        assert len(store) == 1 and DIGEST in store
+        assert store.digests() == [DIGEST]
+
+    def test_overwrite_replaces(self, tmp_path):
+        store = PlanStore(str(tmp_path))
+        put_one(store)
+        store.put(DIGEST, request={}, plan=dict(PLAN), search={"steps": 7},
+                  synth_seconds=1.0)
+        assert store.get(DIGEST)["search"] == {"steps": 7}
+        assert len(store) == 1
+
+
+class TestCorruptionAndFormats:
+    def test_malformed_digest_rejected(self, tmp_path):
+        store = PlanStore(str(tmp_path))
+        for bad in ("", "../escape", "ABCD", "xy" * 32):
+            with pytest.raises(ValueError):
+                store.path_for(bad)
+
+    def test_garbage_bytes_read_as_miss(self, tmp_path):
+        store = PlanStore(str(tmp_path))
+        with open(store.path_for(DIGEST), "wb") as handle:
+            handle.write(b"\x00\xff not json")
+        assert store.get(DIGEST) is None
+
+    def test_non_object_record_is_a_miss(self, tmp_path):
+        store = PlanStore(str(tmp_path))
+        with open(store.path_for(DIGEST), "w") as handle:
+            json.dump(["not", "a", "record"], handle)
+        assert store.get(DIGEST) is None
+
+    def test_stale_store_format_is_a_miss(self, tmp_path):
+        store = PlanStore(str(tmp_path))
+        record = put_one(store)
+        record["format"] = "repro-plan-store/0"
+        with open(store.path_for(DIGEST), "w") as handle:
+            json.dump(record, handle)
+        assert store.get(DIGEST) is None
+
+    def test_stale_plan_format_is_a_miss(self, tmp_path):
+        # The record wraps a versioned plan document; a stale *inner*
+        # tag must read as a miss too (exec would refuse to run it).
+        store = PlanStore(str(tmp_path))
+        record = put_one(store)
+        record["plan"]["format"] = "repro-plan/0"
+        with open(store.path_for(DIGEST), "w") as handle:
+            json.dump(record, handle)
+        assert store.get(DIGEST) is None
+
+    def test_miss_is_overwritten_by_next_put(self, tmp_path):
+        store = PlanStore(str(tmp_path))
+        with open(store.path_for(DIGEST), "w") as handle:
+            handle.write("garbage")
+        put_one(store)
+        assert store.get(DIGEST)["plan"] == PLAN
+
+    def test_atomic_write_leaves_no_temp_files(self, tmp_path):
+        store = PlanStore(str(tmp_path))
+        put_one(store)
+        leftovers = [
+            name for name in os.listdir(store.plans_dir)
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []

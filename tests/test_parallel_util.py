@@ -14,9 +14,11 @@ from repro.parallel import (
     WorkerPool,
     chunk_slices,
     cpu_count,
+    live_pool_count,
     parallel_enabled,
     resolve_workers,
     run_tasks,
+    shutdown_all_pools,
     worker_seed,
 )
 
@@ -46,6 +48,17 @@ class TestResolveWorkers:
         assert not parallel_enabled()
         assert resolve_workers(8) == 1
         assert resolve_workers(0) == 1
+
+    def test_env_outranks_explicit_workers(self, monkeypatch):
+        # Precedence is pinned, not incidental: the escape hatch exists
+        # so an operator can globally disable forking on a box where it
+        # misbehaves, and an API caller must not be able to override
+        # that from code.  REPRO_PARALLEL=0 beats every workers=N.
+        monkeypatch.setenv(PARALLEL_ENV, "0")
+        for explicit in (2, 8, 64):
+            assert resolve_workers(explicit) == 1
+        monkeypatch.setenv(PARALLEL_ENV, "1")
+        assert resolve_workers(8) == 8
 
     def test_escape_hatch_off_values(self, monkeypatch):
         for value in ("false", "no", "off", "0"):
@@ -115,3 +128,77 @@ class TestWorkerPool:
     def test_map_ordered(self):
         with WorkerPool(2) as pool:
             assert pool.map_ordered(_double, [4, 5, 6]) == [8, 10, 12]
+
+    def test_submit_returns_a_future(self):
+        with WorkerPool(2) as pool:
+            assert pool.submit(_double, 21).result() == 42
+
+
+def _boom(task):
+    raise RuntimeError("worker blew up")
+
+
+class TestPoolLifecycle:
+    """No pool may outlive its work — even on the exception path."""
+
+    def test_context_manager_closes(self):
+        before = live_pool_count()
+        with WorkerPool(2) as pool:
+            assert not pool.closed
+            assert live_pool_count() == before + 1
+        assert pool.closed
+        assert live_pool_count() == before
+
+    def test_close_is_idempotent(self):
+        pool = WorkerPool(2)
+        pool.close()
+        pool.close()
+        assert pool.closed
+
+    def test_worker_exception_still_closes_the_pool(self):
+        before = live_pool_count()
+        with pytest.raises(RuntimeError, match="worker blew up"):
+            run_tasks(_boom, [1, 2], workers=2)
+        assert live_pool_count() == before
+
+    def test_no_pool_survives_a_failed_synthesize_all(self, monkeypatch):
+        from repro.api import Session
+        from repro.api import session as session_module
+
+        monkeypatch.setattr(session_module, "_synthesize_task", _boom)
+        before = live_pool_count()
+        with pytest.raises(RuntimeError, match="worker blew up"):
+            Session().synthesize_all(
+                ["aggregation", "grace-join"],
+                scale="validation",
+                parallel=2,
+            )
+        assert live_pool_count() == before
+
+    def test_primitive_library_context_manager_closes_its_pool(self):
+        from repro.hierarchy import MB, hdd_ram_hierarchy
+        from repro.runtime.accounting import ExecutionConfig
+        from repro.runtime.primitives import PrimitiveLibrary
+
+        config = ExecutionConfig(
+            hierarchy=hdd_ram_hierarchy(8 * MB), input_locations={}
+        )
+        before = live_pool_count()
+        with PrimitiveLibrary(config, stores={}) as lib:
+            lib.workers = 2
+            pool = lib.worker_pool()
+            if pool is not None:  # fork available
+                assert live_pool_count() == before + 1
+        assert live_pool_count() == before
+        if pool is not None:
+            assert pool.closed
+
+    def test_shutdown_all_pools_reaps_leaked_pools(self):
+        pool = WorkerPool(2)  # deliberately leaked: no close, no with
+        assert live_pool_count() >= 1
+        closed = shutdown_all_pools()
+        assert closed >= 1
+        assert pool.closed
+        assert live_pool_count() == 0
+        # Idempotent: a second sweep finds nothing to do.
+        assert shutdown_all_pools() == 0
