@@ -1,0 +1,52 @@
+"""Static analysis: the multi-pass plan verifier (DESIGN.md §15).
+
+Four passes over OCAL programs and plan documents, each producing
+structured, positioned :class:`~repro.analysis.diagnostics.Diagnostic`
+records with stable codes:
+
+* type pass (``TYP00x``) — :mod:`repro.analysis.type_pass`;
+* placement pass (``PLC00x``) — :mod:`repro.analysis.placement`;
+* capacity pass (``CAP00x``) — :mod:`repro.analysis.capacity`;
+* effect pass (``EFF00x``) — :mod:`repro.analysis.effects`.
+
+Front doors: :func:`verify_program` / :func:`verify_experiment` /
+:func:`verify_job` (:mod:`repro.analysis.verifier`), the ``repro
+check`` CLI command, ``Synthesizer(verify=True)`` / ``REPRO_VERIFY=1``
+search-time verification, and the service's 422 request admission.
+"""
+
+from .capacity import capacity_pass
+from .diagnostics import (
+    Diagnostic,
+    VerificationError,
+    errors,
+    has_errors,
+    render_report,
+)
+from .effects import effect_pass
+from .placement import placement_pass
+from .type_pass import annot_to_type, input_types_from_annots, type_pass
+from .verifier import (
+    ensure_valid,
+    verify_experiment,
+    verify_job,
+    verify_program,
+)
+
+__all__ = [
+    "Diagnostic",
+    "VerificationError",
+    "annot_to_type",
+    "capacity_pass",
+    "effect_pass",
+    "ensure_valid",
+    "errors",
+    "has_errors",
+    "input_types_from_annots",
+    "placement_pass",
+    "render_report",
+    "type_pass",
+    "verify_experiment",
+    "verify_job",
+    "verify_program",
+]

@@ -1,0 +1,134 @@
+"""The verifier's capacity pass (codes ``CAP001``–``CAP003``).
+
+A tuned plan carries concrete parameter values chosen by the optimizer
+*for one cost model* — block sizes that fit the staging level, bucket
+counts within maxSeq limits, output buffers that fit at the root.  This
+pass re-derives the estimator's constraint set for the (possibly
+different) target model and substitutes the stored values back in:
+
+* ``CAP001`` — a constraint is violated under the plan's parameter
+  values (the diagnostic quotes the estimator's reason and both sides'
+  numeric values, and points at the loop binding the first violated
+  parameter);
+* ``CAP002`` — a constraint references a parameter the plan does not
+  bind (the telltale of a plan tuned against a different hierarchy,
+  whose staging structure produced different buffer parameters);
+* ``CAP003`` — the program cannot be costed against the target model at
+  all (estimator/hierarchy/annotation failure), so no constraint can be
+  checked.
+
+The pass runs on the *symbolic* winner (block parameters still named),
+because the bound program has the values baked in and emits constant
+constraints only.
+"""
+
+from __future__ import annotations
+
+from ..cost.annotated import AnnotError
+from ..cost.estimator import CostEstimator, CostModel, EstimatorError
+from ..hierarchy import HierarchyError
+from ..ocal.ast import (
+    FoldL,
+    For,
+    HashPartition,
+    Node,
+    PositionPath,
+    UnfoldR,
+)
+from .diagnostics import Diagnostic, walk_paths
+
+__all__ = ["capacity_pass"]
+
+
+def capacity_pass(
+    program: Node,
+    parameter_values: dict[str, float],
+    model: CostModel,
+) -> list[Diagnostic]:
+    """Check the plan's tuned values against *model*'s constraints."""
+    try:
+        estimate = CostEstimator(model).estimate(program)
+    except (EstimatorError, HierarchyError, AnnotError) as error:
+        return [
+            Diagnostic(
+                code="CAP003",
+                message=(
+                    f"cannot re-derive capacity constraints against "
+                    f"this hierarchy: {error}"
+                ),
+            )
+        ]
+    env: dict[str, float] = {
+        name: float(value) for name, value in model.stats.items()
+    }
+    env.update(
+        (name, float(value)) for name, value in parameter_values.items()
+    )
+    positions = _parameter_positions(program)
+    diagnostics: list[Diagnostic] = []
+    for constraint in estimate.constraints:
+        names = sorted(
+            constraint.lhs.free_vars() | constraint.rhs.free_vars()
+        )
+        missing = [name for name in names if name not in env]
+        if missing:
+            diagnostics.append(
+                Diagnostic(
+                    code="CAP002",
+                    message=(
+                        f"constraint '{constraint.reason}' references "
+                        f"parameter(s) {missing} the plan does not bind"
+                    ),
+                    path=_position_for(names, positions),
+                    hint=(
+                        "the plan was tuned against a different "
+                        "hierarchy; re-synthesize for this one"
+                    ),
+                )
+            )
+            continue
+        if not constraint.satisfied(env):
+            lhs = constraint.lhs.evaluate(env)
+            rhs = constraint.rhs.evaluate(env)
+            bindings = ", ".join(
+                f"{name}={env[name]:g}"
+                for name in names
+                if name in parameter_values
+            )
+            diagnostics.append(
+                Diagnostic(
+                    code="CAP001",
+                    message=(
+                        f"constraint '{constraint.reason}' is violated: "
+                        f"{lhs:g} > {rhs:g}"
+                        + (f" (with {bindings})" if bindings else "")
+                    ),
+                    path=_position_for(names, positions),
+                )
+            )
+    return diagnostics
+
+
+def _parameter_positions(program: Node) -> dict[str, PositionPath]:
+    """Map each named block/bucket parameter to its binding node's path."""
+    positions: dict[str, PositionPath] = {}
+    for path, node in walk_paths(program):
+        if isinstance(node, (For, FoldL, UnfoldR)):
+            for value in (node.block_in, node.block_out):
+                if isinstance(value, str):
+                    positions.setdefault(value, path)
+        elif isinstance(node, HashPartition):
+            if isinstance(node.buckets, str):
+                positions.setdefault(node.buckets, path)
+    return positions
+
+
+def _position_for(
+    names: list[str], positions: dict[str, PositionPath]
+) -> PositionPath:
+    """The first named parameter's binding position (root if none bind
+    in the program — e.g. estimator-synthesized output buffers)."""
+    for name in names:
+        if name in positions:
+            return positions[name]
+    return ()

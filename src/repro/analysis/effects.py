@@ -1,0 +1,49 @@
+"""The verifier's effect pass (code ``EFF001``).
+
+A conservative aliasing/ownership lint.  The PR-3 fuzzer's FileBackend
+bug class was destructive mutation of a *shared* list: an executor that
+extends its left ⊔ operand in place corrupts the right operand when
+both evaluate to the same underlying object.  Statically, the dangerous
+shape is a concatenation whose operands are structurally identical
+expressions — under hash-consing and memoized evaluation both sides
+may alias one value.
+
+The finding is a *warning*, not an error: ``x ⊔ x`` is a legitimate
+OCAL program (the conformance generator can and does produce such
+shapes), and correct backends must copy before mutating.  The lint
+exists so a human reviewing a plan — or a future backend author — sees
+exactly where ownership is shared.
+"""
+
+from __future__ import annotations
+
+from ..ocal.ast import Concat, Empty, Lit, Node
+from .diagnostics import Diagnostic, walk_paths
+
+__all__ = ["effect_pass"]
+
+
+def effect_pass(program: Node) -> list[Diagnostic]:
+    """Flag shared-list destructive-mutation shapes."""
+    diagnostics: list[Diagnostic] = []
+    for path, node in walk_paths(program):
+        if not isinstance(node, Concat):
+            continue
+        left, right = node.left, node.right
+        if isinstance(left, (Empty, Lit)):
+            continue
+        if left == right:
+            diagnostics.append(
+                Diagnostic(
+                    code="EFF001",
+                    severity="warning",
+                    message=(
+                        "⊔ operands are the same expression; a backend "
+                        "mutating its left operand in place would "
+                        "corrupt the shared list"
+                    ),
+                    path=path,
+                    hint="backends must copy before destructive append",
+                )
+            )
+    return diagnostics

@@ -1,0 +1,168 @@
+"""The verifier's type pass (codes ``TYP001``–``TYP004``).
+
+A full-program check built on :mod:`repro.ocal.typecheck` — which now
+threads position paths through every :class:`OcalTypeError` — extended
+with the structural checks inference alone does not perform:
+
+* ``TYP001`` — the core checker rejected the program (the diagnostic
+  carries the checker's message and the failing subexpression's path);
+* ``TYP002`` — a ``SizeAnnot`` node's payload is not an annotated type;
+* ``TYP003`` — a ``SizeAnnot`` payload whose shape contradicts the
+  annotated expression's syntactic head (a tuple annotation on an
+  expression that can only produce a list, and vice versa);
+* ``TYP004`` — a lambda pattern binding the same name twice.
+
+Input types are usually derived from the cost model's annotated types
+via :func:`input_types_from_annots`: list/tuple structure maps over,
+atoms map to the ``Any`` wildcard — structural errors are still caught,
+atom-level mismatches are not (the annots carry sizes, not domains).
+"""
+
+from __future__ import annotations
+
+from ..cost.annotated import Annot, ConstSize, ListAnnot, TupleAnnot
+from ..ocal.ast import (
+    Concat,
+    Empty,
+    For,
+    Lam,
+    Node,
+    Sing,
+    SizeAnnot,
+    Tup,
+    pattern_names,
+)
+from ..ocal.typecheck import OcalTypeError, check_program
+from ..ocal.types import ANY, ListType, OcalType, TupleType
+from .diagnostics import Diagnostic, walk_paths
+
+__all__ = ["annot_to_type", "input_types_from_annots", "type_pass"]
+
+
+def annot_to_type(annot: Annot) -> OcalType:
+    """The OCAL type skeleton of an annotated type (atoms become Any)."""
+    if isinstance(annot, ListAnnot):
+        return ListType(annot_to_type(annot.elem))
+    if isinstance(annot, TupleAnnot):
+        return TupleType(tuple(annot_to_type(item) for item in annot.items))
+    return ANY
+
+
+def input_types_from_annots(
+    input_annots: dict[str, Annot],
+) -> dict[str, OcalType]:
+    """Input types for :func:`type_pass`, derived from cost annotations."""
+    return {name: annot_to_type(annot) for name, annot in
+            sorted(input_annots.items())}
+
+
+def type_pass(
+    program: Node, input_types: dict[str, OcalType]
+) -> list[Diagnostic]:
+    """Type-check *program*; one diagnostic per finding."""
+    diagnostics: list[Diagnostic] = []
+    pattern_paths: set[tuple] = set()
+    for path, node in walk_paths(program):
+        if isinstance(node, SizeAnnot):
+            diagnostics.extend(_check_size_annot(node, path))
+        elif isinstance(node, Lam):
+            duplicate = _duplicate_binding(node)
+            if duplicate is not None:
+                pattern_paths.add(path)
+                diagnostics.append(
+                    Diagnostic(
+                        code="TYP004",
+                        message=(
+                            f"lambda pattern binds {duplicate!r} more "
+                            f"than once"
+                        ),
+                        path=path,
+                    )
+                )
+    try:
+        check_program(program, input_types)
+    except OcalTypeError as error:
+        path = error.path or ()
+        # A duplicate pattern binding already has its own TYP004 above.
+        if not (
+            error.bare_message.startswith("pattern binds")
+            and path in pattern_paths
+        ):
+            diagnostics.append(
+                Diagnostic(
+                    code="TYP001",
+                    message=error.bare_message,
+                    path=path,
+                )
+            )
+    return diagnostics
+
+
+def _duplicate_binding(node: Lam) -> str | None:
+    seen: set[str] = set()
+    for name in pattern_names(node.pattern):
+        if name in seen:
+            return name
+        seen.add(name)
+    return None
+
+
+#: syntactic heads that can only ever produce a list value.
+_LIST_HEADS = (Sing, Empty, Concat, For)
+
+
+def _check_size_annot(node: SizeAnnot, path) -> list[Diagnostic]:
+    annot = node.annot
+    if not isinstance(annot, Annot):
+        return [
+            Diagnostic(
+                code="TYP002",
+                message=(
+                    f"size annotation payload is "
+                    f"{type(annot).__name__}, not an annotated type"
+                ),
+                path=path,
+            )
+        ]
+    expr = node.expr
+    if isinstance(expr, _LIST_HEADS) and isinstance(
+        annot, (TupleAnnot, ConstSize)
+    ):
+        kind = "tuple" if isinstance(annot, TupleAnnot) else "constant-size"
+        return [
+            Diagnostic(
+                code="TYP003",
+                message=(
+                    f"{kind} annotation on a {type(expr).__name__} "
+                    f"expression, which always produces a list"
+                ),
+                path=path,
+            )
+        ]
+    if isinstance(expr, Tup):
+        if isinstance(annot, ListAnnot):
+            return [
+                Diagnostic(
+                    code="TYP003",
+                    message=(
+                        "list annotation on a tuple constructor "
+                        f"of arity {len(expr.items)}"
+                    ),
+                    path=path,
+                )
+            ]
+        if isinstance(annot, TupleAnnot) and len(annot.items) != len(
+            expr.items
+        ):
+            return [
+                Diagnostic(
+                    code="TYP003",
+                    message=(
+                        f"tuple annotation of arity {len(annot.items)} "
+                        f"on a tuple constructor of arity "
+                        f"{len(expr.items)}"
+                    ),
+                    path=path,
+                )
+            ]
+    return []

@@ -1,0 +1,206 @@
+"""The verifier façade: one call per artifact kind.
+
+* :func:`verify_program` — type + placement + effect passes over one
+  OCAL program against a hierarchy and input declarations;
+* :func:`verify_experiment` — a workload's naive spec against its own
+  experiment configuration (what ``repro check <workload>`` and the
+  service's request admission run);
+* :func:`verify_job` — a synthesized/loaded :class:`~repro.api.job.Job`
+  (all four passes, including capacity against the plan's tuned
+  parameter values), optionally replayed against a *different*
+  hierarchy preset — the stale-plan rejection the serving stack needs;
+* :func:`ensure_valid` — raise :class:`VerificationError` when a
+  diagnostic list contains errors.
+
+When a plan is replayed against a hierarchy other than the one it was
+tuned for, sequential-access annotations that do not resolve on the
+target are *stripped* before costing: the placement pass has already
+reported them as errors, and stripping lets the capacity pass still
+re-derive and check the block/buffer constraints (the annotation only
+tightens seek accounting, never capacity).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from ..cost.annotated import Annot, ListAnnot, const_size
+from ..cost.estimator import CostModel
+from ..hierarchy import MemoryHierarchy
+from ..ocal.ast import FoldL, For, Node, UnfoldR, map_children
+from ..ocal.types import OcalType
+from .capacity import capacity_pass
+from .diagnostics import Diagnostic, VerificationError, errors, has_errors
+from .effects import effect_pass
+from .placement import placement_pass
+from .type_pass import input_types_from_annots, type_pass
+
+__all__ = [
+    "verify_program",
+    "verify_experiment",
+    "verify_job",
+    "ensure_valid",
+]
+
+
+def verify_program(
+    program: Node,
+    *,
+    hierarchy: MemoryHierarchy | None = None,
+    input_annots: dict[str, Annot] | None = None,
+    input_types: dict[str, OcalType] | None = None,
+    input_locations: dict[str, str] | None = None,
+    output_location: str | None = None,
+    effects: bool = True,
+) -> list[Diagnostic]:
+    """Run the static passes applicable to one bare program.
+
+    ``input_types`` wins over ``input_annots`` when both are given; the
+    placement pass runs only when a hierarchy is supplied.
+    """
+    if input_types is None:
+        input_types = input_types_from_annots(input_annots or {})
+    diagnostics = type_pass(program, input_types)
+    if hierarchy is not None:
+        diagnostics.extend(
+            placement_pass(
+                program,
+                hierarchy,
+                input_locations or {},
+                output_location,
+            )
+        )
+    if effects:
+        diagnostics.extend(effect_pass(program))
+    return diagnostics
+
+
+def verify_experiment(experiment) -> list[Diagnostic]:
+    """Verify a workload's naive specification against its own config."""
+    return verify_program(
+        experiment.spec,
+        hierarchy=experiment.hierarchy,
+        input_annots=experiment.input_annots,
+        input_locations=experiment.input_locations,
+        output_location=experiment.output_location,
+    )
+
+
+def verify_job(
+    job,
+    *,
+    hierarchy: "MemoryHierarchy | str | None" = None,
+    ram_size: int | None = None,
+) -> list[Diagnostic]:
+    """Verify a synthesized or loaded job — all four passes.
+
+    ``hierarchy`` (a preset name or an explicit
+    :class:`MemoryHierarchy`) replays the plan against a different
+    machine than the one it was tuned for; ``ram_size`` overrides the
+    preset's RAM size.  The capacity pass substitutes the plan's tuned
+    parameter values into the constraints the estimator emits *for the
+    target hierarchy*, so a stale plan is rejected with a positioned
+    diagnostic instead of executing nonsense.
+    """
+    target = _resolve_hierarchy(hierarchy, ram_size, job.config.hierarchy)
+    program = job.winner if job.winner is not None else job.plan.program
+    input_locations = dict(job.config.input_locations)
+    output_location = job.config.output_location
+    annots = _job_annots(job)
+    stats = dict(getattr(job, "stats", None) or {})
+    diagnostics = verify_program(
+        program,
+        hierarchy=target,
+        input_annots=annots,
+        input_locations=input_locations,
+        output_location=output_location,
+    )
+    model = CostModel(
+        hierarchy=target,
+        input_annots=annots,
+        input_locations=input_locations,
+        output_location=output_location,
+        stats=stats,
+    )
+    capacity_program = _strip_unresolvable_seq(program, target)
+    diagnostics.extend(
+        capacity_pass(
+            capacity_program,
+            dict(job.plan.parameter_values),
+            model,
+        )
+    )
+    return diagnostics
+
+
+def ensure_valid(
+    diagnostics: list[Diagnostic], context: str | None = None
+) -> list[Diagnostic]:
+    """Raise :class:`VerificationError` when *diagnostics* has errors;
+    otherwise return the list (warnings and all) unchanged."""
+    if has_errors(diagnostics):
+        raise VerificationError(errors(diagnostics), context)
+    return diagnostics
+
+
+# ----------------------------------------------------------------------
+def _resolve_hierarchy(
+    hierarchy: "MemoryHierarchy | str | None",
+    ram_size: int | None,
+    default: MemoryHierarchy,
+) -> MemoryHierarchy:
+    if hierarchy is None:
+        return default
+    if isinstance(hierarchy, str):
+        from ..hierarchy import hierarchy_preset
+
+        return hierarchy_preset(hierarchy, ram_size)
+    return hierarchy
+
+
+def _job_annots(job) -> dict[str, Annot]:
+    """The job's cost annotations: carried by newer plan documents,
+    derived from the concrete input specs otherwise."""
+    annots = getattr(job, "input_annots", None)
+    if annots:
+        return dict(annots)
+    return {
+        name: ListAnnot(const_size(spec.elem_bytes), _as_const(spec.card))
+        for name, spec in job.inputs.items()
+    }
+
+
+def _as_const(value):
+    from ..symbolic import Const
+
+    return Const(value)
+
+
+def _strip_unresolvable_seq(
+    program: Node, hierarchy: MemoryHierarchy
+) -> Node:
+    """Drop seq annotations that do not resolve on *hierarchy*.
+
+    Kept only when both nodes exist and ``m2`` is ``m1``'s parent (or
+    the root for a parentless ``m1``) — exactly what the placement pass
+    accepts.  Everything else was already reported there; removing it
+    keeps the estimator able to emit the capacity constraints.
+    """
+
+    def fix(node: Node) -> Node:
+        node = map_children(node, fix)
+        if isinstance(node, (For, FoldL, UnfoldR)) and node.seq is not None:
+            m1, m2 = node.seq
+            if not _seq_resolves(hierarchy, m1, m2):
+                return dataclasses.replace(node, seq=None)
+        return node
+
+    return fix(program)
+
+
+def _seq_resolves(hierarchy: MemoryHierarchy, m1: str, m2: str) -> bool:
+    if m1 not in hierarchy.nodes or m2 not in hierarchy.nodes:
+        return False
+    parent = hierarchy.parent(m1)
+    expected = hierarchy.root.name if parent is None else parent.name
+    return m2 == expected

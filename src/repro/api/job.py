@@ -30,7 +30,12 @@ from ..hierarchy import MemoryHierarchy
 from ..ocal.ast import Node, block_params
 from ..ocal.interp import substitute_blocks
 from ..ocal.printer import pretty
-from ..ocal.serialize import node_from_json, node_to_json
+from ..ocal.serialize import (
+    decode_value,
+    encode_value,
+    node_from_json,
+    node_to_json,
+)
 from ..runtime.accounting import (
     ExecutionConfig,
     ExecutionResult,
@@ -167,6 +172,15 @@ class Job:
     #: default substrate for :meth:`run` (a name or an instance).
     backend: "str | ExecutionBackend" = "sim"
     backend_options: dict = field(default_factory=dict)
+    #: symbolic cost annotations the plan was tuned under — carried so
+    #: the static verifier can re-derive capacity constraints without
+    #: guessing from the concrete input specs.  Optional: plan documents
+    #: written before these keys existed load as ``None`` and the
+    #: verifier falls back to deriving annotations from ``inputs``.
+    input_annots: "dict | None" = None
+    #: estimator statistics (selectivities, domain sizes) the plan was
+    #: tuned under; same optionality story as ``input_annots``.
+    stats: "dict[str, float] | None" = None
 
     # ------------------------------------------------------------------
     @property
@@ -294,6 +308,17 @@ class Job:
                 if isinstance(self.backend, str)
                 else getattr(self.backend, "name", "sim")
             ),
+            # Optional verifier context (no format bump: absent keys
+            # load as None and the verifier derives fallbacks).
+            "input_annots": (
+                None
+                if self.input_annots is None
+                else {
+                    name: encode_value(annot)
+                    for name, annot in self.input_annots.items()
+                }
+            ),
+            "stats": None if self.stats is None else dict(self.stats),
         }
 
     @classmethod
@@ -351,6 +376,19 @@ class Job:
             spec=None if spec_doc is None else node_from_json(spec_doc),
             winner=None if winner_doc is None else node_from_json(winner_doc),
             backend=document.get("backend", "sim"),
+            input_annots=(
+                None
+                if document.get("input_annots") is None
+                else {
+                    name: decode_value(annot)
+                    for name, annot in document["input_annots"].items()
+                }
+            ),
+            stats=(
+                None
+                if document.get("stats") is None
+                else dict(document["stats"])
+            ),
         )
 
     def save(self, path: str) -> str:

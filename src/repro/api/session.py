@@ -314,6 +314,8 @@ class Session:
             alternatives=tuple(alternatives),
             backend=self.backend,
             backend_options=dict(self.backend_options),
+            input_annots=dict(experiment.input_annots),
+            stats=dict(experiment.stats),
         )
 
     def _job_from_payload(self, payload: dict) -> Job:

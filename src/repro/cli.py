@@ -16,8 +16,14 @@ Subcommands:
 * ``synth <workload>`` — synthesis only: search, tune, print the
   derivation, and (with ``--save-plan``) write the serialized plan so
   it can be shipped and re-executed without re-searching;
-* ``exec --plan <file>`` — load a saved plan and execute it; the
+* ``exec --plan <file>`` — load a saved plan, statically verify it
+  (exit 1 with rendered diagnostics on rejection), and execute it; the
   synthesizer is never invoked (the emitted search counters are zero);
+* ``check`` — the static plan verifier (DESIGN.md §15): verify named
+  workloads' specifications, or a saved plan via ``--plan`` (optionally
+  replayed against a different ``--hierarchy`` preset — a stale plan is
+  rejected with positioned diagnostics); exit 0 clean, 1 on
+  diagnostics, 2 on usage errors;
 * ``serve`` — the synthesis-as-a-service front door (DESIGN.md §14):
   an HTTP job server answering repeated requests from a persistent
   content-addressed plan store instead of re-searching;
@@ -124,6 +130,18 @@ def _build_parser() -> argparse.ArgumentParser:
             "(default: the plan's recorded backend, else sim)"
         ),
     )
+    exec_.add_argument(
+        "--hierarchy", default=None,
+        help=(
+            "hierarchy preset to execute on instead of the plan's own; "
+            "the plan is re-verified against it first and a stale plan "
+            "is rejected (exit 1)"
+        ),
+    )
+    exec_.add_argument(
+        "--ram-size", type=int, default=None,
+        help="root (buffer pool) size in bytes for --hierarchy",
+    )
     exec_.add_argument("--seed", type=int, default=7, help="data seed (file)")
     exec_.add_argument(
         "--workdir", default=None,
@@ -139,6 +157,34 @@ def _build_parser() -> argparse.ArgumentParser:
             "worker processes for partition-parallel execution on the "
             "file/compiled backends (0 = one per CPU, 1 = serial)"
         ),
+    )
+
+    check = sub.add_parser(
+        "check",
+        help="statically verify workload specs or a saved plan",
+    )
+    check.add_argument(
+        "workloads", nargs="*",
+        help="workload names to verify (default: every registered one)",
+    )
+    check.add_argument(
+        "--plan", default=None, metavar="PATH",
+        help="verify a saved plan document instead of workload specs",
+    )
+    check.add_argument(
+        "--hierarchy", default=None,
+        help=(
+            "with --plan: replay the plan against this hierarchy preset "
+            "instead of the one it was tuned for"
+        ),
+    )
+    check.add_argument(
+        "--ram-size", type=int, default=None,
+        help="root (buffer pool) size in bytes for --hierarchy",
+    )
+    check.add_argument(
+        "--json", action="store_true",
+        help="emit the diagnostics as JSON instead of rendered text",
     )
 
     serve = sub.add_parser(
@@ -398,7 +444,7 @@ def _cmd_exec(args) -> int:
 
     try:
         job = Job.load(args.plan)
-    except Exception as error:
+    except Exception as error:  # lint: allow-broad-except
         # A missing or corrupt plan file must exit cleanly, never
         # traceback.  Decoding a hostile document can raise nearly
         # anything (AttributeError on a null program, TypeError on a
@@ -406,6 +452,29 @@ def _cmd_exec(args) -> int:
         # there is nothing below this frame to recover.
         print(f"cannot load plan {args.plan!r}: {error}", file=sys.stderr)
         return 2
+    from .analysis import errors, render_report, verify_job
+
+    target = None
+    if args.hierarchy is not None:
+        from .hierarchy import hierarchy_preset
+
+        try:
+            target = hierarchy_preset(args.hierarchy, args.ram_size)
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
+    rejected = errors(verify_job(job, hierarchy=target))
+    if rejected:
+        print(render_report(rejected), file=sys.stderr)
+        print(
+            f"plan {args.plan!r} failed static verification; not executing",
+            file=sys.stderr,
+        )
+        return 1
+    if target is not None:
+        import dataclasses
+
+        job.config = dataclasses.replace(job.config, hierarchy=target)
     if args.backend is None:
         # Re-execute on the backend the plan was saved with.
         recorded = job.backend
@@ -426,6 +495,83 @@ def _cmd_exec(args) -> int:
         if report:
             print(report)
     return 0
+
+
+def _cmd_check(args) -> int:
+    from .analysis import errors, render_report, verify_experiment, verify_job
+
+    targets: list[tuple[str, list]] = []
+    if args.plan is not None:
+        if args.workloads:
+            print(
+                "check: give either workload names or --plan, not both",
+                file=sys.stderr,
+            )
+            return 2
+        from .api import Job
+
+        try:
+            job = Job.load(args.plan)
+        except Exception as error:  # lint: allow-broad-except
+            # Same wide net as `exec`: a hostile or corrupt document can
+            # raise nearly anything while decoding.
+            print(f"cannot load plan {args.plan!r}: {error}", file=sys.stderr)
+            return 2
+        try:
+            diagnostics = verify_job(
+                job, hierarchy=args.hierarchy, ram_size=args.ram_size
+            )
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
+        targets.append((args.plan, diagnostics))
+    else:
+        if args.hierarchy is not None or args.ram_size is not None:
+            print(
+                "check: --hierarchy/--ram-size only apply to --plan",
+                file=sys.stderr,
+            )
+            return 2
+        from .api import WorkloadError, default_registry
+
+        registry = default_registry()
+        names = args.workloads or sorted(registry.names())
+        for name in names:
+            try:
+                workload = registry.get(name)
+                experiment = workload.experiment(workload.default_scale)
+            except WorkloadError as error:
+                print(error, file=sys.stderr)
+                return 2
+            targets.append((name, verify_experiment(experiment)))
+
+    failed = False
+    records = []
+    for target, diagnostics in targets:
+        target_errors = errors(diagnostics)
+        failed = failed or bool(target_errors)
+        records.append(
+            {
+                "target": target,
+                "ok": not target_errors,
+                "diagnostics": [d.to_json() for d in diagnostics],
+            }
+        )
+        if not args.json:
+            if diagnostics:
+                print(f"{target}:")
+                print(render_report(diagnostics))
+            else:
+                print(f"{target}: ok")
+    if args.json:
+        print(
+            json.dumps(
+                {"ok": not failed, "targets": records},
+                indent=2,
+                sort_keys=True,
+            )
+        )
+    return 1 if failed else 0
 
 
 def _cmd_serve(args) -> int:
@@ -563,6 +709,8 @@ def main(argv=None) -> int:
         return _cmd_synth(args)
     if args.command == "exec":
         return _cmd_exec(args)
+    if args.command == "check":
+        return _cmd_check(args)
     if args.command == "serve":
         return _cmd_serve(args)
     if args.command == "validate":

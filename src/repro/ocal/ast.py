@@ -83,10 +83,23 @@ __all__ = [
     "intern_pool_size",
     "clear_intern_pool",
     "block_params",
+    "PositionPath",
+    "PositionStep",
+    "format_path",
+    "node_at",
 ]
 
 #: Lambda patterns: a plain name or a (possibly nested) tuple of patterns.
 Pattern = Union[str, tuple]
+
+#: One step of an AST position path: the dataclass field name plus the
+#: tuple index for tuple-of-node fields (``None`` for scalar fields).
+#: This is the same format :mod:`repro.rules.engine` records on each
+#: :class:`~repro.rules.base.Rewrite`.
+PositionStep = tuple[str, Union[int, None]]
+
+#: A position path: steps from the program root down to one subexpression.
+PositionPath = tuple[PositionStep, ...]
 
 #: Block sizes: a concrete integer or the name of a tunable parameter.
 BlockSize = Union[int, str]
@@ -608,6 +621,49 @@ def _rename_lam(node: Lam, avoid: frozenset[str] | set[str]) -> Lam:
         if old != new:
             body = substitute(body, old, Var(new))
     return Lam(new_pattern, body)
+
+
+# ----------------------------------------------------------------------
+# Position paths
+# ----------------------------------------------------------------------
+def format_path(path: PositionPath) -> str:
+    """Render a position path for humans, e.g. ``body.args[0].fn``."""
+    if not path:
+        return "<root>"
+    return ".".join(
+        name if index is None else f"{name}[{index}]"
+        for name, index in path
+    )
+
+
+def node_at(root: Node, path: PositionPath) -> Node:
+    """The subexpression of *root* a position path points at.
+
+    :raises LookupError: the path does not resolve in this tree (a path
+        recorded against a different program, or a stale field name).
+    """
+    node: object = root
+    for step, (name, index) in enumerate(path):
+        if not isinstance(node, Node) or not hasattr(node, name):
+            raise LookupError(
+                f"path {format_path(path)} does not resolve at step {step} "
+                f"({name!r} of {type(node).__name__})"
+            )
+        value = getattr(node, name)
+        if index is not None:
+            if not isinstance(value, tuple) or index >= len(value):
+                raise LookupError(
+                    f"path {format_path(path)} does not resolve at step "
+                    f"{step} ({name}[{index}] of {type(node).__name__})"
+                )
+            value = value[index]
+        node = value
+    if not isinstance(node, Node):
+        raise LookupError(
+            f"path {format_path(path)} resolves to a non-node "
+            f"{type(node).__name__}"
+        )
+    return node
 
 
 # ----------------------------------------------------------------------

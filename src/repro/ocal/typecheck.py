@@ -11,6 +11,11 @@ Function-valued nodes (``foldL``, ``flatMap``, ``treeFold``, ``unfoldR``,
 ``funcPow``, builtins, hash partitioning) are *typed at application sites*:
 their result types depend on the argument type, so ``App`` dispatches to
 :func:`apply_type`.
+
+Every :class:`OcalTypeError` carries the position path of the failing
+subexpression (``error.path``, in the ``(field, index)`` step format the
+rewrite engine uses), so the static verifier's diagnostics and raw
+typechecker errors agree on *where* a program is ill-typed.
 """
 
 from __future__ import annotations
@@ -30,6 +35,7 @@ from .ast import (
     Lit,
     Node,
     Pattern,
+    PositionPath,
     Prim,
     Proj,
     Sing,
@@ -38,6 +44,7 @@ from .ast import (
     Tup,
     UnfoldR,
     Var,
+    format_path,
 )
 from .types import (
     ANY,
@@ -57,12 +64,30 @@ __all__ = ["infer", "apply_type", "OcalTypeError", "check_program"]
 
 
 class OcalTypeError(TypeError):
-    """Raised when an OCAL expression is ill-typed."""
+    """Raised when an OCAL expression is ill-typed.
+
+    ``path`` locates the failing subexpression as a position path from
+    the program root (``None`` only for errors raised outside a
+    traversal); ``bare_message`` is the message without the rendered
+    position suffix.
+    """
+
+    def __init__(self, message: str, path: PositionPath | None = None):
+        self.bare_message = message
+        self.path = path
+        if path is None:
+            super().__init__(message)
+        else:
+            super().__init__(f"{message} (at {format_path(path)})")
 
 
-def infer(expr: Node, env: dict[str, OcalType] | None = None) -> OcalType:
+def infer(
+    expr: Node,
+    env: dict[str, OcalType] | None = None,
+    path: PositionPath = (),
+) -> OcalType:
     """Infer the type of *expr* under *env* (variable name → type)."""
-    return _infer(expr, dict(env or {}))
+    return _infer(expr, dict(env or {}), path)
 
 
 def check_program(
@@ -72,10 +97,12 @@ def check_program(
     return infer(program, dict(input_types))
 
 
-def _infer(expr: Node, env: dict[str, OcalType]) -> OcalType:
+def _infer(
+    expr: Node, env: dict[str, OcalType], path: PositionPath = ()
+) -> OcalType:
     if isinstance(expr, Var):
         if expr.name not in env:
-            raise OcalTypeError(f"unbound variable {expr.name!r}")
+            raise OcalTypeError(f"unbound variable {expr.name!r}", path)
         return env[expr.name]
     if isinstance(expr, Lit):
         if isinstance(expr.value, bool):
@@ -85,166 +112,219 @@ def _infer(expr: Node, env: dict[str, OcalType]) -> OcalType:
         return STR
     if isinstance(expr, Lam):
         # Without an application site the argument type is unconstrained.
+        _check_pattern(expr.pattern, path)
         return FunType(ANY, ANY)
     if isinstance(expr, App):
-        arg_type = _infer(expr.arg, env)
-        return apply_type(expr.fn, arg_type, env)
+        arg_type = _infer(expr.arg, env, path + (("arg", None),))
+        return apply_type(expr.fn, arg_type, env, path + (("fn", None),))
     if isinstance(expr, Tup):
-        return TupleType(tuple(_infer(item, env) for item in expr.items))
+        return TupleType(
+            tuple(
+                _infer(item, env, path + (("items", index),))
+                for index, item in enumerate(expr.items)
+            )
+        )
     if isinstance(expr, Proj):
-        tup_type = _infer(expr.tup, env)
+        tup_type = _infer(expr.tup, env, path + (("tup", None),))
         if isinstance(tup_type, AnyType):
             return ANY
         if not isinstance(tup_type, TupleType):
-            raise OcalTypeError(f"projection from non-tuple type {tup_type}")
+            raise OcalTypeError(
+                f"projection from non-tuple type {tup_type}", path
+            )
         if expr.index > len(tup_type.items):
             raise OcalTypeError(
-                f".{expr.index} out of range for {tup_type}"
+                f".{expr.index} out of range for {tup_type}", path
             )
         return tup_type.items[expr.index - 1]
     if isinstance(expr, Sing):
-        return ListType(_infer(expr.item, env))
+        return ListType(_infer(expr.item, env, path + (("item", None),)))
     if isinstance(expr, Empty):
         return ListType(ANY)
     if isinstance(expr, Concat):
-        left = _infer(expr.left, env)
-        right = _infer(expr.right, env)
-        left = _expect_list(left, "⊔ left operand")
-        right = _expect_list(right, "⊔ right operand")
+        left_path = path + (("left", None),)
+        right_path = path + (("right", None),)
+        left = _infer(expr.left, env, left_path)
+        right = _infer(expr.right, env, right_path)
+        left = _expect_list(left, "⊔ left operand", left_path)
+        right = _expect_list(right, "⊔ right operand", right_path)
         unified = unify(left, right)
         if unified is None:
-            raise OcalTypeError(f"⊔ on incompatible lists {left} and {right}")
+            raise OcalTypeError(
+                f"⊔ on incompatible lists {left} and {right}", path
+            )
         return unified
     if isinstance(expr, If):
-        cond = _infer(expr.cond, env)
+        cond = _infer(expr.cond, env, path + (("cond", None),))
         if unify(cond, BOOL) is None:
-            raise OcalTypeError(f"if condition has type {cond}, expected Bool")
-        then = _infer(expr.then, env)
-        orelse = _infer(expr.orelse, env)
+            raise OcalTypeError(
+                f"if condition has type {cond}, expected Bool",
+                path + (("cond", None),),
+            )
+        then = _infer(expr.then, env, path + (("then", None),))
+        orelse = _infer(expr.orelse, env, path + (("orelse", None),))
         unified = unify(then, orelse)
         if unified is None:
             raise OcalTypeError(
-                f"if branches have incompatible types {then} and {orelse}"
+                f"if branches have incompatible types {then} and {orelse}",
+                path,
             )
         return unified
     if isinstance(expr, Prim):
-        return _infer_prim(expr, env)
+        return _infer_prim(expr, env, path)
     if isinstance(expr, For):
-        source = _expect_list(_infer(expr.source, env), "for source")
+        source = _expect_list(
+            _infer(expr.source, env, path + (("source", None),)),
+            "for source",
+            path + (("source", None),),
+        )
         if expr.block_in == 1:
             bound: OcalType = source.elem
         else:
             bound = ListType(source.elem)
         inner = dict(env)
         inner[expr.var] = bound
-        body = _infer(expr.body, inner)
-        return _expect_list(body, "for body")
+        body = _infer(expr.body, inner, path + (("body", None),))
+        return _expect_list(body, "for body", path + (("body", None),))
     if isinstance(
         expr,
         (FoldL, FlatMap, TreeFold, UnfoldR, FuncPow, Builtin, HashPartition),
     ):
         return FunType(ANY, ANY)  # precise result type comes from App
     if isinstance(expr, SizeAnnot):
-        return _infer(expr.expr, env)
-    raise OcalTypeError(f"cannot type {type(expr).__name__}")
+        return _infer(expr.expr, env, path + (("expr", None),))
+    raise OcalTypeError(f"cannot type {type(expr).__name__}", path)
 
 
 def apply_type(
-    fn: Node, arg_type: OcalType, env: dict[str, OcalType]
+    fn: Node,
+    arg_type: OcalType,
+    env: dict[str, OcalType],
+    path: PositionPath = (),
 ) -> OcalType:
-    """Result type of applying expression *fn* to a value of *arg_type*."""
+    """Result type of applying expression *fn* (at *path*) to *arg_type*."""
     if isinstance(fn, Lam):
+        _check_pattern(fn.pattern, path)
         inner = dict(env)
-        _bind_pattern_type(fn.pattern, arg_type, inner)
-        return _infer(fn.body, inner)
+        _bind_pattern_type(fn.pattern, arg_type, inner, path)
+        return _infer(fn.body, inner, path + (("body", None),))
     if isinstance(fn, FlatMap):
-        source = _expect_list(arg_type, "flatMap argument")
-        result = apply_type(fn.fn, source.elem, env)
-        return _expect_list(result, "flatMap body result")
+        source = _expect_list(arg_type, "flatMap argument", path)
+        result = apply_type(fn.fn, source.elem, env, path + (("fn", None),))
+        return _expect_list(result, "flatMap body result", path)
     if isinstance(fn, FoldL):
-        source = _expect_list(arg_type, "foldL argument")
-        init_type = _infer(fn.init, env)
-        step = apply_type(fn.fn, TupleType((init_type, source.elem)), env)
+        source = _expect_list(arg_type, "foldL argument", path)
+        init_type = _infer(fn.init, env, path + (("init", None),))
+        step = apply_type(
+            fn.fn,
+            TupleType((init_type, source.elem)),
+            env,
+            path + (("fn", None),),
+        )
         unified = unify(init_type, step)
         if unified is None:
             raise OcalTypeError(
-                f"foldL accumulator {init_type} incompatible with step {step}"
+                f"foldL accumulator {init_type} incompatible with step "
+                f"{step}",
+                path,
             )
         return unified
     if isinstance(fn, TreeFold):
-        source = _expect_list(arg_type, "treeFold argument")
-        init_type = _infer(fn.init, env)
+        source = _expect_list(arg_type, "treeFold argument", path)
+        init_type = _infer(fn.init, env, path + (("init", None),))
         elem = unify(source.elem, init_type)
         if elem is None:
             raise OcalTypeError(
                 f"treeFold identity {init_type} incompatible with "
-                f"elements {source.elem}"
+                f"elements {source.elem}",
+                path,
             )
-        result = apply_type(fn.fn, TupleType((elem,) * fn.arity), env)
+        result = apply_type(
+            fn.fn, TupleType((elem,) * fn.arity), env, path + (("fn", None),)
+        )
         unified = unify(elem, result)
         if unified is None:
             raise OcalTypeError(
-                f"treeFold step result {result} incompatible with {elem}"
+                f"treeFold step result {result} incompatible with {elem}",
+                path,
             )
         return unified
     if isinstance(fn, UnfoldR):
-        return _apply_unfold_type(fn, arg_type, env)
+        return _apply_unfold_type(fn, arg_type, env, path)
     if isinstance(fn, FuncPow):
         if isinstance(arg_type, AnyType):
             return ANY
         if not isinstance(arg_type, TupleType):
-            raise OcalTypeError("funcPow expects a tuple argument")
+            raise OcalTypeError("funcPow expects a tuple argument", path)
         width = 2**fn.power
         if len(arg_type.items) != width:
             raise OcalTypeError(
                 f"funcPow[{fn.power}] expects arity {width}, "
-                f"got {len(arg_type.items)}"
+                f"got {len(arg_type.items)}",
+                path,
             )
+        inner_path = path + (("fn", None),)
         if fn.power == 1:
-            return apply_type(fn.fn, arg_type, env)
+            return apply_type(fn.fn, arg_type, env, inner_path)
         half = width // 2
+        # The recursive halves are synthetic FuncPow wrappers around the
+        # same step function, so their errors keep pointing at *path*.
         left = apply_type(
-            FuncPow(fn.power - 1, fn.fn), TupleType(arg_type.items[:half]), env
+            FuncPow(fn.power - 1, fn.fn),
+            TupleType(arg_type.items[:half]),
+            env,
+            path,
         )
         right = apply_type(
-            FuncPow(fn.power - 1, fn.fn), TupleType(arg_type.items[half:]), env
+            FuncPow(fn.power - 1, fn.fn),
+            TupleType(arg_type.items[half:]),
+            env,
+            path,
         )
-        return apply_type(fn.fn, TupleType((left, right)), env)
+        return apply_type(fn.fn, TupleType((left, right)), env, inner_path)
     if isinstance(fn, Builtin):
-        return _apply_builtin_type(fn.name, arg_type)
+        return _apply_builtin_type(fn.name, arg_type, path)
     if isinstance(fn, HashPartition):
-        source = _expect_list(arg_type, "partition argument")
+        source = _expect_list(arg_type, "partition argument", path)
         return ListType(ListType(source.elem))
     # Anything else: infer the function type and hope it is a FunType.
-    fn_type = _infer(fn, env)
+    fn_type = _infer(fn, env, path)
     if isinstance(fn_type, AnyType):
         return ANY
     if isinstance(fn_type, FunType):
         if unify(fn_type.arg, arg_type) is None:
             raise OcalTypeError(
-                f"argument {arg_type} incompatible with parameter {fn_type.arg}"
+                f"argument {arg_type} incompatible with parameter "
+                f"{fn_type.arg}",
+                path,
             )
         return fn_type.result
-    raise OcalTypeError(f"applying non-function of type {fn_type}")
+    raise OcalTypeError(f"applying non-function of type {fn_type}", path)
 
 
 def _apply_unfold_type(
-    fn: UnfoldR, arg_type: OcalType, env: dict[str, OcalType]
+    fn: UnfoldR,
+    arg_type: OcalType,
+    env: dict[str, OcalType],
+    path: PositionPath = (),
 ) -> OcalType:
     if isinstance(arg_type, AnyType):
         return ListType(ANY)
     if not isinstance(arg_type, TupleType):
-        raise OcalTypeError("unfoldR expects a tuple of lists")
+        raise OcalTypeError("unfoldR expects a tuple of lists", path)
     elems = []
     for item in arg_type.items:
-        elems.append(_expect_list(item, "unfoldR input").elem)
+        elems.append(_expect_list(item, "unfoldR input", path).elem)
     inner = fn.fn
+    inner_path = path + (("fn", None),)
     if isinstance(inner, Builtin) and inner.name == "mrg":
         if len(elems) != 2:
-            raise OcalTypeError("unfoldR(mrg) expects a pair of lists")
+            raise OcalTypeError("unfoldR(mrg) expects a pair of lists", path)
         merged = unify(elems[0], elems[1])
         if merged is None:
-            raise OcalTypeError("unfoldR(mrg) on incompatible element types")
+            raise OcalTypeError(
+                "unfoldR(mrg) on incompatible element types", path
+            )
         return ListType(merged)
     if (
         isinstance(inner, FuncPow)
@@ -254,120 +334,158 @@ def _apply_unfold_type(
         ways = 2**inner.power
         if len(elems) != ways:
             raise OcalTypeError(
-                f"{ways}-way merge applied to arity {len(elems)}"
+                f"{ways}-way merge applied to arity {len(elems)}", path
             )
         merged = elems[0]
         for elem in elems[1:]:
             unified = unify(merged, elem)
             if unified is None:
-                raise OcalTypeError("merge on incompatible element types")
+                raise OcalTypeError(
+                    "merge on incompatible element types", path
+                )
             merged = unified
         return ListType(merged)
     if isinstance(inner, Builtin) and inner.name == "zip":
         return ListType(TupleType(tuple(elems)))
     # Generic step function: ⟨[τ1],…⟩ → ⟨[τr], state⟩.
-    step = apply_type(inner, arg_type, env)
+    step = apply_type(inner, arg_type, env, inner_path)
     if isinstance(step, AnyType):
         return ListType(ANY)
     if not isinstance(step, TupleType) or len(step.items) != 2:
-        raise OcalTypeError("unfoldR step must return ⟨chunk, state⟩")
-    return _expect_list(step.items[0], "unfoldR chunk")
+        raise OcalTypeError("unfoldR step must return ⟨chunk, state⟩", path)
+    return _expect_list(step.items[0], "unfoldR chunk", path)
 
 
-def _apply_builtin_type(name: str, arg_type: OcalType) -> OcalType:
+def _apply_builtin_type(
+    name: str, arg_type: OcalType, path: PositionPath = ()
+) -> OcalType:
     if name == "head":
-        return _expect_list(arg_type, "head argument").elem
+        return _expect_list(arg_type, "head argument", path).elem
     if name == "tail":
-        return _expect_list(arg_type, "tail argument")
+        return _expect_list(arg_type, "tail argument", path)
     if name == "length":
-        _expect_list(arg_type, "length argument")
+        _expect_list(arg_type, "length argument", path)
         return INT
     if name == "avg":
-        _expect_list(arg_type, "avg argument")
+        _expect_list(arg_type, "avg argument", path)
         return INT
     if name == "mrg":
         if isinstance(arg_type, AnyType):
             return ANY
         if not isinstance(arg_type, TupleType) or len(arg_type.items) != 2:
-            raise OcalTypeError("mrg expects a pair of lists")
-        l1 = _expect_list(arg_type.items[0], "mrg input")
-        l2 = _expect_list(arg_type.items[1], "mrg input")
+            raise OcalTypeError("mrg expects a pair of lists", path)
+        l1 = _expect_list(arg_type.items[0], "mrg input", path)
+        l2 = _expect_list(arg_type.items[1], "mrg input", path)
         merged = unify(l1, l2)
         if merged is None:
-            raise OcalTypeError("mrg on incompatible lists")
+            raise OcalTypeError("mrg on incompatible lists", path)
         return TupleType((merged, TupleType((merged, merged))))
     if name == "zip":
         if isinstance(arg_type, AnyType):
             return ListType(ANY)
         if not isinstance(arg_type, TupleType):
-            raise OcalTypeError("zip expects a tuple of lists")
+            raise OcalTypeError("zip expects a tuple of lists", path)
         elems = tuple(
-            _expect_list(item, "zip input").elem for item in arg_type.items
+            _expect_list(item, "zip input", path).elem
+            for item in arg_type.items
         )
         return ListType(TupleType(elems))
-    raise OcalTypeError(f"unknown builtin {name!r}")
+    raise OcalTypeError(f"unknown builtin {name!r}", path)
 
 
-def _infer_prim(expr: Prim, env: dict[str, OcalType]) -> OcalType:
-    arg_types = [_infer(arg, env) for arg in expr.args]
+def _infer_prim(
+    expr: Prim, env: dict[str, OcalType], path: PositionPath = ()
+) -> OcalType:
+    arg_types = [
+        _infer(arg, env, path + (("args", index),))
+        for index, arg in enumerate(expr.args)
+    ]
     op = expr.op
     if op in {"and", "or"}:
-        _expect_all(arg_types, BOOL, op)
+        _expect_all(arg_types, BOOL, op, path)
         return BOOL
     if op == "not":
-        _expect_all(arg_types, BOOL, op)
+        _expect_all(arg_types, BOOL, op, path)
         return BOOL
     if op in {"==", "!=", "<=", ">=", "<", ">"}:
         if len(arg_types) != 2 or unify(arg_types[0], arg_types[1]) is None:
             raise OcalTypeError(
-                f"{op} applied to incompatible types {arg_types}"
+                f"{op} applied to incompatible types {arg_types}", path
             )
         return BOOL
     if op in {"+", "-", "*", "/", "mod", "min2", "max2"}:
         for t in arg_types:
             if not isinstance(t, (DType, AnyType)):
-                raise OcalTypeError(f"{op} expects atomic operands, got {t}")
+                raise OcalTypeError(
+                    f"{op} expects atomic operands, got {t}", path
+                )
         unified = arg_types[0]
         for t in arg_types[1:]:
             u = unify(unified, t)
             if u is None:
-                raise OcalTypeError(f"{op} on incompatible types {arg_types}")
+                raise OcalTypeError(
+                    f"{op} on incompatible types {arg_types}", path
+                )
             unified = u
         return INT if isinstance(unified, AnyType) else unified
     if op == "hash":
         return INT
-    raise OcalTypeError(f"unknown primitive {op!r}")
+    raise OcalTypeError(f"unknown primitive {op!r}", path)
 
 
-def _expect_all(types: list[OcalType], expected: OcalType, op: str) -> None:
+def _expect_all(
+    types: list[OcalType],
+    expected: OcalType,
+    op: str,
+    path: PositionPath = (),
+) -> None:
     for t in types:
         if unify(t, expected) is None:
-            raise OcalTypeError(f"{op} expects {expected}, got {t}")
+            raise OcalTypeError(f"{op} expects {expected}, got {t}", path)
 
 
-def _expect_list(t: OcalType, what: str) -> ListType:
+def _expect_list(
+    t: OcalType, what: str, path: PositionPath = ()
+) -> ListType:
     if isinstance(t, AnyType):
         return ListType(ANY)
     if not isinstance(t, ListType):
-        raise OcalTypeError(f"{what} must be a list, got {t}")
+        raise OcalTypeError(f"{what} must be a list, got {t}", path)
     return t
 
 
+def _check_pattern(pattern: Pattern, path: PositionPath = ()) -> None:
+    """Reject lambda patterns binding the same name twice."""
+    from .ast import pattern_names
+
+    names = pattern_names(pattern)
+    seen: set[str] = set()
+    for name in names:
+        if name in seen:
+            raise OcalTypeError(
+                f"pattern binds {name!r} more than once", path
+            )
+        seen.add(name)
+
+
 def _bind_pattern_type(
-    pattern: Pattern, value_type: OcalType, env: dict[str, OcalType]
+    pattern: Pattern,
+    value_type: OcalType,
+    env: dict[str, OcalType],
+    path: PositionPath = (),
 ) -> None:
     if isinstance(pattern, str):
         env[pattern] = value_type
         return
     if isinstance(value_type, AnyType):
         for sub in pattern:
-            _bind_pattern_type(sub, ANY, env)
+            _bind_pattern_type(sub, ANY, env, path)
         return
     if not isinstance(value_type, TupleType) or len(value_type.items) != len(
         pattern
     ):
         raise OcalTypeError(
-            f"pattern of arity {len(pattern)} cannot bind {value_type}"
+            f"pattern of arity {len(pattern)} cannot bind {value_type}", path
         )
     for sub, item in zip(pattern, value_type.items):
-        _bind_pattern_type(sub, item, env)
+        _bind_pattern_type(sub, item, env, path)

@@ -291,7 +291,7 @@ def _run_flatmap_chunk(payload):
                 name: store.io_time for name, store in stores.items()
             },
         }
-    except Exception as exc:
+    except Exception as exc:  # lint: allow-broad-except
         return {"bail": f"{type(exc).__name__}: {exc}"}
     finally:
         _close_context(stores, scratch)
@@ -331,7 +331,7 @@ def _run_merge_groups(payload):
                 name: store.io_time for name, store in stores.items()
             },
         }
-    except Exception as exc:
+    except Exception as exc:  # lint: allow-broad-except
         return {"bail": f"{type(exc).__name__}: {exc}"}
     finally:
         _close_context(stores, scratch)
@@ -357,7 +357,7 @@ def _dispatch(rt, fn, payloads):
         store.flush_all()
     try:
         return pool.map_ordered(fn, payloads)
-    except Exception:
+    except Exception:  # lint: allow-broad-except
         return None
 
 
@@ -458,7 +458,7 @@ def parallel_flatmap(rt, fn, source, env: dict, sink):
             [decode_rt(doc) for doc in result["values"]]
             for result in results
         ]
-    except Exception:
+    except Exception:  # lint: allow-broad-except
         return rt.NOT_PARALLEL
     for result, values in zip(results, decoded):
         _replay_events(rt, result["events"], values, sink)
@@ -503,7 +503,7 @@ def parallel_merge_level(rt, groups, block_in: int, writer):
             [[decode_rt(doc) for doc in group] for group in result["groups"]]
             for result in results
         ]
-    except Exception:
+    except Exception:  # lint: allow-broad-except
         return rt.NOT_PARALLEL
     counts: list[int] = []
     for result, chunk_groups in zip(results, decoded):

@@ -271,7 +271,7 @@ def load_memo(memo: CostMemo, path: str) -> int:
                 if entry["estimate"] is None
                 else _decode_estimate(entry["estimate"])
             )
-        except Exception:
+        except Exception:  # lint: allow-broad-except
             continue
         memo.seed_estimate(program, estimate)
         loaded += 1
@@ -279,7 +279,7 @@ def load_memo(memo: CostMemo, path: str) -> int:
         try:
             key = _decode_tune_key(entry["key"])
             result = _decode_tuning(entry["value"])
-        except Exception:
+        except Exception:  # lint: allow-broad-except
             continue
         memo.seed_tuning(key, result)
         loaded += 1

@@ -5,7 +5,11 @@ HTTP/1.1 parser (one request per connection, ``Connection: close``).
 The request lifecycle:
 
 1. **validate** — the body must parse into a :class:`ServiceRequest`;
-   anything malformed or unresolvable is a 400 with the reason.
+   anything malformed or unresolvable is a 400 with the reason.  The
+   resolved specification then runs through the static verifier
+   (DESIGN.md §15); a spec with verification errors is a 422 carrying
+   the structured diagnostic list (and bumps the ``verifier_rejected``
+   counter) — nothing unsound is searched, stored, or served.
 2. **store hit** — the request digest is looked up in the
    :class:`~repro.service.store.PlanStore`; a hit is answered
    immediately with the stored plan and *all-zero* search counters
@@ -21,7 +25,10 @@ The request lifecycle:
    with at most ``workers`` searches running concurrently.
 
 ``POST /jobs?wait=1`` long-polls until the job settles — one curl is a
-full miss-then-hit round trip.  ``GET /stats`` exposes hit/miss/reject
+full miss-then-hit round trip.  ``POST /plans/check`` verifies a plan
+document (optionally against a different hierarchy preset) without
+executing anything — 200 when clean, 422 with diagnostics when a stale
+or unsound plan is rejected.  ``GET /stats`` exposes hit/miss/reject
 counters, latency totals and queue depths.
 """
 
@@ -34,7 +41,9 @@ import threading
 import time
 from urllib.parse import parse_qs, urlsplit
 
-from ..api.job import SearchStats
+from ..analysis import errors as _verification_errors
+from ..analysis import verify_experiment, verify_job
+from ..api.job import Job, SearchStats
 from ..parallel import WorkerPool, resolve_workers
 from .request import RequestError, ServiceRequest
 from .store import PlanStore
@@ -51,6 +60,7 @@ _REASONS = {
     404: "Not Found",
     405: "Method Not Allowed",
     413: "Payload Too Large",
+    422: "Unprocessable Entity",
     429: "Too Many Requests",
     500: "Internal Server Error",
 }
@@ -103,6 +113,7 @@ class PlanService:
             "deduped": 0,
             "rejected": 0,
             "invalid": 0,
+            "verifier_rejected": 0,
             "completed": 0,
             "failed": 0,
         }
@@ -186,7 +197,7 @@ class PlanService:
                 payload = await self._dispatch_future(
                     (job["request"], memo_dir)
                 )
-            except Exception as error:
+            except Exception as error:  # lint: allow-broad-except
                 job["state"] = "failed"
                 job["error"] = f"{type(error).__name__}: {error}"
                 self.counters["failed"] += 1
@@ -250,6 +261,14 @@ class PlanService:
             self.counters["invalid"] += 1
             return 400, {"error": str(error)}
 
+        rejected = _verification_errors(verify_experiment(request.resolve()[0]))
+        if rejected:
+            self.counters["verifier_rejected"] += 1
+            return 422, {
+                "error": "request fails static verification",
+                "diagnostics": [d.to_json() for d in rejected],
+            }
+
         record = self.store.get(digest)
         if record is not None:
             self.counters["hits"] += 1
@@ -276,6 +295,51 @@ class PlanService:
         job = self._jobs[job_id]
         status = 202 if job["state"] in ("queued", "running") else 200
         return status, self._job_doc(job)
+
+    def _post_plan_check(self, body: bytes) -> tuple[int, dict]:
+        try:
+            doc = json.loads(body or b"null")
+        except ValueError:
+            self.counters["invalid"] += 1
+            return 400, {"error": "request body is not valid JSON"}
+        if not isinstance(doc, dict) or "plan" not in doc:
+            self.counters["invalid"] += 1
+            return 400, {
+                "error": "body must be a JSON object with a 'plan' field"
+            }
+        unknown = sorted(set(doc) - {"plan", "hierarchy", "ram_size"})
+        if unknown:
+            self.counters["invalid"] += 1
+            return 400, {
+                "error": (
+                    f"unknown field(s) {unknown}; expected a subset of "
+                    f"['hierarchy', 'plan', 'ram_size']"
+                )
+            }
+        try:
+            job = Job.from_json(doc["plan"])
+        except Exception as error:  # lint: allow-broad-except
+            # Decoding a hostile plan document can raise nearly anything.
+            self.counters["invalid"] += 1
+            return 400, {"error": f"cannot load plan: {error}"}
+        try:
+            diagnostics = verify_job(
+                job,
+                hierarchy=doc.get("hierarchy"),
+                ram_size=doc.get("ram_size"),
+            )
+        except ValueError as error:
+            self.counters["invalid"] += 1
+            return 400, {"error": str(error)}
+        rejected = _verification_errors(diagnostics)
+        payload = {
+            "ok": not rejected,
+            "diagnostics": [d.to_json() for d in diagnostics],
+        }
+        if rejected:
+            self.counters["verifier_rejected"] += 1
+            return 422, payload
+        return 200, payload
 
     def _get(self, path: str) -> tuple[int, dict]:
         if path == "/healthz":
@@ -331,13 +395,15 @@ class PlanService:
                         "0", "", "false",
                     )
                     status, doc = await self._post_jobs(body, wait)
+                elif method == "POST" and url.path == "/plans/check":
+                    status, doc = self._post_plan_check(body)
                 elif method == "GET":
                     status, doc = self._get(url.path)
                 else:
                     status, doc = 405, {"error": f"method {method} not allowed"}
         except asyncio.IncompleteReadError:
             return
-        except Exception as error:  # never kill the accept loop
+        except Exception as error:  # never kill the accept loop  (lint: allow-broad-except)
             status, doc = 500, {"error": f"{type(error).__name__}: {error}"}
         finally:
             try:

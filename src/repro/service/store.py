@@ -40,7 +40,7 @@ def _atomic_write_json(path: str, document: dict) -> None:
             json.dump(document, handle, indent=2, sort_keys=True)
             handle.write("\n")
         os.replace(tmp, path)
-    except BaseException:
+    except BaseException:  # lint: allow-broad-except
         try:
             os.unlink(tmp)
         except OSError:

@@ -1,0 +1,96 @@
+"""The capacity pass (CAP001–CAP003, tuned values against re-derived
+constraints) and the effect pass (EFF001 shared-list lint)."""
+
+from repro.analysis import capacity_pass, effect_pass
+from repro.cost.annotated import ListAnnot, const_size
+from repro.cost.estimator import CostModel
+from repro.hierarchy import hdd_ram_hierarchy
+from repro.ocal.builders import concat, empty, for_, sing, v
+from repro.symbolic import Const
+
+HIERARCHY = hdd_ram_hierarchy()
+
+ANNOTS = {"R": ListAnnot(const_size(64), Const(4_000_000))}
+
+
+def _model():
+    return CostModel(
+        hierarchy=HIERARCHY,
+        input_annots=ANNOTS,
+        input_locations={"R": "HDD"},
+        output_location=None,
+        stats={},
+    )
+
+
+BLOCKED = for_("x", v("R"), sing(v("x")), block_in="k1", block_out="k1")
+
+
+def test_feasible_values_pass():
+    # 1024 rows of 64 bytes stage comfortably in 32 MB of RAM.
+    assert capacity_pass(BLOCKED, {"k1": 1024.0}, _model()) == []
+
+
+def test_cap001_violated_constraint_quotes_both_sides():
+    # A block larger than RAM violates the staging constraint.
+    found = capacity_pass(BLOCKED, {"k1": 1e9}, _model())
+    assert found and all(d.code == "CAP001" for d in found)
+    message = found[0].message
+    assert "is violated" in message
+    assert "k1=1e+09" in message
+    # golden rendering for the capacity pass: positioned at the loop
+    # binding the violated parameter (the program root here).
+    assert found[0].render().startswith(
+        "CAP001 error at <root>: constraint '"
+    )
+
+
+def test_cap002_unbound_parameter_hints_at_stale_plan():
+    found = capacity_pass(BLOCKED, {}, _model())
+    assert found and all(d.code == "CAP002" for d in found)
+    assert "['k1']" in found[0].message
+    assert "different" in (found[0].hint or "")
+
+
+def test_cap003_uncostable_program():
+    # An input the model knows nothing about cannot be costed at all.
+    program = for_("x", v("Z"), sing(v("x")), block_in="k1")
+    found = capacity_pass(program, {"k1": 8.0}, _model())
+    assert [d.code for d in found] == ["CAP003"]
+    assert "cannot re-derive" in found[0].message
+
+
+def test_parameter_position_points_at_binding_loop():
+    program = sing(BLOCKED)
+    found = capacity_pass(program, {"k1": 1e9}, _model())
+    assert found and found[0].path == (("item", None),)
+
+
+# ----------------------------------------------------------------------
+# Effect pass
+# ----------------------------------------------------------------------
+def test_eff001_shared_operands_flagged_as_warning():
+    (diagnostic,) = effect_pass(concat(v("R"), v("R")))
+    assert diagnostic.code == "EFF001"
+    assert diagnostic.severity == "warning"
+    # golden rendering for the effect pass
+    assert diagnostic.render() == (
+        "EFF001 warning at <root>: ⊔ operands are the same expression; "
+        "a backend mutating its left operand in place would corrupt "
+        "the shared list\n"
+        "  hint: backends must copy before destructive append"
+    )
+
+
+def test_eff001_positions_nested_concat():
+    program = sing(concat(sing(v("R")), sing(v("R"))))
+    (diagnostic,) = effect_pass(program)
+    assert diagnostic.path == (("item", None),)
+
+
+def test_distinct_operands_clean():
+    assert effect_pass(concat(v("R"), v("S"))) == []
+
+
+def test_trivial_left_operands_exempt():
+    assert effect_pass(concat(empty(), empty())) == []

@@ -1,0 +1,108 @@
+"""Diagnostic records: rendering, serialization, severity contract,
+aggregation helpers, and the positioned traversal they rely on."""
+
+import pytest
+
+from repro.analysis import (
+    Diagnostic,
+    VerificationError,
+    errors,
+    has_errors,
+    render_report,
+)
+from repro.analysis.diagnostics import walk_paths
+from repro.ocal.ast import format_path, node_at
+from repro.ocal.builders import concat, lit, sing, tup, v
+
+
+def test_render_includes_code_severity_and_path():
+    diagnostic = Diagnostic(
+        code="PLC003",
+        message="does not follow the hierarchy",
+        path=(("fn", None), ("body", None)),
+    )
+    assert diagnostic.render() == (
+        "PLC003 error at fn.body: does not follow the hierarchy"
+    )
+
+
+def test_render_with_rule_and_hint():
+    diagnostic = Diagnostic(
+        code="TYP001",
+        message="boom",
+        rule="apply-block",
+        hint="re-synthesize",
+    )
+    rendered = diagnostic.render()
+    assert "[rule: apply-block]" in rendered
+    assert rendered.endswith("hint: re-synthesize")
+    assert "at <root>" in rendered
+
+
+def test_unknown_severity_rejected():
+    with pytest.raises(ValueError, match="unknown severity"):
+        Diagnostic(code="X", message="m", severity="fatal")
+
+
+def test_json_round_trip_preserves_everything():
+    diagnostic = Diagnostic(
+        code="CAP002",
+        message="missing parameter",
+        severity="warning",
+        path=(("items", 1), ("source", None)),
+        rule="seq-ac",
+        hint="re-synthesize for this hierarchy",
+    )
+    doc = diagnostic.to_json()
+    assert doc["path"] == [["items", 1], ["source", None]]
+    assert Diagnostic.from_json(doc) == diagnostic
+
+
+def test_json_omits_unset_optionals():
+    doc = Diagnostic(code="EFF001", message="m").to_json()
+    assert "rule" not in doc and "hint" not in doc
+    assert Diagnostic.from_json(doc) == Diagnostic(code="EFF001", message="m")
+
+
+def test_errors_and_has_errors_filter_by_severity():
+    warning = Diagnostic(code="W", message="w", severity="warning")
+    error = Diagnostic(code="E", message="e")
+    assert errors([warning]) == []
+    assert errors([warning, error]) == [error]
+    assert not has_errors([warning])
+    assert has_errors([warning, error])
+
+
+def test_render_report_one_line_per_finding():
+    report = render_report(
+        [
+            Diagnostic(code="A1", message="first"),
+            Diagnostic(code="B2", message="second", severity="warning"),
+        ]
+    )
+    assert report.splitlines() == [
+        "A1 error at <root>: first",
+        "B2 warning at <root>: second",
+    ]
+
+
+def test_verification_error_carries_diagnostics_and_context():
+    diagnostics = [Diagnostic(code="PLC002", message="unknown node")]
+    error = VerificationError(diagnostics, context="rule 'x' misfired")
+    assert error.diagnostics == diagnostics
+    assert str(error).startswith("rule 'x' misfired\n")
+    assert "PLC002" in str(error)
+
+
+def test_walk_paths_agrees_with_node_at():
+    program = sing(concat(tup(lit(1), v("x")), v("y")))
+    seen = dict(walk_paths(program))
+    assert seen[()] is program
+    # every yielded path resolves back to the yielded node
+    for path, node in seen.items():
+        assert node_at(program, path) is node
+    # tuple fields carry indices, scalar node fields carry None
+    assert (("item", None), ("left", None), ("items", 1)) in seen
+    assert format_path((("item", None), ("left", None), ("items", 1))) == (
+        "item.left.items[1]"
+    )

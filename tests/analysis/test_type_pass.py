@@ -1,0 +1,96 @@
+"""The verifier's type pass: TYP001–TYP004 plus the annot→type bridge."""
+
+from repro.analysis import input_types_from_annots, type_pass
+from repro.analysis.type_pass import annot_to_type
+from repro.cost.annotated import ListAnnot, TupleAnnot, const_size
+from repro.ocal.ast import SizeAnnot
+from repro.ocal.builders import (
+    app,
+    concat,
+    empty,
+    lam,
+    lit,
+    sing,
+    tup,
+    v,
+)
+from repro.ocal.types import ANY, INT, ListType, TupleType
+from repro.symbolic import Const
+
+INTS = ListType(INT)
+
+ROW = ListAnnot(const_size(8), Const(100))
+
+
+def test_clean_program_yields_no_diagnostics():
+    program = sing(concat(v("R"), v("S")))
+    assert type_pass(program, {"R": INTS, "S": INTS}) == []
+
+
+def test_typ001_carries_checker_message_and_path():
+    program = sing(concat(lit(1), empty()))
+    (diagnostic,) = type_pass(program, {})
+    assert diagnostic.code == "TYP001"
+    assert diagnostic.path == (("item", None), ("left", None))
+    assert diagnostic.message == "⊔ left operand must be a list, got Int"
+    # golden rendering for the type pass
+    assert diagnostic.render() == (
+        "TYP001 error at item.left: ⊔ left operand must be a list, got Int"
+    )
+
+
+def test_typ002_non_annot_payload():
+    program = SizeAnnot(v("R"), "not-an-annot")
+    codes = [d.code for d in type_pass(program, {"R": INTS})]
+    assert "TYP002" in codes
+
+
+def test_typ003_tuple_annotation_on_list_producer():
+    program = SizeAnnot(sing(lit(1)), TupleAnnot((ROW, ROW)))
+    (diagnostic,) = [
+        d for d in type_pass(program, {}) if d.code == "TYP003"
+    ]
+    assert "always produces a list" in diagnostic.message
+
+
+def test_typ003_list_annotation_on_tuple_constructor():
+    program = SizeAnnot(tup(v("R"), v("S")), ROW)
+    codes = [d.code for d in type_pass(program, {"R": INTS, "S": INTS})]
+    assert "TYP003" in codes
+
+
+def test_typ003_tuple_annotation_arity_mismatch():
+    program = SizeAnnot(tup(v("R"), v("S")), TupleAnnot((ROW,)))
+    (diagnostic,) = [
+        d for d in type_pass(program, {"R": INTS, "S": INTS})
+        if d.code == "TYP003"
+    ]
+    assert "arity 1" in diagnostic.message
+    assert "arity 2" in diagnostic.message
+
+
+def test_typ003_matching_annotation_accepted():
+    program = SizeAnnot(sing(lit(1)), ROW)
+    assert type_pass(program, {}) == []
+
+
+def test_typ004_duplicate_lambda_binding():
+    program = app(lam(("x", "x"), v("x")), tup(lit(1), lit(2)))
+    diagnostics = type_pass(program, {})
+    # one TYP004 at the lambda, no redundant TYP001 for the same finding
+    assert [d.code for d in diagnostics] == ["TYP004"]
+    assert diagnostics[0].path == (("fn", None),)
+
+
+def test_annot_to_type_structure():
+    annot = ListAnnot(
+        TupleAnnot((ROW, const_size(4))), Const(10)
+    )
+    assert annot_to_type(annot) == ListType(
+        TupleType((ListType(ANY), ANY))
+    )
+
+
+def test_input_types_from_annots():
+    types = input_types_from_annots({"R": ROW, "p": const_size(4)})
+    assert types == {"R": ListType(ANY), "p": ANY}

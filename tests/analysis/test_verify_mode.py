@@ -1,0 +1,167 @@
+"""Search-time verification and plan replay.
+
+Three contracts pinned here:
+
+* verify mode is **observational** — winners, derivations, tuned
+  values, and the explored space are bit-identical to verify-off,
+  across strategies;
+* an unsound rule is caught the moment it fires, with the rule's name
+  and position in the raised :class:`VerificationError`;
+* a plan tuned for one hierarchy, replayed against another, is
+  rejected by the capacity pass with a positioned diagnostic — at the
+  library layer and through the CLI (exit 1).
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import cli
+from repro.analysis import VerificationError, errors, verify_experiment, verify_job
+from repro.api import Session, default_registry
+from repro.ocal.ast import FoldL, For
+from repro.rules import Rule, default_rules
+from repro.search.synthesizer import Synthesizer, synthesize
+
+WORKLOADS = ("aggregation", "bnl-join")
+STRATEGIES = ("exhaustive-bfs", "beam", "best-first")
+
+
+def _experiment(name):
+    workload = default_registry().get(name)
+    scale = (
+        "validation"
+        if "validation" in workload.scales
+        else sorted(workload.scales)[0]
+    )
+    return workload.experiment(scale)
+
+
+def _run(experiment, strategy, **options):
+    return synthesize(
+        spec=experiment.spec,
+        hierarchy=experiment.hierarchy,
+        input_annots=experiment.input_annots,
+        input_locations=experiment.input_locations,
+        stats=experiment.stats,
+        output_location=experiment.output_location,
+        strategy=strategy,
+        **options,
+    )
+
+
+@pytest.mark.parametrize("name", WORKLOADS)
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_verify_mode_is_observational(name, strategy):
+    experiment = _experiment(name)
+    plain = _run(experiment, strategy, verify=False)
+    checked = _run(experiment, strategy, verify=True)
+    assert checked.best.program == plain.best.program
+    assert checked.best.derivation == plain.best.derivation
+    assert checked.best.tuned.values == plain.best.tuned.values
+    assert checked.search_space == plain.search_space
+
+
+def test_env_var_enables_verification(monkeypatch):
+    synthesizer = Synthesizer(hierarchy=_experiment("aggregation").hierarchy)
+    monkeypatch.delenv("REPRO_VERIFY", raising=False)
+    assert not synthesizer._verify_enabled()
+    monkeypatch.setenv("REPRO_VERIFY", "1")
+    assert synthesizer._verify_enabled()
+    monkeypatch.setenv("REPRO_VERIFY", "0")
+    assert not synthesizer._verify_enabled()
+
+
+class _UnsoundSeq(Rule):
+    """Annotates any fold with a device the hierarchy does not have."""
+
+    name = "toy-bad-seq"
+
+    def apply(self, node, ctx):
+        if isinstance(node, (For, FoldL)) and node.seq is None:
+            yield dataclasses.replace(node, seq=("TAPE", "RAM"))
+
+
+def test_unsound_rule_caught_with_name_and_position():
+    experiment = _experiment("aggregation")
+    with pytest.raises(VerificationError) as info:
+        _run(
+            experiment,
+            "exhaustive-bfs",
+            rules=default_rules() + [_UnsoundSeq()],
+            verify=True,
+        )
+    (diagnostic, *_rest) = info.value.diagnostics
+    assert diagnostic.code == "PLC002"
+    assert diagnostic.rule == "toy-bad-seq"
+    assert "'TAPE'" in diagnostic.message
+    assert "toy-bad-seq" in str(info.value)
+    # the diagnostic is positioned (the report renders an `at …` site)
+    assert " at " in diagnostic.render()
+
+
+def test_invalid_spec_rejected_before_search():
+    experiment = _experiment("aggregation")
+    broken = dataclasses.replace(
+        experiment, input_locations={"R": "TAPE"}
+    )
+    with pytest.raises(VerificationError) as info:
+        _run(broken, "exhaustive-bfs", verify=True)
+    assert info.value.diagnostics[0].rule == "<spec>"
+
+
+def test_every_registry_spec_verifies():
+    registry = default_registry()
+    for name in registry.names():
+        found = errors(verify_experiment(_experiment(name)))
+        assert not found, (name, [d.render() for d in found])
+
+
+# ----------------------------------------------------------------------
+# Cross-hierarchy replay rejection (the serving stack's stale-plan bar)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def ssd_tuned_job():
+    from repro.service.request import ServiceRequest
+
+    request = ServiceRequest.from_json(
+        {"workload": "bnl-join", "hierarchy": "ram-ssd-hdd"}
+    )
+    experiment, scale = request.resolve()
+    return Session().synthesize(experiment, scale=scale)
+
+
+def test_replayed_plan_rejected_by_capacity_pass(ssd_tuned_job):
+    # Clean against the hierarchy it was tuned for…
+    assert errors(verify_job(ssd_tuned_job)) == []
+    # …rejected when replayed against the two-level default.
+    found = errors(verify_job(ssd_tuned_job, hierarchy="hdd-ram"))
+    codes = {d.code for d in found}
+    assert "CAP001" in codes
+    capacity = [d for d in found if d.code == "CAP001"][0]
+    assert "is violated" in capacity.message
+
+
+def test_replayed_plan_rejected_via_cli(ssd_tuned_job, tmp_path, capsys):
+    plan_path = tmp_path / "ssd-plan.json"
+    plan_path.write_text(json.dumps(ssd_tuned_job.to_json()))
+    assert cli.main(["check", "--plan", str(plan_path)]) == 0
+    capsys.readouterr()
+    assert (
+        cli.main(
+            ["check", "--plan", str(plan_path), "--hierarchy", "hdd-ram"]
+        )
+        == 1
+    )
+    out = capsys.readouterr().out
+    assert "CAP001" in out
+    # exec refuses to run the stale plan
+    assert (
+        cli.main(
+            ["exec", "--plan", str(plan_path), "--hierarchy", "hdd-ram"]
+        )
+        == 1
+    )
+    err = capsys.readouterr().err
+    assert "not executing" in err

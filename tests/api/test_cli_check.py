@@ -1,0 +1,105 @@
+"""The ``repro check`` command: workload mode, plan mode, exit codes,
+and the machine-readable --json shape."""
+
+import json
+
+import pytest
+
+from repro import cli
+
+
+def test_check_named_workloads_report_ok(capsys):
+    assert cli.main(["check", "aggregation", "dup-removal"]) == 0
+    out = capsys.readouterr().out
+    assert "aggregation: ok" in out
+    assert "dup-removal: ok" in out
+
+
+def test_check_defaults_to_every_registry_workload(capsys):
+    assert cli.main(["check"]) == 0
+    lines = [
+        line for line in capsys.readouterr().out.splitlines() if line
+    ]
+    assert len(lines) >= 17
+    assert all(line.endswith(": ok") for line in lines)
+
+
+def test_check_unknown_workload_exits_2(capsys):
+    assert cli.main(["check", "tape-robot"]) == 2
+    assert "tape-robot" in capsys.readouterr().err
+
+
+def test_check_json_shape(capsys):
+    assert cli.main(["check", "aggregation", "--json"]) == 0
+    record = json.loads(capsys.readouterr().out)
+    assert record["ok"] is True
+    (target,) = record["targets"]
+    assert target == {
+        "target": "aggregation",
+        "ok": True,
+        "diagnostics": [],
+    }
+
+
+def test_check_hierarchy_requires_plan(capsys):
+    assert cli.main(["check", "aggregation", "--hierarchy", "hdd-ram"]) == 2
+    assert "--plan" in capsys.readouterr().err
+
+
+def test_check_rejects_workloads_combined_with_plan(capsys):
+    assert (
+        cli.main(["check", "aggregation", "--plan", "plan.json"]) == 2
+    )
+    assert "not both" in capsys.readouterr().err
+
+
+def test_check_unreadable_plan_exits_2(tmp_path, capsys):
+    missing = str(tmp_path / "missing.json")
+    assert cli.main(["check", "--plan", missing]) == 2
+    assert "cannot load plan" in capsys.readouterr().err
+
+
+@pytest.fixture(scope="module")
+def saved_plan(tmp_path_factory):
+    path = str(tmp_path_factory.mktemp("plans") / "agg.json")
+    assert cli.main(["synth", "aggregation", "--save-plan", path]) == 0
+    return path
+
+
+def test_check_saved_plan_is_clean(saved_plan, capsys):
+    assert cli.main(["check", "--plan", saved_plan]) == 0
+    assert f"{saved_plan}: ok" in capsys.readouterr().out
+
+
+def test_check_plan_unknown_hierarchy_exits_2(saved_plan, capsys):
+    assert (
+        cli.main(["check", "--plan", saved_plan, "--hierarchy", "tape"])
+        == 2
+    )
+    assert "unknown hierarchy preset" in capsys.readouterr().err
+
+
+def test_check_plan_replayed_at_tiny_ram_fails(saved_plan, capsys):
+    # The same plan, replayed on its own topology with 128 bytes of
+    # RAM: the tuned blocks no longer fit, and the capacity pass says
+    # where.
+    assert (
+        cli.main(
+            [
+                "check",
+                "--plan",
+                saved_plan,
+                "--hierarchy",
+                "hdd-ram",
+                "--ram-size",
+                "128",
+                "--json",
+            ]
+        )
+        == 1
+    )
+    record = json.loads(capsys.readouterr().out)
+    assert record["ok"] is False
+    (target,) = record["targets"]
+    codes = {d["code"] for d in target["diagnostics"]}
+    assert "CAP001" in codes

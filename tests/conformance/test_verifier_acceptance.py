@@ -1,0 +1,99 @@
+"""The static verifier must accept everything the conformance stack
+produces: generated programs, their bounded rewrite closures, shrinker
+candidates, and the persisted counterexample corpus.
+
+This is the completeness half of the verifier's contract (DESIGN.md
+§15): soundness alone would be trivially satisfied by rejecting
+everything, so this lane pins that well-typed, well-placed programs —
+exactly the population the fuzzer feeds to every backend — come back
+with zero *error* diagnostics (warnings like the shared-list EFF001
+lint are allowed; the generator deliberately produces ``x ⊔ x``).
+"""
+
+import os
+
+from repro.analysis import errors, verify_program
+from repro.conformance.corpus import corpus_files, load_counterexample
+from repro.conformance.generator import GenConfig, ProgramGenerator
+from repro.conformance.shrink import _candidates
+from repro.hierarchy import hdd_ram_hierarchy
+from repro.ocal.typecheck import OcalTypeError, check_program
+from repro.rules import RuleContext, default_rules, iter_rewrites
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+HIERARCHY = hdd_ram_hierarchy()
+
+
+def _verify(gen):
+    return errors(
+        verify_program(
+            gen.program,
+            hierarchy=HIERARCHY,
+            input_types=gen.input_types(),
+            input_locations=gen.input_locations(),
+        )
+    )
+
+
+def test_verifier_accepts_generated_programs():
+    generator = ProgramGenerator(seed=11, config=GenConfig(max_size=40))
+    for gen in generator.stream(60):
+        found = _verify(gen)
+        assert not found, [d.render() for d in found]
+
+
+def test_verifier_accepts_rewrite_closure():
+    generator = ProgramGenerator(seed=23, config=GenConfig(max_size=30))
+    rules = default_rules()
+    checked = 0
+    for gen in generator.stream(12):
+        ctx = RuleContext(
+            hierarchy=HIERARCHY,
+            input_locations=gen.input_locations(),
+            output_location=None,
+        )
+        for rewrite in iter_rewrites(gen.program, rules, ctx):
+            found = errors(
+                verify_program(
+                    rewrite.program,
+                    hierarchy=HIERARCHY,
+                    input_types=gen.input_types(),
+                    input_locations=gen.input_locations(),
+                )
+            )
+            assert not found, (
+                rewrite.rule,
+                [d.render() for d in found],
+            )
+            checked += 1
+    assert checked > 0
+
+
+def test_shrinker_candidates_stay_verifiable():
+    # Every candidate the shrinker may propose is type-preserving by
+    # construction; the verifier must agree so a shrunk counterexample
+    # is still a verifiable witness.
+    generator = ProgramGenerator(seed=5, config=GenConfig(max_size=30))
+    checked = 0
+    for gen in generator.stream(8):
+        for candidate in _candidates(gen):
+            try:
+                check_program(
+                    candidate.program, candidate.input_types()
+                )
+            except OcalTypeError:
+                continue  # the shrinker itself discards these
+            found = _verify(candidate)
+            assert not found, [d.render() for d in found]
+            checked += 1
+    assert checked > 0
+
+
+def test_verifier_accepts_persisted_corpus():
+    paths = corpus_files(CORPUS_DIR)
+    assert paths, "corpus must not be empty"
+    for path in paths:
+        gen, _kind = load_counterexample(path)
+        found = _verify(gen)
+        assert not found, (path, [d.render() for d in found])

@@ -59,6 +59,14 @@ class Client:
             headers={"Content-Type": "application/json"},
         ))
 
+    def post_path(self, path, doc):
+        return self._open(urllib.request.Request(
+            self.base + path,
+            data=json.dumps(doc).encode(),
+            method="POST",
+            headers={"Content-Type": "application/json"},
+        ))
+
 
 @pytest.fixture
 def service(tmp_path):
@@ -322,3 +330,79 @@ class TestRealSynthesis:
             assert second["memo_loaded"] > 0
         finally:
             service.stop()
+
+
+class TestVerification:
+    """Static verification at the front door: request admission with
+    422 + diagnostics, and the ``POST /plans/check`` route."""
+
+    def test_request_failing_verification_rejected(
+        self, service, monkeypatch
+    ):
+        import repro.service.server as server_module
+        from repro.analysis import Diagnostic
+
+        monkeypatch.setattr(
+            server_module,
+            "verify_experiment",
+            lambda experiment: [
+                Diagnostic(code="PLC001", message="input on unknown device")
+            ],
+        )
+        client = Client(service)
+        status, doc = client.post(AGG)
+        assert status == 422
+        assert doc["error"] == "request fails static verification"
+        assert [d["code"] for d in doc["diagnostics"]] == ["PLC001"]
+        _, stats = client.get("/stats")
+        assert stats["verifier_rejected"] == 1
+        # rejected before the queue and the store were ever consulted
+        assert stats["misses"] == 0 and stats["hits"] == 0
+
+    @pytest.fixture(scope="class")
+    def plan_doc(self):
+        from repro.api import Session
+
+        return Session().synthesize("aggregation").to_json()
+
+    def test_plan_check_accepts_own_hierarchy(self, service, plan_doc):
+        status, doc = Client(service).post_path(
+            "/plans/check", {"plan": plan_doc}
+        )
+        assert status == 200 and doc["ok"] is True
+
+    def test_plan_check_rejects_tiny_ram_replay(self, service, plan_doc):
+        client = Client(service)
+        status, doc = client.post_path(
+            "/plans/check",
+            {"plan": plan_doc, "hierarchy": "hdd-ram", "ram_size": 128},
+        )
+        assert status == 422 and doc["ok"] is False
+        assert "CAP001" in {d["code"] for d in doc["diagnostics"]}
+        _, stats = client.get("/stats")
+        assert stats["verifier_rejected"] == 1
+
+    def test_plan_check_requires_plan_field(self, service):
+        status, doc = Client(service).post_path("/plans/check", {"x": 1})
+        assert status == 400
+
+    def test_plan_check_unknown_hierarchy_400(self, service, plan_doc):
+        status, doc = Client(service).post_path(
+            "/plans/check", {"plan": plan_doc, "hierarchy": "tape"}
+        )
+        assert status == 400
+        assert "unknown hierarchy preset" in doc["error"]
+
+    def test_plan_check_unknown_field_400(self, service, plan_doc):
+        status, doc = Client(service).post_path(
+            "/plans/check", {"plan": plan_doc, "extra": 1}
+        )
+        assert status == 400
+        assert "unknown field" in doc["error"]
+
+    def test_plan_check_corrupt_plan_400(self, service):
+        status, doc = Client(service).post_path(
+            "/plans/check", {"plan": {"format": "bogus"}}
+        )
+        assert status == 400
+        assert "cannot load plan" in doc["error"]

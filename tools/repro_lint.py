@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Repository-specific AST lint (the ``static-analysis`` CI gate).
+
+Two hazard classes that generic linters don't cover here:
+
+* **LNT001** — constructing a process/thread pool directly
+  (``multiprocessing.Pool``, ``ProcessPoolExecutor``,
+  ``ThreadPoolExecutor``, ``get_context(...).Pool``) anywhere outside
+  :mod:`repro.parallel`.  The repo's concurrency contract (DESIGN.md
+  §13) routes every pool through ``repro.parallel.WorkerPool`` so the
+  fork-safety checks, ``REPRO_PARALLEL`` escape hatch, and worker
+  accounting cannot be bypassed.
+* **LNT002** — a bare ``except:`` (swallows ``KeyboardInterrupt`` and
+  ``SystemExit``); never allowed.
+* **LNT003** — ``except Exception``/``except BaseException`` without a
+  justification pragma.  Overbroad handlers in the search/execution hot
+  paths have repeatedly hidden genuine defects; a site that really must
+  be a catch-all (worker-pool crash barriers, the service accept loop,
+  hostile-document decoding) carries ``# lint: allow-broad-except`` on
+  the handler line or the line above, which makes the judgment call
+  reviewable.
+
+Usage: ``python tools/repro_lint.py [paths...]`` (default: ``src``).
+Exit 0 when clean, 1 with ``path:line: CODE message`` findings, 2 on
+usage errors (unreadable path, syntax error in a checked file).
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+
+PRAGMA = "lint: allow-broad-except"
+
+#: callables whose *direct* construction is banned outside repro.parallel.
+BANNED_POOLS = {"Pool", "ProcessPoolExecutor", "ThreadPoolExecutor"}
+
+#: files allowed to build pools: the one blessed wrapper.
+POOL_ALLOWED_FILES = {os.path.join("repro", "parallel.py")}
+
+
+def _call_name(node: ast.Call) -> str | None:
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
+
+
+def _has_pragma(lines: list[str], lineno: int) -> bool:
+    for candidate in (lineno, lineno - 1):
+        if 1 <= candidate <= len(lines) and PRAGMA in lines[candidate - 1]:
+            return True
+    return False
+
+
+def _pool_exempt(path: str) -> bool:
+    normalized = path.replace(os.sep, "/")
+    return any(
+        normalized.endswith(allowed.replace(os.sep, "/"))
+        for allowed in POOL_ALLOWED_FILES
+    )
+
+
+def check_source(path: str, source: str) -> list[tuple[str, int, str, str]]:
+    """All findings for one file as ``(path, line, code, message)``."""
+    tree = ast.parse(source, filename=path)
+    lines = source.splitlines()
+    findings: list[tuple[str, int, str, str]] = []
+    pool_ok = _pool_exempt(path)
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and not pool_ok:
+            name = _call_name(node)
+            if name in BANNED_POOLS:
+                findings.append(
+                    (
+                        path,
+                        node.lineno,
+                        "LNT001",
+                        f"direct {name} construction; use "
+                        f"repro.parallel.WorkerPool (DESIGN.md §13)",
+                    )
+                )
+        elif isinstance(node, ast.ExceptHandler):
+            if node.type is None:
+                findings.append(
+                    (
+                        path,
+                        node.lineno,
+                        "LNT002",
+                        "bare 'except:' swallows KeyboardInterrupt; "
+                        "name the exceptions",
+                    )
+                )
+                continue
+            names = _handler_names(node.type)
+            broad = names & {"Exception", "BaseException"}
+            if broad and not _has_pragma(lines, node.lineno):
+                caught = sorted(broad)[0]
+                findings.append(
+                    (
+                        path,
+                        node.lineno,
+                        "LNT003",
+                        f"'except {caught}' without "
+                        f"'# {PRAGMA}' justification pragma",
+                    )
+                )
+    return findings
+
+
+def _handler_names(node: ast.expr) -> set[str]:
+    names: set[str] = set()
+    targets = node.elts if isinstance(node, ast.Tuple) else [node]
+    for target in targets:
+        if isinstance(target, ast.Name):
+            names.add(target.id)
+        elif isinstance(target, ast.Attribute):
+            names.add(target.attr)
+    return names
+
+
+def _python_files(paths: list[str]) -> list[str]:
+    files: list[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            files.append(path)
+        elif os.path.isdir(path):
+            for base, _dirs, names in os.walk(path):
+                files.extend(
+                    os.path.join(base, name)
+                    for name in names
+                    if name.endswith(".py")
+                )
+        else:
+            raise FileNotFoundError(path)
+    return sorted(files)
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    paths = argv or ["src"]
+    try:
+        files = _python_files(paths)
+    except FileNotFoundError as error:
+        print(f"repro_lint: no such path {error}", file=sys.stderr)
+        return 2
+    findings: list[tuple[str, int, str, str]] = []
+    for path in files:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                source = handle.read()
+            findings.extend(check_source(path, source))
+        except (OSError, SyntaxError) as error:
+            print(f"repro_lint: cannot check {path}: {error}", file=sys.stderr)
+            return 2
+    for path, lineno, code, message in sorted(findings):
+        print(f"{path}:{lineno}: {code} {message}")
+    if findings:
+        print(
+            f"repro_lint: {len(findings)} finding(s) in "
+            f"{len(files)} file(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
