@@ -215,6 +215,17 @@ def _build_parser() -> argparse.ArgumentParser:
         "--no-persist-memo", action="store_true",
         help="disable the on-disk cost-memo spill",
     )
+    serve.add_argument(
+        "--job-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock budget (default: unbounded)",
+    )
+    serve.add_argument(
+        "--job-retries", type=int, default=1, metavar="N",
+        help=(
+            "extra attempts after a failed or timed-out search "
+            "(exponential backoff with jitter between attempts)"
+        ),
+    )
 
     validate = sub.add_parser(
         "validate",
@@ -287,6 +298,26 @@ def _build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument(
         "--progress-every", type=int, default=50,
         help="print a progress line every N programs (0 = quiet)",
+    )
+    fuzz.add_argument(
+        "--faults", type=int, default=None, metavar="SEED",
+        help=(
+            "chaos mode: run every generated program under seeded "
+            "fault injection across the file/compiled/parallel lanes; "
+            "each run must recover with a byte-identical bag or fail "
+            "with a clean positioned ExecutionFault (DESIGN.md §16)"
+        ),
+    )
+    fuzz.add_argument(
+        "--fault-variants", type=int, default=3, metavar="N",
+        help="fault schedules per (program, lane) in chaos mode",
+    )
+    fuzz.add_argument(
+        "--schedule-out", default="chaos-schedule.json", metavar="PATH",
+        help=(
+            "where chaos mode writes the batch report with the "
+            "injected-fault schedules on failure (CI uploads it)"
+        ),
     )
     return parser
 
@@ -389,6 +420,7 @@ def _resolve_backend(args):
 def _cmd_run(args) -> int:
     from .api import Session
     from .codegen.plan import PlanError
+    from .runtime.faults import ExecutionFault
 
     backend = _resolve_backend(args)
     if backend is None:
@@ -405,6 +437,14 @@ def _cmd_run(args) -> int:
         result = job.run(backend=backend)
     except PlanError as error:
         print(error, file=sys.stderr)
+        return 2
+    except ExecutionFault as fault:
+        print(f"execution fault: {fault}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(
+            f"cannot execute: workdir unusable ({error})", file=sys.stderr
+        )
         return 2
     if args.save_plan:
         job.save(args.save_plan)
@@ -441,6 +481,7 @@ def _cmd_synth(args) -> int:
 def _cmd_exec(args) -> int:
     from .api import Job
     from .codegen.plan import PlanError
+    from .runtime.faults import ExecutionFault
 
     try:
         job = Job.load(args.plan)
@@ -486,6 +527,15 @@ def _cmd_exec(args) -> int:
         result = job.run(backend=backend)
     except PlanError as error:
         print(error, file=sys.stderr)
+        return 2
+    except ExecutionFault as fault:
+        print(f"execution fault: {fault}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(
+            f"cannot execute plan: workdir unusable ({error})",
+            file=sys.stderr,
+        )
         return 2
     if args.json:
         print(json.dumps(result.to_json(), indent=2, sort_keys=True))
@@ -584,6 +634,8 @@ def _cmd_serve(args) -> int:
         workers=args.workers,
         queue_cap=args.queue_cap,
         persist_memo=not args.no_persist_memo,
+        job_timeout=args.job_timeout,
+        job_retries=args.job_retries,
     )
     service.run(announce=print)
     print(
@@ -639,7 +691,37 @@ def _cmd_validate(args) -> int:
     return 0 if report["all_winner_first"] else 1
 
 
+def _cmd_fuzz_chaos(args) -> int:
+    """``fuzz --faults SEED`` — the chaos lane (DESIGN.md §16)."""
+    from .conformance import run_chaos
+
+    def progress(index, result) -> None:
+        if args.progress_every and (index + 1) % args.progress_every == 0:
+            print(f"  ... {index + 1}/{args.count} programs chaos-tested")
+
+    result = run_chaos(
+        seed=args.seed,
+        count=args.count,
+        fault_seed=args.faults,
+        variants=max(1, args.fault_variants),
+        max_size=max(6, args.max_size),
+        workers=max(2, args.workers or 2),
+        progress=progress,
+    )
+    print(result.summary())
+    for failure in result.failures:
+        print(f"CHAOS FAILURE: {failure.describe()}")
+    if not result.ok and args.schedule_out:
+        with open(args.schedule_out, "w") as handle:
+            json.dump(result.to_json(), handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"fault schedules written to {args.schedule_out}")
+    return 0 if result.ok else 1
+
+
 def _cmd_fuzz(args) -> int:
+    if args.faults is not None:
+        return _cmd_fuzz_chaos(args)
     from .conformance import (
         GenConfig,
         Oracle,

@@ -24,6 +24,7 @@ against.  This package checks it against programs nobody hand-wrote:
 Entry point: ``python -m repro fuzz --seed 0 --count 200``.
 """
 
+from .chaos import ChaosFailure, ChaosResult, run_chaos
 from .generator import GenConfig, GeneratedInput, GeneratedProgram, ProgramGenerator
 from .oracle import BatchResult, ConformanceFailure, Oracle, OracleConfig, run_conformance
 from .shrink import shrink_counterexample
@@ -45,4 +46,7 @@ __all__ = [
     "shrink_counterexample",
     "save_counterexample",
     "load_counterexample",
+    "ChaosFailure",
+    "ChaosResult",
+    "run_chaos",
 ]

@@ -38,7 +38,7 @@ import hashlib
 import multiprocessing
 import os
 import weakref
-from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures import BrokenExecutor, Future, ProcessPoolExecutor
 
 __all__ = [
     "PARALLEL_ENV",
@@ -48,6 +48,7 @@ __all__ = [
     "resolve_workers",
     "chunk_slices",
     "worker_seed",
+    "PoolTaskTimeout",
     "WorkerPool",
     "run_tasks",
     "live_pool_count",
@@ -160,14 +161,39 @@ def shutdown_all_pools() -> int:
 atexit.register(shutdown_all_pools)
 
 
+class PoolTaskTimeout(RuntimeError):
+    """One pool task exceeded its per-task wall-clock budget.
+
+    Carries the index of the task that timed out; the pool has already
+    been torn down and respawned (the only way to actually stop a
+    running fork worker), so the caller may retry on the same pool.
+    """
+
+    def __init__(self, index: int, timeout: float):
+        super().__init__(
+            f"pool task {index} exceeded its {timeout:g}s budget"
+        )
+        self.index = index
+        self.timeout = timeout
+
+
 class WorkerPool:
     """The repository's only process-pool wrapper (fork start method).
 
-    Thin on purpose: ordered fan-out (:meth:`map_ordered`) over a
+    Ordered fan-out (:meth:`map_ordered`) over a
     ``ProcessPoolExecutor``, with an optional per-worker initializer
     for lanes that ship a one-time payload (the parallel frontier
     coster's cost-model document).  Use as a context manager or call
     :meth:`close`.
+
+    The pool survives worker death (DESIGN.md §16): a killed child
+    breaks a ``ProcessPoolExecutor`` permanently, so on the first
+    ``BrokenProcessPool`` the pool respawns its executor once and
+    re-runs *only* the tasks that had not finished; if the respawned
+    executor breaks too, the remaining tasks run inline (serial) and
+    :attr:`degraded` records the downgrade.  Ordinary worker
+    exceptions still propagate unchanged — resilience is for dead
+    processes, not for failing tasks.
     """
 
     def __init__(
@@ -181,14 +207,46 @@ class WorkerPool:
         if not fork_available():  # pragma: no cover - non-posix
             raise OSError("fork start method unavailable")
         self.workers = workers
-        self._pool = ProcessPoolExecutor(
-            max_workers=workers,
-            mp_context=multiprocessing.get_context("fork"),
-            initializer=initializer,
-            initargs=initargs,
-        )
+        self._initializer = initializer
+        self._initargs = initargs
+        self._pool = self._spawn()
         self._closed = False
+        #: times the broken executor was replaced with a fresh one.
+        self.respawns = 0
+        #: set once a fan-out had to finish inline (serial fallback).
+        self.degraded = False
         _LIVE_POOLS.add(self)
+
+    def _spawn(self) -> ProcessPoolExecutor:
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=multiprocessing.get_context("fork"),
+            initializer=self._initializer,
+            initargs=self._initargs,
+        )
+
+    def _respawn(self) -> None:
+        """Replace the (broken) executor; best-effort teardown of the old."""
+        old = self._pool
+        self._pool = self._spawn()
+        self.respawns += 1
+        self._terminate(old)
+
+    @staticmethod
+    def _terminate(executor: ProcessPoolExecutor) -> None:
+        """Tear one executor down, killing workers that will not exit.
+
+        ``shutdown(wait=False)`` alone would leave a wedged worker
+        running forever; terminating the child processes is the only
+        real cancellation fork workers support.
+        """
+        processes = getattr(executor, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except (OSError, ValueError):  # pragma: no cover - racing exit
+                pass
+        executor.shutdown(wait=False, cancel_futures=True)
 
     @property
     def closed(self) -> bool:
@@ -199,19 +257,72 @@ class WorkerPool:
         """Submit one task; returns the executor's future.
 
         The async service wraps this with ``asyncio.wrap_future`` to
-        await fork-pool work without blocking the event loop.
+        await fork-pool work without blocking the event loop.  A
+        ``BrokenProcessPool`` surfacing from the future is the caller's
+        signal to :meth:`reset` (the raw submit path has no re-run
+        bookkeeping of its own).
         """
         return self._pool.submit(fn, task)
 
-    def map_ordered(self, fn, tasks) -> list:
+    def reset(self) -> None:
+        """Replace a broken executor so later submits run on live workers."""
+        if not self._closed:
+            self._respawn()
+
+    def map_ordered(self, fn, tasks, task_timeout: float | None = None) -> list:
         """Run ``fn`` over ``tasks``; results in input order.
 
-        A worker exception propagates to the caller (the lanes that
+        A worker *exception* propagates to the caller (the lanes that
         need graceful degradation catch inside the worker function and
-        return a bail marker instead).
+        return a bail marker instead).  Worker *death* does not: lost
+        tasks are re-run once on a respawned executor, then inline —
+        see the class docstring.  With ``task_timeout`` set, a task
+        exceeding the budget raises :class:`PoolTaskTimeout` after the
+        stuck workers are killed and the pool respawned.
         """
-        futures = [self._pool.submit(fn, task) for task in tasks]
-        return [future.result() for future in futures]
+        tasks = list(tasks)
+        results: list = [None] * len(tasks)
+        pending = list(range(len(tasks)))
+        respawned = False
+        while pending:
+            broken = False
+            completed: list[int] = []
+            try:
+                futures = {
+                    index: self._pool.submit(fn, tasks[index])
+                    for index in pending
+                }
+            except BrokenExecutor:
+                broken = True
+                futures = {}
+            for index in pending:
+                if broken:
+                    break
+                try:
+                    results[index] = futures[index].result(
+                        timeout=task_timeout
+                    )
+                    completed.append(index)
+                except BrokenExecutor:
+                    broken = True
+                except TimeoutError:
+                    self._respawn()
+                    raise PoolTaskTimeout(index, task_timeout) from None
+            pending = [i for i in pending if i not in set(completed)]
+            if not pending:
+                break
+            if not broken:  # pragma: no cover - defensive
+                raise RuntimeError("pool lost tasks without breaking")
+            if not respawned:
+                respawned = True
+                self._respawn()
+                continue
+            # Second break: give up on processes, finish inline.
+            self.degraded = True
+            for index in pending:
+                results[index] = fn(tasks[index])
+            pending = []
+        return results
 
     def close(self) -> None:
         if self._closed:
@@ -227,16 +338,20 @@ class WorkerPool:
         self.close()
 
 
-def run_tasks(fn, tasks, workers: int) -> list:
+def run_tasks(
+    fn, tasks, workers: int, task_timeout: float | None = None
+) -> list:
     """Ordered fan-out with inline serial fallback.
 
     ``workers`` is clamped to ``len(tasks)``; a resolved count of one
     (including the ``REPRO_PARALLEL=0`` and fork-unavailable cases)
     runs ``fn`` inline in submission order — same results, one process.
+    ``task_timeout`` bounds each parallel task's wall clock (inline
+    runs are not interruptible and ignore it).
     """
     tasks = list(tasks)
     workers = resolve_workers(workers, task_count=len(tasks))
     if workers <= 1:
         return [fn(task) for task in tasks]
     with WorkerPool(workers) as pool:
-        return pool.map_ordered(fn, tasks)
+        return pool.map_ordered(fn, tasks, task_timeout=task_timeout)

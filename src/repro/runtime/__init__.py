@@ -33,6 +33,12 @@ from .clock import SimClock
 from .devices import Extent, FlashDrive, HardDisk, Ram, SimDevice
 from .compiled_backend import CompiledBackend
 from .executor import SimExecutor
+from .faults import (
+    ExecutionFault,
+    FaultPlan,
+    InjectedFault,
+    RetryPolicy,
+)
 from .file_backend import FileBackend
 from .interpreter import AnalyticInterpreter
 from .stats import DeviceStats, ExecutionStats
@@ -70,4 +76,8 @@ __all__ = [
     "CacheExperimentResult",
     "run_cache_experiment",
     "simulate_join_accesses",
+    "FaultPlan",
+    "ExecutionFault",
+    "InjectedFault",
+    "RetryPolicy",
 ]

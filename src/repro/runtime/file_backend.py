@@ -68,6 +68,7 @@ from .accounting import (
     cumulative_edge_costs,
 )
 from .backend import register_backend
+from .faults import FaultPlan
 from .filestore import (
     DeviceStore,
     FileList,
@@ -520,10 +521,15 @@ class FileBackend:
         data: dict[str, list] | None = None,
         capture_output: bool = False,
         workers: int = 1,
+        faults: "FaultPlan | None" = None,
     ) -> None:
         self.workdir = workdir
         self.seed = seed
         self.keep_files = keep_files
+        #: fault injection (DESIGN.md §16): an explicit
+        #: :class:`~repro.runtime.faults.FaultPlan`, or ``None`` to read
+        #: ``REPRO_FAULTS`` per run (unset = no injection).
+        self.faults = faults
         #: partition-parallel execution (DESIGN.md §13): ``0`` = one
         #: worker per CPU, ``1`` = serial.  Counters, priced cost and
         #: output bags are identical to serial by the replay contract.
@@ -553,9 +559,17 @@ class FileBackend:
             for name in config.hierarchy.nodes
             if name != root
         }
+        fault_plan = (
+            self.faults if self.faults is not None else FaultPlan.from_env()
+        )
+        if fault_plan is not None:
+            for store in stores.values():
+                store.faults = fault_plan
+                store.retry = fault_plan.retry
         evaluator = None
         try:
             evaluator = _Evaluator(config, stores)
+            evaluator.fault_plan = fault_plan
             from ..parallel import resolve_workers
 
             evaluator.workers = resolve_workers(self.workers)

@@ -24,10 +24,18 @@ This module provides its storage layer:
 
 from __future__ import annotations
 
+import errno
 import os
 import struct
 import time
 
+from .faults import (
+    DEFAULT_RETRY,
+    ExecutionFault,
+    InjectedFault,
+    backoff_delays,
+    sleep_for_retry,
+)
 from .stats import DeviceStats
 
 __all__ = [
@@ -154,6 +162,16 @@ class DeviceStore:
     Counters live in a :class:`DeviceStats`; repositionings are tracked
     per direction (``read_seeks`` / ``write_seeks``) because the two
     directions of a hierarchy edge carry different initiation costs.
+
+    Requests run under the store's fault discipline (DESIGN.md §16):
+    when a :class:`~repro.runtime.faults.FaultPlan` is attached via
+    ``faults``, each logical read/write consults it first; transient
+    errors — injected or real ``OSError`` — are retried under ``retry``
+    with the full block re-issued at the same offset (idempotent), and
+    permanent ones surface as a typed
+    :class:`~repro.runtime.faults.ExecutionFault`.  Counters advance
+    only once per *successful* logical request, so a recovered run is
+    counter-identical to a fault-free one.
     """
 
     def __init__(self, name: str, directory: str) -> None:
@@ -164,6 +182,10 @@ class DeviceStore:
         self.read_seeks = 0
         self.write_seeks = 0
         self.io_time = 0.0
+        self.faults = None
+        self.retry = DEFAULT_RETRY
+        self.retries = 0
+        self.faults_seen = 0
         self._head: tuple[int, int] | None = None
         self._serial = 0
         self._handles: list = []
@@ -183,19 +205,81 @@ class DeviceStore:
         """Open a fresh read/write binary file under this device."""
         self._serial += 1
         path = os.path.join(self.directory, f"{tag}-{self._serial}.bin")
-        handle = open(path, "w+b")
+        try:
+            handle = open(path, "w+b")
+        except OSError as error:
+            raise ExecutionFault(
+                self.name, "open", 0, str(error)
+            ) from error
         self._handles.append(handle)
         return handle
 
+    # ------------------------------------------------------------------
+    # Fault discipline: one attempt performs the (possibly injected)
+    # raw I/O; the retry loop below re-issues transient failures under
+    # the bounded backoff policy and types permanent ones.
+    # ------------------------------------------------------------------
+    def _perform_read(self, handle, offset: int, nbytes: int) -> bytes:
+        if self.faults is not None:
+            self.faults.on_read(self.name, offset, nbytes)
+        handle.seek(offset)
+        return handle.read(nbytes)
+
+    def _perform_write(self, handle, offset: int, data: bytes) -> None:
+        if self.faults is not None:
+            torn = self.faults.on_write(self.name, offset, len(data))
+            if torn is not None:
+                # Land a short prefix, then fail: the retry overwrites
+                # the full block at the same offset, so recovery leaves
+                # no trace of the tear.
+                handle.seek(offset)
+                handle.write(data[:torn])
+                raise InjectedFault(self.name, "write", offset, "torn-write")
+        handle.seek(offset)
+        handle.write(data)
+
+    def _io_with_retry(self, op: str, offset: int, attempt):
+        """Run one logical request to completion or a typed fault."""
+        delays = backoff_delays(self.retry)
+        failures = 0
+        while True:
+            try:
+                return attempt()
+            except ExecutionFault:
+                raise
+            except OSError as error:
+                failures += 1
+                self.faults_seen += 1
+                real_full = (
+                    getattr(error, "errno", None) == errno.ENOSPC
+                    and not isinstance(error, InjectedFault)
+                )
+                if real_full:
+                    raise ExecutionFault(
+                        self.name, op, offset, f"device full: {error}"
+                    ) from error
+                if failures >= self.retry.attempts:
+                    raise ExecutionFault(
+                        self.name, op, offset,
+                        f"gave up after {failures} attempts: {error}",
+                    ) from error
+                self.retries += 1
+                sleep_for_retry(next(delays, 0.0))
+
     def read(self, handle, offset: int, nbytes: int) -> bytes:
         key = (self._key(handle), offset)
-        if self._head != key:
+        repositioned = self._head != key
+        start = time.perf_counter()
+        data = self._io_with_retry(
+            "read", offset,
+            lambda: self._perform_read(handle, offset, nbytes),
+        )
+        self.io_time += time.perf_counter() - start
+        if self.faults is not None:
+            self.io_time += self.faults.latency_penalty(self.name)
+        if repositioned:
             self.stats.seeks += 1
             self.read_seeks += 1
-        start = time.perf_counter()
-        handle.seek(offset)
-        data = handle.read(nbytes)
-        self.io_time += time.perf_counter() - start
         self.stats.reads += 1
         self.stats.bytes_read += len(data)
         self._head = (self._key(handle), offset + len(data))
@@ -203,13 +287,18 @@ class DeviceStore:
 
     def write(self, handle, offset: int, data: bytes) -> None:
         key = (self._key(handle), offset)
-        if self._head != key:
+        repositioned = self._head != key
+        start = time.perf_counter()
+        self._io_with_retry(
+            "write", offset,
+            lambda: self._perform_write(handle, offset, data),
+        )
+        self.io_time += time.perf_counter() - start
+        if self.faults is not None:
+            self.io_time += self.faults.latency_penalty(self.name)
+        if repositioned:
             self.stats.seeks += 1
             self.write_seeks += 1
-        start = time.perf_counter()
-        handle.seek(offset)
-        handle.write(data)
-        self.io_time += time.perf_counter() - start
         self.stats.writes += 1
         self.stats.bytes_written += len(data)
         self._head = (self._key(handle), offset + len(data))
@@ -285,6 +374,8 @@ class DeviceStore:
         self.read_seeks = 0
         self.write_seeks = 0
         self.io_time = 0.0
+        self.retries = 0
+        self.faults_seen = 0
         self._head = None
 
     def close(self) -> None:

@@ -233,6 +233,17 @@ def _worker_context(payload):
         name: _WorkerStore(name, os.path.join(scratch, name), events)
         for name in payload["devices"]
     }
+    faults_doc = payload.get("faults")
+    if faults_doc is not None:
+        # Workers fault independently on derived seeds; a permanent
+        # worker fault becomes a bail, and the parent's serial rerun
+        # decides the run's fate under the parent plan.
+        from .faults import FaultPlan
+
+        plan = FaultPlan.from_doc(faults_doc)
+        for store in stores.values():
+            store.faults = plan
+            store.retry = plan.retry
     return config, stores, events, scratch
 
 
@@ -409,6 +420,7 @@ def parallel_flatmap(rt, fn, source, env: dict, sink):
         for name in sorted(free_vars(inner_fn)):
             if name in env:
                 env_doc[name] = encode_rt(env[name])
+        plan = getattr(rt, "fault_plan", None)
         base = {
             "config": _shippable_config(rt.config),
             "devices": sorted(rt.stores),
@@ -433,6 +445,10 @@ def parallel_flatmap(rt, fn, source, env: dict, sink):
                             min(hi * _READ_CHUNK, len(source)),
                         ),
                         elements=None,
+                        faults=(
+                            None if plan is None
+                            else plan.child_doc(len(payloads))
+                        ),
                     )
                 )
         else:
@@ -443,8 +459,14 @@ def parallel_flatmap(rt, fn, source, env: dict, sink):
             ]
             for lo, hi in chunk_slices(len(elements), rt.workers):
                 payloads.append(
-                    dict(base, source=None, range=None,
-                         elements=elements[lo:hi])
+                    dict(
+                        base, source=None, range=None,
+                        elements=elements[lo:hi],
+                        faults=(
+                            None if plan is None
+                            else plan.child_doc(len(payloads))
+                        ),
+                    )
                 )
     except Unencodable:
         return rt.NOT_PARALLEL
@@ -484,14 +506,21 @@ def parallel_merge_level(rt, groups, block_in: int, writer):
         ]
     except Unencodable:
         return rt.NOT_PARALLEL
+    plan = getattr(rt, "fault_plan", None)
     base = {
         "config": _shippable_config(rt.config),
         "devices": sorted(rt.stores),
         "block_in": block_in,
     }
     payloads = [
-        dict(base, groups=encoded_groups[lo:hi])
-        for lo, hi in chunk_slices(len(encoded_groups), rt.workers)
+        dict(
+            base,
+            groups=encoded_groups[lo:hi],
+            faults=None if plan is None else plan.child_doc(index),
+        )
+        for index, (lo, hi) in enumerate(
+            chunk_slices(len(encoded_groups), rt.workers)
+        )
     ]
     results = _dispatch(rt, _run_merge_groups, payloads)
     if results is None:

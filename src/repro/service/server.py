@@ -37,14 +37,17 @@ from __future__ import annotations
 import asyncio
 import itertools
 import json
+import random
 import threading
 import time
+from concurrent.futures import BrokenExecutor
 from urllib.parse import parse_qs, urlsplit
 
 from ..analysis import errors as _verification_errors
 from ..analysis import verify_experiment, verify_job
 from ..api.job import Job, SearchStats
 from ..parallel import WorkerPool, resolve_workers
+from ..runtime.faults import RetryPolicy, backoff_delays
 from .request import RequestError, ServiceRequest
 from .store import PlanStore
 from .worker import synthesize_request
@@ -86,6 +89,9 @@ class PlanService:
         queue_cap: int = 8,
         persist_memo: bool = True,
         synth=None,
+        job_timeout: float | None = None,
+        job_retries: int = 1,
+        retry_base: float = 0.05,
     ) -> None:
         self.store = store if isinstance(store, PlanStore) else PlanStore(store)
         self.host = host
@@ -94,6 +100,14 @@ class PlanService:
         self.worker_count = resolve_workers(workers)
         self.persist_memo = persist_memo
         self._synth = synth or synthesize_request
+        #: per-job wall-clock budget (seconds); ``None`` = unbounded.
+        self.job_timeout = job_timeout
+        #: extra attempts after a failed or timed-out one.
+        self.job_retries = max(0, int(job_retries))
+        #: first retry delay; doubles per retry, jittered ±50%.
+        self.retry_base = retry_base
+        #: degradation reasons reported by ``/healthz`` (deduped).
+        self._degraded: list[str] = []
         self._pool: WorkerPool | None = None
         self._jobs: dict[str, dict] = {}
         self._inflight: dict[str, str] = {}
@@ -106,6 +120,9 @@ class PlanService:
         self._stop: asyncio.Event | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
         self._thread: threading.Thread | None = None
+        # Crash-only startup: sweep orphaned tmp files and torn records
+        # left by a killed predecessor before serving anything.
+        recovered = self.store.recover()
         self.counters = {
             "requests": 0,
             "hits": 0,
@@ -116,6 +133,12 @@ class PlanService:
             "verifier_rejected": 0,
             "completed": 0,
             "failed": 0,
+            "failures": 0,
+            "retries": 0,
+            "timeouts": 0,
+            "degraded_jobs": 0,
+            "recovered_tmp": recovered["tmp_files"],
+            "recovered_torn": recovered["torn_records"],
         }
         self._latency = {
             "hit": [0, 0.0],   # [count, total seconds]
@@ -184,6 +207,44 @@ class PlanService:
             None, self._synth, task
         )
 
+    def _note_degraded(self, reason: str) -> None:
+        if reason not in self._degraded:
+            self._degraded.append(reason)
+            del self._degraded[:-16]  # bound the health report
+
+    def _reset_pool(self, reason: str) -> None:
+        """Replace wedged/dead pool workers after a timeout or break."""
+        self._note_degraded(reason)
+        if self._pool is not None and not self._pool.closed:
+            self._pool.reset()
+
+    async def _attempt_job(self, job_id: str, task: tuple):
+        """One synthesis attempt under the wall-clock budget.
+
+        Returns the worker payload, or ``None`` after recording why the
+        attempt failed (timeout or error) — the caller decides whether
+        a retry remains.
+        """
+        job = self._jobs[job_id]
+        try:
+            return await asyncio.wait_for(
+                self._dispatch_future(task), self.job_timeout
+            )
+        except TimeoutError:
+            self.counters["timeouts"] += 1
+            job["errors"].append(
+                f"timed out after {self.job_timeout:g}s"
+            )
+            # Kill the stuck worker (thread-executor attempts cannot be
+            # interrupted; their budget still bounds the *job*).
+            self._reset_pool(f"job timeout ({self.job_timeout:g}s)")
+        except Exception as error:  # lint: allow-broad-except
+            self.counters["failures"] += 1
+            job["errors"].append(f"{type(error).__name__}: {error}")
+            if isinstance(error, BrokenExecutor):
+                self._reset_pool("worker pool broke")
+        return None
+
     async def _run_job(self, job_id: str) -> None:
         job = self._jobs[job_id]
         digest = job["digest"]
@@ -192,23 +253,49 @@ class PlanService:
             self._queued -= 1
             self._running += 1
             job["state"] = "running"
+            job["errors"] = []
             memo_dir = self.store.memo_dir if self.persist_memo else None
+            task = (job["request"], memo_dir)
+            attempts = self.job_retries + 1
+            delays = backoff_delays(
+                RetryPolicy(
+                    attempts=attempts,
+                    base_delay=self.retry_base,
+                    factor=2.0,
+                    max_delay=2.0,
+                ),
+                jitter=random.Random(f"repro-service:{job_id}"),
+            )
             try:
-                payload = await self._dispatch_future(
-                    (job["request"], memo_dir)
-                )
-            except Exception as error:  # lint: allow-broad-except
-                job["state"] = "failed"
-                job["error"] = f"{type(error).__name__}: {error}"
-                self.counters["failed"] += 1
-            else:
-                self.store.put(
-                    digest,
-                    request=job["request"],
-                    plan=payload["plan"],
-                    search=payload["search"],
-                    synth_seconds=payload["synth_seconds"],
-                )
+                payload = None
+                for attempt in range(attempts):
+                    if attempt:
+                        self.counters["retries"] += 1
+                        await asyncio.sleep(next(delays, 0.0))
+                    payload = await self._attempt_job(job_id, task)
+                    if payload is not None:
+                        break
+                if job["errors"]:
+                    self.counters["degraded_jobs"] += 1
+                if payload is None:
+                    job["state"] = "failed"
+                    job["error"] = "; ".join(job["errors"]) or "failed"
+                    self.counters["failed"] += 1
+                    return
+                try:
+                    self.store.put(
+                        digest,
+                        request=job["request"],
+                        plan=payload["plan"],
+                        search=payload["search"],
+                        synth_seconds=payload["synth_seconds"],
+                    )
+                except OSError as error:
+                    job["state"] = "failed"
+                    job["error"] = f"plan store write failed: {error}"
+                    self.counters["failed"] += 1
+                    self._note_degraded("plan store write failed")
+                    return
                 job["state"] = "done"
                 job["result"] = {
                     "source": "search",
@@ -343,7 +430,19 @@ class PlanService:
 
     def _get(self, path: str) -> tuple[int, dict]:
         if path == "/healthz":
-            return 200, {"ok": True, "store_plans": len(self.store)}
+            reasons = list(self._degraded)
+            if self._pool is not None and self._pool.degraded:
+                reasons.append("worker pool degraded to serial")
+            return 200, {
+                "ok": True,
+                "degraded": bool(reasons),
+                "reasons": reasons,
+                "store_plans": len(self.store),
+                "recovered_records": (
+                    self.counters["recovered_tmp"]
+                    + self.counters["recovered_torn"]
+                ),
+            }
         if path == "/stats":
             return 200, self.stats()
         if path.startswith("/jobs/"):

@@ -59,6 +59,44 @@ class PlanStore:
         os.makedirs(self.memo_dir, exist_ok=True)
 
     # ------------------------------------------------------------------
+    def recover(self) -> dict:
+        """Crash-only startup sweep; returns what was cleaned up.
+
+        A server killed between :func:`_atomic_write_json`'s write and
+        rename leaves an orphaned ``*.tmp``; a torn or truncated record
+        (crash mid-``os.replace`` on exotic filesystems, manual
+        corruption) parses as garbage.  Both are deleted — ``get``
+        already treats them as misses, so removal never loses a
+        servable plan — and counted for ``/stats``:
+        ``{"tmp_files": N, "torn_records": M}``.
+        """
+        removed = {"tmp_files": 0, "torn_records": 0}
+        for directory in (self.plans_dir, self.memo_dir):
+            try:
+                names = os.listdir(directory)
+            except OSError:
+                continue
+            for name in sorted(names):
+                path = os.path.join(directory, name)
+                if name.endswith(".tmp"):
+                    try:
+                        os.unlink(path)
+                        removed["tmp_files"] += 1
+                    except OSError:  # pragma: no cover - racing cleanup
+                        pass
+                elif name.endswith(".json"):
+                    try:
+                        with open(path) as handle:
+                            json.load(handle)
+                    except (OSError, ValueError):
+                        try:
+                            os.unlink(path)
+                            removed["torn_records"] += 1
+                        except OSError:  # pragma: no cover - racing
+                            pass
+        return removed
+
+    # ------------------------------------------------------------------
     def path_for(self, digest: str) -> str:
         if not digest or set(digest) - _DIGEST_CHARS:
             raise ValueError(f"malformed digest {digest!r}")

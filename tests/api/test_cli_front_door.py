@@ -130,6 +130,45 @@ def test_exec_structurally_corrupt_plan_exits_2(capsys, tmp_path):
         assert "cannot load plan" in capsys.readouterr().err
 
 
+def test_exec_unusable_workdir_exits_2_with_one_line(capsys, tmp_path):
+    # The suite runs as root, where permission bits don't bite, so the
+    # unwritable-workdir case is simulated by pointing --workdir at an
+    # existing *file*: creating the directory fails with a real OSError.
+    plan_path = str(tmp_path / "plan.json")
+    assert cli.main(["synth", "aggregation", "--save-plan", plan_path]) == 0
+    capsys.readouterr()
+    blocker = tmp_path / "not-a-directory"
+    blocker.write_text("occupied")
+    code = cli.main([
+        "exec", "--plan", plan_path, "--backend", "file",
+        "--workdir", str(blocker),
+    ])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "cannot execute plan: workdir unusable" in err
+    # One-line diagnosis, never a traceback.
+    assert len(err.strip().splitlines()) == 1
+    assert "Traceback" not in err
+
+
+def test_exec_injected_fault_exits_1_with_position(capsys, tmp_path, monkeypatch):
+    # A permanent device fault during execution is an *execution*
+    # failure (exit 1), reported with device/op/offset — distinct from
+    # the exit-2 can't-even-start lane above.
+    plan_path = str(tmp_path / "plan.json")
+    assert cli.main(["synth", "aggregation", "--save-plan", plan_path]) == 0
+    capsys.readouterr()
+    monkeypatch.setenv("REPRO_FAULTS", "seed=0,HDD.fail_read_at=1")
+    code = cli.main([
+        "exec", "--plan", plan_path, "--backend", "file",
+        "--workdir", str(tmp_path / "w"),
+    ])
+    assert code == 1
+    err = capsys.readouterr().err
+    assert "execution fault: device HDD: read at offset" in err
+    assert "Traceback" not in err
+
+
 def test_exec_rejects_incompatible_plan_format(capsys, tmp_path):
     path = tmp_path / "old.json"
     path.write_text(json.dumps({"format": "repro-plan/0"}))
@@ -248,6 +287,15 @@ def test_exec_accepts_jobs_flag(capsys, tmp_path):
     ) == 0
     record = json.loads(capsys.readouterr().out)
     assert record["execution"]["elapsed"] > 0
+
+
+def test_fuzz_faults_flag_runs_the_chaos_lane(capsys):
+    assert cli.main([
+        "fuzz", "--faults", "7", "--seed", "0", "--count", "3",
+        "--progress-every", "0",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "chaos:" in out and "recovered" in out
 
 
 def test_fuzz_workers_flag_runs_the_parity_lane(capsys):

@@ -204,6 +204,122 @@ class TestFailure:
             service.stop()
 
 
+class TestResilience:
+    """Fault tolerance at the service layer (DESIGN.md §16): crash-only
+    startup recovery, per-job wall-clock budgets, and bounded retry —
+    all visible through ``/stats`` and ``/healthz``."""
+
+    def test_healthy_service_reports_not_degraded(self, service):
+        status, doc = Client(service).get("/healthz")
+        assert status == 200
+        assert doc["degraded"] is False and doc["reasons"] == []
+        assert doc["recovered_records"] == 0
+
+    def test_startup_recovery_sweeps_crash_litter(self, tmp_path):
+        import os
+
+        from repro.service.store import PlanStore
+
+        # Simulate a server killed mid-write: orphaned temp files in
+        # both store directories plus one torn (truncated) record.
+        crashed = PlanStore(str(tmp_path / "store"))
+        for directory in (crashed.plans_dir, crashed.memo_dir):
+            with open(os.path.join(directory, "orphan.tmp"), "w") as fh:
+                fh.write('{"half": ')
+        with open(
+            os.path.join(crashed.plans_dir, "cd" * 32 + ".json"), "w"
+        ) as fh:
+            fh.write('{"torn":')
+
+        service = PlanService(
+            str(tmp_path / "store"), workers=1, synth=fake_synth
+        ).start_background()
+        try:
+            client = Client(service)
+            _, stats = client.get("/stats")
+            assert stats["recovered_tmp"] == 2
+            assert stats["recovered_torn"] == 1
+            assert stats["store_plans"] == 0
+            _, health = client.get("/healthz")
+            assert health["recovered_records"] == 3
+            # Swept clean: the restarted server still serves searches.
+            status, doc = client.post(AGG)
+            assert status == 200 and doc["state"] == "done"
+        finally:
+            service.stop()
+
+    def test_job_timeout_retries_then_fails(self, tmp_path):
+        import time as _time
+
+        def stuck_synth(task):
+            _time.sleep(1.0)
+            return fake_payload()
+
+        service = PlanService(
+            str(tmp_path / "store"),
+            workers=1,
+            synth=stuck_synth,
+            job_timeout=0.1,
+            job_retries=1,
+            retry_base=0.0,
+        ).start_background()
+        try:
+            client = Client(service)
+            status, doc = client.post(AGG)
+            assert doc["state"] == "failed"
+            assert "timed out after 0.1s" in doc["error"]
+            _, stats = client.get("/stats")
+            assert stats["timeouts"] == 2  # first try + one retry
+            assert stats["retries"] == 1
+            assert stats["failed"] == 1
+            assert stats["degraded_jobs"] == 1
+            _, health = client.get("/healthz")
+            assert health["degraded"] is True
+            assert any("timeout" in r for r in health["reasons"])
+        finally:
+            service.stop()
+
+    def test_flaky_synth_recovers_on_retry(self, tmp_path):
+        calls = []
+
+        def flaky_synth(task):
+            calls.append(task)
+            if len(calls) == 1:
+                raise RuntimeError("transient search crash")
+            return fake_payload()
+
+        service = PlanService(
+            str(tmp_path / "store"),
+            workers=1,
+            synth=flaky_synth,
+            job_retries=1,
+            retry_base=0.0,
+        ).start_background()
+        try:
+            client = Client(service)
+            status, doc = client.post(AGG)
+            assert status == 200
+            assert doc["state"] == "done" and doc["source"] == "search"
+            assert len(calls) == 2
+            _, stats = client.get("/stats")
+            assert stats["failures"] == 1
+            assert stats["retries"] == 1
+            assert stats["completed"] == 1
+            assert stats["failed"] == 0
+            # The job recovered but needed a retry: that is recorded.
+            assert stats["degraded_jobs"] == 1
+        finally:
+            service.stop()
+
+    def test_resilience_counters_in_stats_shape(self, service):
+        _, doc = Client(service).get("/stats")
+        for key in (
+            "failures", "retries", "timeouts", "degraded_jobs",
+            "recovered_tmp", "recovered_torn",
+        ):
+            assert key in doc
+
+
 class TestDedupAndAdmission:
     def test_concurrent_identical_requests_share_one_search(self, tmp_path):
         release = threading.Event()

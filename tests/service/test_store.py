@@ -108,3 +108,51 @@ class TestCorruptionAndFormats:
             if name.endswith(".tmp")
         ]
         assert leftovers == []
+
+
+class TestCrashRecovery:
+    """The crash-only startup sweep (DESIGN.md §16): orphaned ``.tmp``
+    files and torn records left by a killed writer are deleted and
+    counted; healthy records are untouched."""
+
+    def simulate_crash(self, root):
+        # A store as a crashed server leaves it: one healthy record,
+        # one orphaned temp file in each directory (killed between
+        # mkstemp and rename), one torn record (truncated JSON).
+        store = PlanStore(str(root))
+        put_one(store)
+        for directory in (store.plans_dir, store.memo_dir):
+            with open(os.path.join(directory, "orphanX.tmp"), "w") as fh:
+                fh.write('{"half": ')
+        with open(os.path.join(store.plans_dir, "cd" * 32 + ".json"),
+                  "w") as fh:
+            fh.write('{"format": "repro-plan-store/1", "pl')
+        return store
+
+    def test_sweep_removes_and_counts(self, tmp_path):
+        self.simulate_crash(tmp_path)
+        store = PlanStore(str(tmp_path))  # the "restarted" process
+        removed = store.recover()
+        assert removed == {"tmp_files": 2, "torn_records": 1}
+        # The healthy record survived and still serves.
+        assert store.get(DIGEST)["plan"] == PLAN
+        assert len(store) == 1
+        leftovers = [
+            name
+            for directory in (store.plans_dir, store.memo_dir)
+            for name in os.listdir(directory)
+            if name.endswith(".tmp")
+        ]
+        assert leftovers == []
+
+    def test_sweep_is_idempotent(self, tmp_path):
+        self.simulate_crash(tmp_path)
+        store = PlanStore(str(tmp_path))
+        store.recover()
+        assert store.recover() == {"tmp_files": 0, "torn_records": 0}
+
+    def test_clean_store_sweeps_nothing(self, tmp_path):
+        store = PlanStore(str(tmp_path))
+        put_one(store)
+        assert store.recover() == {"tmp_files": 0, "torn_records": 0}
+        assert store.get(DIGEST)["plan"] == PLAN

@@ -7,10 +7,15 @@ here: deterministic chunking, the ``REPRO_PARALLEL`` escape hatch, and
 order-preserving fan-out.
 """
 
+import os
+import signal
+import time
+
 import pytest
 
 from repro.parallel import (
     PARALLEL_ENV,
+    PoolTaskTimeout,
     WorkerPool,
     chunk_slices,
     cpu_count,
@@ -202,3 +207,75 @@ class TestPoolLifecycle:
         assert live_pool_count() == 0
         # Idempotent: a second sweep finds nothing to do.
         assert shutdown_all_pools() == 0
+
+
+def _kill_once(task):
+    """SIGKILL the worker the first time any worker sees the sentinel
+    missing; every later call (post-respawn) computes normally."""
+    sentinel, value = task
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w") as handle:
+            handle.write("killed")
+        os.kill(os.getpid(), signal.SIGKILL)
+    return 2 * value
+
+
+def _die_unless_main(task):
+    """SIGKILL every *worker* process; only the inline serial fallback
+    (running in the main test process) survives to return a value."""
+    main_pid, value = task
+    if os.getpid() != main_pid:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return 3 * value
+
+
+def _sleep_then_return(task):
+    time.sleep(30)
+    return task
+
+
+class TestPoolResilience:
+    """Worker death and runaway tasks must not take down the caller
+    (DESIGN.md §16): one respawn re-running only the lost work, then a
+    recorded degrade to serial, and a typed per-task timeout."""
+
+    def test_sigkill_mid_map_respawns_and_completes(self, tmp_path):
+        sentinel = str(tmp_path / "killed-once")
+        with WorkerPool(2) as pool:
+            results = pool.map_ordered(
+                _kill_once, [(sentinel, v) for v in (1, 2, 3)]
+            )
+            assert results == [2, 4, 6]
+            assert pool.respawns == 1
+            assert not pool.degraded
+            # The respawned pool keeps serving ordinary work.
+            assert pool.map_ordered(_double, [5]) == [10]
+
+    def test_persistent_worker_death_degrades_to_serial(self):
+        main_pid = os.getpid()
+        with WorkerPool(2) as pool:
+            results = pool.map_ordered(
+                _die_unless_main, [(main_pid, v) for v in (1, 2)]
+            )
+            assert results == [3, 6]
+            assert pool.respawns == 1
+            assert pool.degraded
+
+    def test_task_timeout_raises_typed_error(self):
+        with WorkerPool(2) as pool:
+            with pytest.raises(PoolTaskTimeout) as excinfo:
+                pool.map_ordered(
+                    _sleep_then_return, [0], task_timeout=0.5
+                )
+            assert excinfo.value.index == 0
+            assert excinfo.value.timeout == 0.5
+            # The stuck worker was killed and replaced: the pool is
+            # immediately usable again.
+            assert pool.map_ordered(_double, [9]) == [18]
+
+    def test_worker_exception_is_not_swallowed_by_resilience(self):
+        with WorkerPool(2) as pool:
+            with pytest.raises(RuntimeError, match="worker blew up"):
+                pool.map_ordered(_boom, [1])
+            assert pool.respawns == 0
+            assert not pool.degraded

@@ -76,6 +76,34 @@ def test_narrow_except_clean():
     assert _codes(source) == []
 
 
+def test_time_sleep_flagged():
+    source = "import time\ntime.sleep(0.5)\n"
+    assert _codes(source) == ["LNT004"]
+
+
+def test_imported_sleep_flagged():
+    source = "from time import sleep\nsleep(0.5)\n"
+    assert _codes(source) == ["LNT004"]
+
+
+def test_bare_sleep_without_time_import_clean():
+    source = "def sleep(s):\n    pass\nsleep(0.5)\n"
+    assert _codes(source) == []
+
+
+def test_asyncio_sleep_clean():
+    source = (
+        "import asyncio\n"
+        "async def wait():\n    await asyncio.sleep(0.5)\n"
+    )
+    assert _codes(source) == []
+
+
+def test_sleep_allowed_inside_faults_module():
+    source = "import time\ntime.sleep(0.5)\n"
+    assert _codes(source, path="src/repro/runtime/faults.py") == []
+
+
 def test_unknown_path_exits_2(tmp_path):
     assert repro_lint.main([str(tmp_path / "missing")]) == 2
 

@@ -19,6 +19,12 @@ Two hazard classes that generic linters don't cover here:
   hostile-document decoding) carries ``# lint: allow-broad-except`` on
   the handler line or the line above, which makes the judgment call
   reviewable.
+* **LNT004** — calling ``time.sleep`` anywhere outside the backoff
+  helper in :mod:`repro.runtime.faults`.  Retry timing is centralized
+  there (DESIGN.md §16) so the schedule stays policy-driven and
+  testable; a stray sleep elsewhere is either an uncontrolled retry
+  loop or a latency hack the fault model cannot see.  (The async
+  service waits via ``asyncio.sleep``, which is not flagged.)
 
 Usage: ``python tools/repro_lint.py [paths...]`` (default: ``src``).
 Exit 0 when clean, 1 with ``path:line: CODE message`` findings, 2 on
@@ -39,6 +45,9 @@ BANNED_POOLS = {"Pool", "ProcessPoolExecutor", "ThreadPoolExecutor"}
 #: files allowed to build pools: the one blessed wrapper.
 POOL_ALLOWED_FILES = {os.path.join("repro", "parallel.py")}
 
+#: files allowed to call time.sleep: the one blessed backoff helper.
+SLEEP_ALLOWED_FILES = {os.path.join("repro", "runtime", "faults.py")}
+
 
 def _call_name(node: ast.Call) -> str | None:
     func = node.func
@@ -56,12 +65,32 @@ def _has_pragma(lines: list[str], lineno: int) -> bool:
     return False
 
 
-def _pool_exempt(path: str) -> bool:
+def _path_exempt(path: str, allowed_files: set[str]) -> bool:
     normalized = path.replace(os.sep, "/")
     return any(
         normalized.endswith(allowed.replace(os.sep, "/"))
-        for allowed in POOL_ALLOWED_FILES
+        for allowed in allowed_files
     )
+
+
+def _imports_time_sleep(tree: ast.AST) -> bool:
+    """True when the module does ``from time import sleep`` (any alias
+    keeping the name ``sleep``)."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if (alias.asname or alias.name) == "sleep":
+                    return True
+    return False
+
+
+def _is_sleep_call(node: ast.Call, bare_sleep_is_time: bool) -> bool:
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr == "sleep":
+        return isinstance(func.value, ast.Name) and func.value.id == "time"
+    if isinstance(func, ast.Name) and func.id == "sleep":
+        return bare_sleep_is_time
+    return False
 
 
 def check_source(path: str, source: str) -> list[tuple[str, int, str, str]]:
@@ -69,11 +98,13 @@ def check_source(path: str, source: str) -> list[tuple[str, int, str, str]]:
     tree = ast.parse(source, filename=path)
     lines = source.splitlines()
     findings: list[tuple[str, int, str, str]] = []
-    pool_ok = _pool_exempt(path)
+    pool_ok = _path_exempt(path, POOL_ALLOWED_FILES)
+    sleep_ok = _path_exempt(path, SLEEP_ALLOWED_FILES)
+    bare_sleep_is_time = _imports_time_sleep(tree)
     for node in ast.walk(tree):
-        if isinstance(node, ast.Call) and not pool_ok:
+        if isinstance(node, ast.Call):
             name = _call_name(node)
-            if name in BANNED_POOLS:
+            if not pool_ok and name in BANNED_POOLS:
                 findings.append(
                     (
                         path,
@@ -81,6 +112,17 @@ def check_source(path: str, source: str) -> list[tuple[str, int, str, str]]:
                         "LNT001",
                         f"direct {name} construction; use "
                         f"repro.parallel.WorkerPool (DESIGN.md §13)",
+                    )
+                )
+            if not sleep_ok and _is_sleep_call(node, bare_sleep_is_time):
+                findings.append(
+                    (
+                        path,
+                        node.lineno,
+                        "LNT004",
+                        "time.sleep outside the backoff helper; use "
+                        "repro.runtime.faults.sleep_for_retry "
+                        "(DESIGN.md §16)",
                     )
                 )
         elif isinstance(node, ast.ExceptHandler):
